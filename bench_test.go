@@ -1,0 +1,336 @@
+// Benchmarks regenerating the paper's evaluation (Table I, Figures 1-2)
+// plus the ablations called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Mapping (see DESIGN.md §4 and EXPERIMENTS.md):
+//
+//	BenchmarkTable1ModelStats     — Table I per-machine element counts
+//	BenchmarkTable1Generation     — Table I last row (time, servers,
+//	                                clients, config KB)
+//	BenchmarkFig1EndToEnd         — Figure 1: model -> configs -> deploy ->
+//	                                data flowing
+//	BenchmarkFig2ChannelRoundTrip — Figure 2: machine<->driver channel
+//	                                (service call through the full stack)
+//	BenchmarkAblationGrouping     — FFD vs baselines across capacities
+//	BenchmarkAblationScale        — generation scaling at 1x-8x ICE size
+//	BenchmarkParserThroughput     — lexer/parser/sema throughput
+package sysml2conf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/deploy"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/stack"
+	"github.com/smartfactory/sysml2conf/internal/sysml/lexer"
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// BenchmarkTable1ModelStats measures the model-analysis half of Table I:
+// parsing the full ICE Laboratory model, resolving it, extracting the
+// factory and computing the per-machine element statistics.
+func BenchmarkTable1ModelStats(b *testing.B) {
+	src := icelab.GenerateModelText(icelab.ICELab())
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		file, err := parser.ParseFile("icelab.sysml", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		model, err := sema.Resolve(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		factory, err := core.ExtractFactory(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range factory.Machines() {
+			sink += m.Stats.PortInstances
+		}
+	}
+	if sink == 0 {
+		b.Fatal("no stats computed")
+	}
+}
+
+// BenchmarkTable1Generation measures the full generation pipeline — the
+// quantity the paper reports as 3.19 s for the ICE Laboratory — and
+// reports the other last-row quantities as metrics.
+func BenchmarkTable1Generation(b *testing.B) {
+	src := icelab.GenerateModelText(icelab.ICELab())
+	var summary codegen.Summary
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(src, Options{Filename: "icelab.sysml"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		summary = res.Bundle.Summary
+	}
+	b.ReportMetric(float64(summary.Servers), "servers")
+	b.ReportMetric(float64(summary.Clients), "clients")
+	b.ReportMetric(float64(summary.ConfigBytes)/1024, "configKB")
+	b.ReportMetric(float64(summary.Files), "files")
+}
+
+// BenchmarkFig1EndToEnd measures the complete Figure 1 loop: generate the
+// configuration, start the machine fleet, deploy to the simulated cluster,
+// and wait until machine data is observable in a historian.
+func BenchmarkFig1EndToEnd(b *testing.B) {
+	src := icelab.GenerateModelText(icelab.ICELab())
+	for i := 0; i < b.N; i++ {
+		res, err := Run(src, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet, resolver, err := deploy.StartFleet(res.Bundle.Intermediate.Machines, 5*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cluster := deploy.NewCluster(3, 32)
+		cluster.MachineEndpoints = resolver
+		cluster.PollPeriod = 5 * time.Millisecond
+		if err := cluster.ApplyBundle(res.Bundle); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			total := uint64(0)
+			for _, name := range cluster.Historians() {
+				total += cluster.Historian(name).Store.TotalAppended()
+			}
+			if total > 100 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatal("no data flowed")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		cluster.Shutdown()
+		fleet.Close()
+	}
+}
+
+// BenchmarkFig2ChannelRoundTrip measures one machine-service invocation
+// through the full Figure 2 channel: broker request topic -> OPC UA client
+// -> OPC UA server method node -> proprietary driver -> machine emulator
+// and back.
+func BenchmarkFig2ChannelRoundTrip(b *testing.B) {
+	full := icelab.ICELab()
+	spec := icelab.FactorySpec{
+		TopologyName: full.TopologyName, Enterprise: full.Enterprise,
+		Site: full.Site, Area: full.Area, Line: full.Line,
+	}
+	for _, m := range full.Machines {
+		if m.Workcell == "workCell02" {
+			spec.Machines = append(spec.Machines, m)
+		}
+	}
+	factory, _, err := icelab.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, resolver, err := deploy.StartFleet(bundle.Intermediate.Machines, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	cluster := deploy.NewCluster(2, 16)
+	cluster.MachineEndpoints = resolver
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	var isReady codegen.MethodConfig
+	for _, mc := range bundle.Intermediate.Machines {
+		if mc.Machine == "emco" {
+			for _, m := range mc.Methods {
+				if m.Name == "is_ready" {
+					isReady = m
+				}
+			}
+		}
+	}
+	bc, err := broker.DialClient(cluster.BrokerAddr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bc.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reply, err := stack.CallService(bc, isReady, nil, 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !reply.OK {
+			b.Fatal(reply.Error)
+		}
+	}
+}
+
+// BenchmarkAblationGrouping compares the client-grouping strategies across
+// capacity settings; the "clients" metric is the figure of merit (the
+// paper's grouping exists to minimize it).
+func BenchmarkAblationGrouping(b *testing.B) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	in, err := codegen.BuildIntermediate(factory, codegen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := in.Machines
+	for _, strategy := range []codegen.GroupingStrategy{
+		codegen.GroupFFD, codegen.GroupPerWorkcell, codegen.GroupPerMachine,
+	} {
+		for _, maxVars := range []int{50, 100, 200, 400} {
+			name := fmt.Sprintf("%s/maxVars=%d", strategy, maxVars)
+			b.Run(name, func(b *testing.B) {
+				opts := codegen.Options{Strategy: strategy,
+					MaxVarsPerClient: maxVars, MaxMethodsPerClient: 40}
+				var clients int
+				for i := 0; i < b.N; i++ {
+					groups, _ := codegen.Group(machines, opts)
+					clients = len(groups)
+				}
+				b.ReportMetric(float64(clients), "clients")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationScale sweeps factory size (1x-8x the ICE Lab) through
+// the full pipeline, reporting generated-configuration size.
+func BenchmarkAblationScale(b *testing.B) {
+	for _, scale := range []int{1, 2, 4, 8} {
+		src := icelab.GenerateModelText(icelab.Scaled(scale))
+		b.Run(fmt.Sprintf("scale=%d", scale), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			var summary codegen.Summary
+			for i := 0; i < b.N; i++ {
+				res, err := Run(src, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				summary = res.Bundle.Summary
+			}
+			b.ReportMetric(float64(summary.Machines), "machines")
+			b.ReportMetric(float64(summary.Clients), "clients")
+			b.ReportMetric(float64(summary.ConfigBytes)/1024, "configKB")
+		})
+	}
+}
+
+// BenchmarkParserThroughput isolates the language front-end stages on the
+// ICE Laboratory model.
+func BenchmarkParserThroughput(b *testing.B) {
+	src := icelab.GenerateModelText(icelab.ICELab())
+	b.Run("lexer", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			toks, errs := lexer.ScanAll("icelab.sysml", src)
+			if len(errs) > 0 || len(toks) == 0 {
+				b.Fatal("lex failed")
+			}
+		}
+	})
+	b.Run("parser", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, err := parser.ParseFile("icelab.sysml", src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sema", func(b *testing.B) {
+		file, err := parser.ParseFile("icelab.sysml", src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(src)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sema.Resolve(file); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationReconfigure compares incremental reconfiguration (the
+// diff-driven Reconfigure extension) against a full redeploy for the same
+// model change (a new AGV joins workcell 06). One op = moving the plant
+// from the old configuration to the new one.
+func BenchmarkAblationReconfigure(b *testing.B) {
+	oldFactory := icelab.MustBuild(icelab.ICELab())
+	oldBundle, err := codegen.Generate(oldFactory, codegen.GenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grown := icelab.ICELab()
+	agv := grown.Machines[len(grown.Machines)-1]
+	agv.Name = "rbKairos3"
+	agv.IP = "10.197.12.73"
+	agv.Port = 4849
+	grown.Machines = append(grown.Machines, agv)
+	newBundle, err := codegen.Generate(icelab.MustBuild(grown), codegen.GenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	fleet, _, err := deploy.StartFleet(newBundle.Intermediate.Machines, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	addrs := fleet.Addrs()
+	resolver := func(machine string, _ codegen.DriverConfig) (string, error) {
+		return addrs[machine], nil
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		cluster := deploy.NewCluster(3, 32)
+		cluster.MachineEndpoints = resolver
+		if err := cluster.ApplyBundle(oldBundle); err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Shutdown()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Reconfigure(oldBundle, newBundle); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if _, err := cluster.Reconfigure(newBundle, oldBundle); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+
+	b.Run("full-redeploy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cluster := deploy.NewCluster(3, 32)
+			cluster.MachineEndpoints = resolver
+			if err := cluster.ApplyBundle(newBundle); err != nil {
+				b.Fatal(err)
+			}
+			cluster.Shutdown()
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Command factorysim runs the generated configuration end-to-end in the
+// simulated environment: it builds the ICE Laboratory model (or a scaled
+// variant), generates the configuration bundle, launches one machine
+// emulator per modeled machine, applies the manifests to a simulated
+// Kubernetes cluster, and then reports the live data flow — pods, OPC UA
+// traffic, broker throughput and historian contents — for the requested
+// duration. It also demonstrates a SOM production process executing machine
+// services across workcells.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/deploy"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/som"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 1, "replicate the ICE Lab n times")
+		duration = flag.Duration("duration", 3*time.Second, "how long to let data flow")
+		process  = flag.Bool("process", true, "execute a demo SOM production process")
+		browse   = flag.String("browse", "", "print the address space of this OPC UA server (e.g. opcua-server-workcell02)")
+		snapDir  = flag.String("snapshot-dir", "", "write historian snapshots to this directory before exiting")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	factory, _, err := icelab.Build(icelab.Scaled(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model built and extracted in %v: %s\n", time.Since(start).Round(time.Millisecond), factory)
+
+	genStart := time.Now()
+	bundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	s := bundle.Summary
+	fmt.Printf("configuration generated in %v: %d servers, %d clients, %.1f KB in %d files\n",
+		time.Since(genStart).Round(time.Millisecond), s.Servers, s.Clients,
+		float64(s.ConfigBytes)/1024, s.Files)
+
+	fleet, resolver, err := deploy.StartFleet(bundle.Intermediate.Machines, 50*time.Millisecond)
+	if err != nil {
+		fatal(err)
+	}
+	defer fleet.Close()
+	fmt.Printf("machine emulators: %d started\n", len(fleet.Names()))
+
+	cluster := deploy.NewCluster(3, 32)
+	cluster.MachineEndpoints = resolver
+	cluster.PollPeriod = 50 * time.Millisecond
+	deployStart := time.Now()
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		fatal(err)
+	}
+	defer cluster.Shutdown()
+	fmt.Printf("deployed in %v; pods:\n", time.Since(deployStart).Round(time.Millisecond))
+	for _, p := range cluster.Pods() {
+		fmt.Printf("  %-28s %-14s %-8s %s\n", p.Name, p.Component, p.Phase, p.Node)
+	}
+	if !cluster.AllRunning() {
+		fatal(fmt.Errorf("not all pods are running"))
+	}
+
+	fmt.Printf("letting data flow for %v...\n", *duration)
+	time.Sleep(*duration)
+
+	totalSeries, totalPoints := 0, uint64(0)
+	for _, name := range cluster.Historians() {
+		h := cluster.Historian(name)
+		series := h.Store.Series()
+		totalSeries += len(series)
+		totalPoints += h.Store.TotalAppended()
+		fmt.Printf("  %s: %d series, %d points\n", name, len(series), h.Store.TotalAppended())
+	}
+	fmt.Printf("historians: %d series total, %d points ingested\n", totalSeries, totalPoints)
+
+	if *browse != "" {
+		browseServer(cluster, *browse)
+	}
+
+	if *process {
+		runProcess(cluster, bundle)
+	}
+
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, name := range cluster.Historians() {
+			path := filepath.Join(*snapDir, name+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cluster.Historian(name).Store.WriteSnapshot(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			fmt.Printf("snapshot written: %s\n", path)
+		}
+	}
+}
+
+// browseServer prints the address space of one deployed OPC UA server,
+// grouped by node class.
+func browseServer(cluster *deploy.Cluster, name string) {
+	srv := cluster.Server(name)
+	if srv == nil {
+		fatal(fmt.Errorf("no such OPC UA server %q", name))
+	}
+	nodes := srv.Space.AllNodes()
+	fmt.Printf("\naddress space of %s (%d nodes):\n", name, len(nodes))
+	shown := 0
+	for _, n := range nodes {
+		if shown >= 40 {
+			fmt.Printf("  ... and %d more nodes\n", len(nodes)-shown)
+			break
+		}
+		fmt.Printf("  %-10s %s\n", n.Class, n.ID)
+		shown++
+	}
+}
+
+// runProcess executes a demo production process: check readiness across the
+// line, start the mill, move the cobot, run quality control.
+func runProcess(cluster *deploy.Cluster, bundle *codegen.Bundle) {
+	reg := som.NewRegistry(bundle.Intermediate)
+	orch, err := som.NewOrchestrator(cluster.BrokerAddr(), reg)
+	if err != nil {
+		fatal(err)
+	}
+	defer orch.Close()
+
+	var machines []string
+	machines = append(machines, reg.Machines()...)
+	sort.Strings(machines)
+	fmt.Printf("SOM registry: %d machines, %d services\n", len(machines), reg.Count())
+
+	proc := som.Process{
+		Name: "mill-and-inspect",
+		Steps: []som.Step{
+			{Machine: "emco", Service: "is_ready"},
+			{Machine: "ur5", Service: "move_to_pose", Args: []any{0.4, 0.1, 0.3}},
+			{Machine: "emco", Service: "start_program", Args: []any{"programs/demo.nc"}},
+			{Machine: "emco", Service: "stop_program"},
+			{Machine: "qualityPC", Service: "start_inspection", Args: []any{"recipe-a"}},
+			{Machine: "qualityPC", Service: "get_result"},
+		},
+	}
+	result, err := orch.Execute(proc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("process %q finished in %v:\n", result.Process, result.Elapsed.Round(time.Millisecond))
+	for _, sr := range result.Steps {
+		fmt.Printf("  %-28s ok=%v results=%v\n", sr.Step.Machine+"."+sr.Step.Service, sr.Reply.OK, sr.Reply.Results)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "factorysim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Command sysml2cfg is the automatic configuration toolchain: it reads a
+// SysML v2 factory model (a file, or the built-in ICE Laboratory model with
+// -icelab), runs the two-step generation pipeline, and writes the
+// intermediate JSON files and Kubernetes manifests to an output directory.
+//
+// Usage:
+//
+//	sysml2cfg -icelab -out ./gen            # generate from the ICE Lab model
+//	sysml2cfg -model factory.sysml -out ./gen
+//	sysml2cfg -icelab -stats                # print the Table I statistics
+//	sysml2cfg -icelab -emit-model           # dump the ICE Lab SysML source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"github.com/smartfactory/sysml2conf"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/report"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to a SysML v2 model file")
+		useICELab = flag.Bool("icelab", false, "use the built-in ICE Laboratory model")
+		outDir    = flag.String("out", "", "directory to write generated files into")
+		stats     = flag.Bool("stats", false, "print per-machine model statistics (Table I)")
+		emitModel = flag.Bool("emit-model", false, "print the model source and exit")
+		namespace = flag.String("namespace", "", "Kubernetes namespace override")
+		maxVars   = flag.Int("max-vars", 0, "max variables per OPC UA client module (default 100)")
+		maxMeths  = flag.Int("max-methods", 0, "max methods per OPC UA client module (default 40)")
+		perMach   = flag.Bool("per-machine-clients", false, "disable grouping: one client per machine")
+		reportTo  = flag.String("report", "", "write a Markdown factory report to this file ('-' for stdout)")
+		sweep     = flag.Bool("sweep", false, "print a client-grouping capacity sweep (FFD vs baselines)")
+	)
+	flag.Parse()
+
+	src, name, err := loadModel(*modelPath, *useICELab)
+	if err != nil {
+		fatal(err)
+	}
+	if *emitModel {
+		fmt.Print(src)
+		return
+	}
+
+	res, err := sysml2conf.Run(src, sysml2conf.Options{
+		Filename:            name,
+		Namespace:           *namespace,
+		MaxVarsPerClient:    *maxVars,
+		MaxMethodsPerClient: *maxMeths,
+		PerMachineClients:   *perMach,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		printStats(res)
+	}
+
+	if *sweep {
+		printSweep(res)
+	}
+
+	if *reportTo != "" {
+		md := report.Markdown(res.Factory, res.Bundle)
+		if *reportTo == "-" {
+			fmt.Print(md)
+		} else if err := os.WriteFile(*reportTo, []byte(md), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *outDir != "" {
+		count := 0
+		for _, f := range res.Bundle.AllFiles() {
+			path := filepath.Join(*outDir, f.Name)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, f.Data, 0o644); err != nil {
+				fatal(err)
+			}
+			count++
+		}
+		fmt.Printf("wrote %d files to %s\n", count, *outDir)
+	}
+
+	s := res.Bundle.Summary
+	fmt.Printf("generation time: %v\n", res.GenerationTime)
+	fmt.Printf("# OPC UA servers: %d\n", s.Servers)
+	fmt.Printf("# OPC UA clients: %d\n", s.Clients)
+	fmt.Printf("config size: %.1f KB (%d files: %d JSON bytes, %d YAML bytes)\n",
+		float64(s.ConfigBytes)/1024, s.Files, s.JSONBytes, s.YAMLBytes)
+}
+
+func loadModel(path string, useICELab bool) (src, name string, err error) {
+	switch {
+	case useICELab && path != "":
+		return "", "", fmt.Errorf("use either -model or -icelab, not both")
+	case useICELab:
+		return icelab.GenerateModelText(icelab.ICELab()), "icelab.sysml", nil
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", "", err
+		}
+		return string(data), path, nil
+	default:
+		return "", "", fmt.Errorf("provide -model <file> or -icelab (see -h)")
+	}
+}
+
+func printStats(res *sysml2conf.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "WC\tMACHINE\tDRIVER\tPART DEF\tPART INST\tATTR INST\tPORT INST\tVARS\tSERVICES")
+	for _, line := range res.Factory.Lines {
+		for _, wc := range line.Workcells {
+			for _, m := range wc.Machines {
+				fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+					wc.Name, m.Name, m.Driver.Protocol,
+					m.Stats.PartDefs, m.Stats.PartInstances,
+					m.Stats.AttrInstances, m.Stats.PortInstances,
+					m.Stats.Variables, m.Stats.Services)
+			}
+		}
+	}
+	w.Flush()
+}
+
+// printSweep compares grouping strategies across client capacities —
+// the design-space exploration behind the paper's "4 OPC UA clients".
+func printSweep(res *sysml2conf.Result) {
+	machines := res.Bundle.Intermediate.Machines
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "MAX VARS\tFFD\tPER-WORKCELL\tPER-MACHINE")
+	for _, maxVars := range []int{25, 50, 100, 150, 200, 400, 800} {
+		row := fmt.Sprintf("%d", maxVars)
+		for _, strategy := range []codegen.GroupingStrategy{
+			codegen.GroupFFD, codegen.GroupPerWorkcell, codegen.GroupPerMachine,
+		} {
+			groups, _ := codegen.Group(machines, codegen.Options{
+				Strategy: strategy, MaxVarsPerClient: maxVars, MaxMethodsPerClient: 40,
+			})
+			row += fmt.Sprintf("\t%d", len(groups))
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sysml2cfg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadModelICELab(t *testing.T) {
+	src, name, err := loadModel("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "icelab.sysml" || !strings.Contains(src, "part def Topology") {
+		t.Errorf("name = %q, src head = %.60q", name, src)
+	}
+}
+
+func TestLoadModelFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.sysml")
+	if err := os.WriteFile(path, []byte("part def X;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, name, err := loadModel(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != path || src != "part def X;" {
+		t.Errorf("loadModel = %q %q", name, src)
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, _, err := loadModel("", false); err == nil {
+		t.Error("no input should error")
+	}
+	if _, _, err := loadModel("x.sysml", true); err == nil {
+		t.Error("both inputs should error")
+	}
+	if _, _, err := loadModel(filepath.Join(t.TempDir(), "missing.sysml"), false); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,78 @@
+// Command sysmlfmt formats SysML v2 textual-notation files canonically
+// (tabs for indentation, one member per line, normalized relationship
+// shorthands). With no arguments it reads stdin and writes stdout; with
+// file arguments it prints each formatted file, or rewrites in place
+// with -w.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/printer"
+)
+
+func main() {
+	write := flag.Bool("w", false, "write result back to source files")
+	check := flag.Bool("check", false, "exit non-zero if any file is not formatted")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := format("<stdin>", string(data))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := format(path, string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sysmlfmt:", err)
+			exit = 1
+			continue
+		}
+		switch {
+		case *check:
+			if out != string(data) {
+				fmt.Println(path)
+				exit = 1
+			}
+		case *write:
+			if out != string(data) {
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		default:
+			fmt.Print(out)
+		}
+	}
+	os.Exit(exit)
+}
+
+func format(name, src string) (string, error) {
+	file, err := parser.ParseFile(name, src)
+	if err != nil {
+		return "", err
+	}
+	return printer.Print(file), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sysmlfmt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatCanonicalizes(t *testing.T) {
+	out, err := format("t.sysml", "part   def   X{attribute a:String;}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "part def X {\n\tattribute a : String;\n}\n"
+	if out != want {
+		t.Errorf("format = %q, want %q", out, want)
+	}
+}
+
+func TestFormatIsIdempotent(t *testing.T) {
+	src := `
+package P {
+	part def D { port def V { in attribute value : Anything; } }
+	part x : D {
+		:>> something = 5;
+		bind a.b = c;
+	}
+}
+`
+	// The bind/redefine targets do not resolve, but formatting is purely
+	// syntactic.
+	once, err := format("t.sysml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := format("t.sysml", once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Errorf("not idempotent:\n%s\nvs\n%s", once, twice)
+	}
+}
+
+func TestFormatSyntaxError(t *testing.T) {
+	if _, err := format("bad.sysml", "part def {"); err == nil {
+		t.Error("want error")
+	} else if !strings.Contains(err.Error(), "bad.sysml") {
+		t.Errorf("error lacks filename: %v", err)
+	}
+}

@@ -1,0 +1,54 @@
+// Command sysmllint checks SysML v2 factory models against the modeling
+// methodology: syntax, name resolution, specialization and redefinition
+// consistency, abstract-instantiation rules, and ISA-95 hierarchy
+// compliance (every workcell has machines, machines reference drivers, ...).
+//
+// Exit status is 0 for a clean model, 1 when findings exist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/smartfactory/sysml2conf"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+func main() {
+	useICELab := flag.Bool("icelab", false, "lint the built-in ICE Laboratory model")
+	flag.Parse()
+
+	type unit struct{ name, src string }
+	var units []unit
+	if *useICELab {
+		units = append(units, unit{"icelab.sysml", icelab.GenerateModelText(icelab.ICELab())})
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sysmllint:", err)
+			os.Exit(2)
+		}
+		units = append(units, unit{path, string(data)})
+	}
+	if len(units) == 0 {
+		fmt.Fprintln(os.Stderr, "sysmllint: no input (pass files or -icelab)")
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, u := range units {
+		findings, err := sysml2conf.Lint(u.name, u.src)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if err != nil {
+			exit = 1
+		}
+		if len(findings) == 0 {
+			fmt.Printf("%s: clean\n", u.name)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,121 @@
+package sysml2conf_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/smartfactory/sysml2conf"
+)
+
+// minimalModel is a one-machine plant following the modeling methodology.
+const minimalModel = `
+package ISA95 {
+	part def Topology;
+	part def Enterprise;
+	part def Site;
+	part def Area;
+	part def ProductionLine;
+	part def Workcell { ref part Machine [*]; }
+	abstract part def Machine {
+		part def MachineData;
+		part def MachineServices;
+	}
+	abstract part def Driver {
+		part def DriverParameters;
+		part def DriverVariables;
+		part def DriverMethods;
+	}
+	abstract part def GenericDriver :> Driver;
+	abstract part def MachineDriver :> Driver;
+}
+package SawLib {
+	import ISA95::*;
+	part def SawDriver :> GenericDriver {
+		part def SawParameters :> Driver::DriverParameters {
+			attribute ip : String;
+			attribute ip_port : Integer;
+		}
+		part def SawVariables :> Driver::DriverVariables {
+			port def SVar { in attribute value : Anything; }
+			part def Status;
+		}
+		part def SawMethods :> Driver::DriverMethods {
+			port def SMethod {
+				out action operation { in args : String; out result : String; }
+			}
+		}
+	}
+	part def BandSaw :> Machine {
+		part def SawData :> Machine::MachineData { part def Status; }
+		part def SawServices :> Machine::MachineServices;
+	}
+}
+package Plant {
+	import ISA95::*;
+	import SawLib::*;
+	part plant : Topology {
+		part corp : Enterprise {
+			part hq : Site {
+				part hall : Area {
+					part line1 : ProductionLine {
+						part cutCell : Workcell {
+							part saw : BandSaw {
+								ref part sawDriver;
+								part sawData : BandSaw::SawData {
+									part status : BandSaw::SawData::Status {
+										attribute bladeSpeed : Double;
+										port bladeSpeed_var : ~SawDriver::SawVariables::SVar;
+										bind bladeSpeed_var.value = bladeSpeed;
+									}
+								}
+								part sawSvcs : BandSaw::SawServices {
+									action is_ready { out result : Boolean; }
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	part sawDriver : SawDriver {
+		part params : SawDriver::SawParameters {
+			:>> ip = '10.0.0.20';
+			:>> ip_port = 4840;
+		}
+	}
+}
+`
+
+// ExampleRun generates the configuration for a minimal one-machine plant.
+func ExampleRun() {
+	res, err := sysml2conf.Run(minimalModel, sysml2conf.Options{Filename: "saw.sysml"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machines: %d\n", len(res.Factory.Machines()))
+	fmt.Printf("servers:  %d\n", res.Bundle.Summary.Servers)
+	fmt.Printf("clients:  %d\n", res.Bundle.Summary.Clients)
+	m := res.Factory.Machines()[0]
+	fmt.Printf("saw: %d variable(s), %d service(s), driver %s at %s:%s\n",
+		len(m.Variables), len(m.Services), m.Driver.Protocol,
+		m.Driver.Parameters["ip"], m.Driver.Parameters["ip_port"])
+	// Output:
+	// machines: 1
+	// servers:  1
+	// clients:  1
+	// saw: 1 variable(s), 1 service(s), driver OPC UA at 10.0.0.20:4840
+}
+
+// ExampleLint reports methodology violations in a broken model.
+func ExampleLint() {
+	findings, err := sysml2conf.Lint("bad.sysml", `
+abstract part def Machine;
+part m : Machine;
+`)
+	fmt.Println("has errors:", err != nil)
+	fmt.Println("findings:", len(findings) > 0)
+	// Output:
+	// has errors: true
+	// findings: true
+}

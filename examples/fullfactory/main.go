@@ -1,0 +1,76 @@
+// Fullfactory runs the paper's complete evaluation scenario (Figure 1):
+// the entire ICE Laboratory is modeled in SysML v2, the configuration for
+// the whole software stack is generated automatically, deployed to the
+// simulated cluster against ten emulated machines, and verified live —
+// every modeled variable must reach a historian.
+//
+//	go run ./examples/fullfactory
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/smartfactory/sysml2conf"
+	"github.com/smartfactory/sysml2conf/internal/deploy"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+func main() {
+	// Stage 1-3: model -> parse/resolve -> extract -> generate.
+	text := icelab.GenerateModelText(icelab.ICELab())
+	fmt.Printf("ICE Laboratory model: %.1f KB of SysML v2 source\n", float64(len(text))/1024)
+
+	res, err := sysml2conf.Run(text, sysml2conf.Options{Filename: "icelab.sysml"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Bundle.Summary
+	fmt.Printf("pipeline: %v | %d OPC UA servers | %d OPC UA clients | %.1f KB of configuration\n",
+		res.GenerationTime, s.Servers, s.Clients, float64(s.ConfigBytes)/1024)
+
+	// Stage 4: deploy and verify.
+	fleet, resolver, err := deploy.StartFleet(res.Bundle.Intermediate.Machines, 20*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	cluster := deploy.NewCluster(3, 32)
+	cluster.MachineEndpoints = resolver
+	cluster.PollPeriod = 20 * time.Millisecond
+	if err := cluster.ApplyBundle(res.Bundle); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Shutdown()
+	fmt.Printf("deployed %d pods, all running: %v\n", len(cluster.Pods()), cluster.AllRunning())
+
+	// Verification: every one of the 498 modeled variables must appear as
+	// a historian series.
+	want := res.Factory.TotalVariables()
+	fmt.Printf("waiting for all %d modeled variables to reach the historians...\n", want)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got := 0
+		for _, name := range cluster.Historians() {
+			got += len(cluster.Historian(name).Store.Series())
+		}
+		if got >= want {
+			fmt.Printf("complete: %d series live\n", got)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("only %d/%d series after 30s", got, want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Per-workcell summary of live data.
+	fmt.Println("\nper-historian ingest totals:")
+	for _, name := range cluster.Historians() {
+		h := cluster.Historian(name)
+		fmt.Printf("  %-12s %4d series %7d points\n", name, len(h.Store.Series()), h.Store.TotalAppended())
+	}
+	fmt.Println("\nThe SysML v2 model configured the complete factory stack automatically.")
+}

@@ -1,0 +1,137 @@
+// Quickstart: model a one-machine factory in SysML v2 and generate its
+// deployment configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/smartfactory/sysml2conf"
+)
+
+// model is a minimal factory following the methodology: the ISA-95 base
+// library, one driver and machine definition, and the instantiated
+// topology with one workcell hosting one 3D printer.
+const model = `
+package ISA95 {
+	part def Topology;
+	part def Enterprise;
+	part def Site;
+	part def Area;
+	part def ProductionLine;
+	part def Workcell { ref part Machine [*]; }
+	abstract part def Machine {
+		part def MachineData;
+		part def MachineServices;
+	}
+	abstract part def Driver {
+		part def DriverParameters;
+		part def DriverVariables;
+		part def DriverMethods;
+	}
+	abstract part def GenericDriver :> Driver;
+	abstract part def MachineDriver :> Driver;
+}
+
+package PrinterLib {
+	import ISA95::*;
+
+	part def PrinterDriver :> GenericDriver {
+		part def PrinterParameters :> Driver::DriverParameters {
+			attribute ip : String;
+			attribute ip_port : Integer;
+		}
+		part def PrinterVariables :> Driver::DriverVariables {
+			port def PVar {
+				in attribute value : Anything;
+				attribute varName : String;
+			}
+			part def Status;
+		}
+		part def PrinterMethods :> Driver::DriverMethods {
+			port def PMethod {
+				attribute description : String;
+				out action operation {
+					in args : String;
+					out result : String;
+				}
+			}
+		}
+	}
+
+	part def Printer3D :> Machine {
+		part def PrinterData :> Machine::MachineData {
+			part def Status;
+		}
+		part def PrinterServices :> Machine::MachineServices;
+	}
+}
+
+package Plant {
+	import ISA95::*;
+	import PrinterLib::*;
+
+	part plant : Topology {
+		part acme : Enterprise {
+			part mainSite : Site {
+				part hallA : Area {
+					part line1 : ProductionLine {
+						part printCell : Workcell {
+							part printer : Printer3D {
+								ref part printerDriver;
+								part printerData : Printer3D::PrinterData {
+									part status : Printer3D::PrinterData::Status {
+										attribute nozzleTemp : Double;
+										port nozzleTemp_var : ~PrinterDriver::PrinterVariables::PVar;
+										bind nozzleTemp_var.value = nozzleTemp;
+										attribute bedTemp : Double;
+										port bedTemp_var : ~PrinterDriver::PrinterVariables::PVar;
+										bind bedTemp_var.value = bedTemp;
+										attribute printing : Boolean;
+										port printing_var : ~PrinterDriver::PrinterVariables::PVar;
+										bind printing_var.value = printing;
+									}
+								}
+								part printerSvcs : Printer3D::PrinterServices {
+									action start_print {
+										in file : String;
+										out result : Boolean;
+									}
+									action is_ready { out result : Boolean; }
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	part printerDriver : PrinterDriver {
+		part params : PrinterDriver::PrinterParameters {
+			:>> ip = '192.168.1.50';
+			:>> ip_port = 4840;
+		}
+	}
+}
+`
+
+func main() {
+	res, err := sysml2conf.Run(model, sysml2conf.Options{Filename: "quickstart.sysml"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Factory)
+	fmt.Printf("generated in %v\n\n", res.GenerationTime)
+
+	fmt.Println("generated files:")
+	for _, f := range res.Bundle.AllFiles() {
+		fmt.Printf("  %-44s %5d bytes\n", f.Name, len(f.Data))
+	}
+
+	fmt.Println("\nper-machine intermediate JSON (step 1):")
+	fmt.Println(string(res.Bundle.JSON["machines/printer.json"]))
+}

@@ -1,0 +1,121 @@
+// Somprocess demonstrates the Service-oriented Manufacturing layer on top
+// of the generated configuration: machine functionality is exposed as
+// machine services, and a production process is composed as a sequence of
+// services spanning the warehouse, the AGV, the milling cell and quality
+// control — executed through the message broker with per-step retries.
+//
+//	go run ./examples/somprocess
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/deploy"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/som"
+)
+
+func main() {
+	factory, _, err := icelab.Build(icelab.ICELab())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, resolver, err := deploy.StartFleet(bundle.Intermediate.Machines, 50*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+	cluster := deploy.NewCluster(3, 32)
+	cluster.MachineEndpoints = resolver
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	reg := som.NewRegistry(bundle.Intermediate)
+	orch, err := som.NewOrchestrator(cluster.BrokerAddr(), reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer orch.Close()
+
+	fmt.Printf("service registry: %d machines, %d machine services\n", len(reg.Machines()), reg.Count())
+	for _, m := range reg.Machines() {
+		fmt.Printf("  %-12s %v\n", m, reg.Services(m))
+	}
+
+	// A cross-workcell production order: fetch material, transport it,
+	// machine it, fasten, inspect, and return the finished part.
+	order := som.Process{
+		Name: "produce-flange-42",
+		Steps: []som.Step{
+			{Machine: "warehouse", Service: "is_ready"},
+			{Machine: "warehouse", Service: "call_tray", Args: []any{42}},
+			{Machine: "rbKairos1", Service: "move_to", Args: []any{1.5, 0.0}},
+			{Machine: "rbKairos1", Service: "pick"},
+			{Machine: "rbKairos1", Service: "move_to", Args: []any{4.0, 2.5}},
+			{Machine: "rbKairos1", Service: "place"},
+			{Machine: "ur5", Service: "move_to_pose", Args: []any{0.4, 0.1, 0.3}},
+			{Machine: "emco", Service: "start_program", Args: []any{"programs/flange.nc"}, Retries: 2},
+			{Machine: "emco", Service: "stop_program"},
+			{Machine: "fiam", Service: "select_program", Args: []any{3}},
+			{Machine: "fiam", Service: "start_tightening"},
+			{Machine: "qualityPC", Service: "start_inspection", Args: []any{"flange-recipe"}},
+			{Machine: "qualityPC", Service: "get_result"},
+			{Machine: "warehouse", Service: "store_tray"},
+		},
+	}
+	if err := order.Validate(reg); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nexecuting process %q (%d steps)...\n", order.Name, len(order.Steps))
+	result, err := orch.Execute(order)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sr := range result.Steps {
+		fmt.Printf("  %-28s attempts=%d elapsed=%-8v results=%v\n",
+			sr.Step.Machine+"."+sr.Step.Service, sr.Attempts,
+			sr.Elapsed.Round(time.Millisecond), sr.Reply.Results)
+	}
+	fmt.Printf("process finished: %v in %v\n", result.Finished, result.Elapsed.Round(time.Millisecond))
+
+	// WaitReady: the mill reports busy right after start_program and
+	// becomes ready again shortly after.
+	if _, err := orch.Call("emco", "start_program", "programs/next.nc"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstarted another program; waiting for the mill to become ready again...")
+	if err := orch.WaitReady("emco", 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("emco ready — order complete")
+
+	// Processes do not have to be written in Go: the ICE Lab model itself
+	// contains production processes as actions performing machine services
+	// (see the "processes" part in the generated SysML); extract and run
+	// them directly.
+	_, model, err := icelab.Build(icelab.ICELab())
+	if err != nil {
+		log.Fatal(err)
+	}
+	modeled := som.FromModel(core.ExtractProcesses(model))
+	fmt.Printf("\nprocesses modeled in SysML v2: %d\n", len(modeled))
+	for _, proc := range modeled {
+		result, err := orch.Execute(proc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %2d steps, finished=%v in %v\n",
+			proc.Name, len(result.Steps), result.Finished, result.Elapsed.Round(time.Millisecond))
+	}
+}

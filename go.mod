@@ -1,0 +1,3 @@
+module github.com/smartfactory/sysml2conf
+
+go 1.22

@@ -1,0 +1,388 @@
+// Package broker implements the central message broker of the
+// service-oriented manufacturing architecture: topic-based publish/subscribe
+// over TCP with MQTT-style topic filters ("+" single-level and "#"
+// multi-level wildcards) and retained messages.
+//
+// All machinery data flows through the broker: OPC UA client bridges publish
+// machine variables to "factory/<area>/<workcell>/<machine>/<variable>"
+// topics, the historian subscribes to store them, and machine services are
+// invoked over request/reply topic pairs.
+package broker
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is one published datum. Payload is opaque bytes (most components
+// exchange JSON, but the broker does not require it).
+type Message struct {
+	Topic    string `json:"topic"`
+	Payload  []byte `json:"payload"`
+	Retained bool   `json:"retained,omitempty"`
+}
+
+// MatchTopic reports whether an MQTT-style filter matches a topic.
+// "+" matches one level, "#" (final level only) matches the rest.
+func MatchTopic(filter, topic string) bool {
+	f := strings.Split(filter, "/")
+	t := strings.Split(topic, "/")
+	for i, seg := range f {
+		if seg == "#" {
+			return i == len(f)-1
+		}
+		if i >= len(t) {
+			return false
+		}
+		if seg != "+" && seg != t[i] {
+			return false
+		}
+	}
+	return len(f) == len(t)
+}
+
+// ValidateFilter checks filter syntax: "#" only at the end, no empty filter.
+func ValidateFilter(filter string) error {
+	if filter == "" {
+		return errors.New("broker: empty topic filter")
+	}
+	segs := strings.Split(filter, "/")
+	for i, seg := range segs {
+		if seg == "#" && i != len(segs)-1 {
+			return fmt.Errorf("broker: %q: '#' must be the final level", filter)
+		}
+		if strings.Contains(seg, "#") && seg != "#" || strings.Contains(seg, "+") && seg != "+" {
+			return fmt.Errorf("broker: %q: wildcards must occupy a whole level", filter)
+		}
+	}
+	return nil
+}
+
+type subscription struct {
+	id     int
+	filter string
+	ch     chan Message
+}
+
+// Broker is the in-process pub/sub core; Serve exposes it over TCP.
+type Broker struct {
+	mu       sync.RWMutex
+	subs     map[int]*subscription
+	nextSub  int
+	retained map[string]Message
+	closed   bool
+
+	ln    net.Listener
+	wg    sync.WaitGroup
+	conns map[net.Conn]struct{}
+
+	// stats
+	published atomic.Uint64
+	delivered atomic.Uint64
+}
+
+// New creates a broker.
+func New() *Broker {
+	return &Broker{
+		subs:     map[int]*subscription{},
+		retained: map[string]Message{},
+		conns:    map[net.Conn]struct{}{},
+	}
+}
+
+// Publish delivers payload to every matching subscriber. When retain is
+// true the message is stored and replayed to future subscribers.
+func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+	if topic == "" || strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("broker: invalid publish topic %q", topic)
+	}
+	msg := Message{Topic: topic, Payload: append([]byte(nil), payload...), Retained: retain}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return errors.New("broker: closed")
+	}
+	if retain {
+		if len(payload) == 0 {
+			delete(b.retained, topic) // empty retained payload clears
+		} else {
+			b.retained[topic] = msg
+		}
+	}
+	b.published.Add(1)
+	// Delivery happens under the lock (sends are non-blocking) so that
+	// Unsubscribe cannot close a channel mid-send.
+	for _, s := range b.subs {
+		if MatchTopic(s.filter, topic) {
+			b.deliver(s, msg)
+		}
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// deliver performs a non-blocking drop-oldest send; callers hold b.mu.
+func (b *Broker) deliver(s *subscription, msg Message) {
+	select {
+	case s.ch <- msg:
+		b.delivered.Add(1)
+	default:
+		// Drop-oldest for slow consumers.
+		select {
+		case <-s.ch:
+		default:
+		}
+		select {
+		case s.ch <- msg:
+			b.delivered.Add(1)
+		default:
+		}
+	}
+}
+
+// Subscribe registers a filter; matching messages (and any retained
+// messages matching the filter) arrive on the returned channel.
+func (b *Broker) Subscribe(filter string) (int, <-chan Message, error) {
+	if err := ValidateFilter(filter); err != nil {
+		return 0, nil, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, nil, errors.New("broker: closed")
+	}
+	b.nextSub++
+	s := &subscription{id: b.nextSub, filter: filter, ch: make(chan Message, 256)}
+	b.subs[s.id] = s
+	for topic, msg := range b.retained {
+		if MatchTopic(filter, topic) {
+			b.deliver(s, msg)
+		}
+	}
+	b.mu.Unlock()
+	return s.id, s.ch, nil
+}
+
+// Unsubscribe cancels a subscription and closes its channel.
+func (b *Broker) Unsubscribe(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s, ok := b.subs[id]; ok {
+		delete(b.subs, id)
+		close(s.ch)
+	}
+}
+
+// Stats returns lifetime counters.
+func (b *Broker) Stats() (published, delivered uint64, subscriptions int) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.published.Load(), b.delivered.Load(), len(b.subs)
+}
+
+// Close shuts the broker down: the TCP listener stops, connections drop,
+// and all subscription channels close.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	for id, s := range b.subs {
+		delete(b.subs, id)
+		close(s.ch)
+	}
+	ln := b.ln
+	for c := range b.conns {
+		c.Close()
+	}
+	b.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+
+// frame ops
+const (
+	opPub   = "pub"
+	opSub   = "sub"
+	opUnsub = "unsub"
+	opMsg   = "msg"
+	opAck   = "ack"
+	opErr   = "err"
+)
+
+type frame struct {
+	ID      uint64 `json:"id,omitempty"`
+	Op      string `json:"op"`
+	Topic   string `json:"topic,omitempty"`
+	Payload []byte `json:"payload,omitempty"` // base64 on the wire
+	Retain  bool   `json:"retain,omitempty"`
+	SubID   int    `json:"subId,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+const maxFrame = 4 << 20
+
+func writeBrokerFrame(w io.Writer, f *frame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("broker: frame too large (%d)", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func readBrokerFrame(r *bufio.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("broker: oversized frame (%d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Serve starts the TCP listener at addr (port 0 picks a free port).
+func (b *Broker) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("broker: listen %s: %w", addr, err)
+	}
+	b.mu.Lock()
+	b.ln = ln
+	b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			b.mu.Lock()
+			if b.closed {
+				b.mu.Unlock()
+				conn.Close()
+				return
+			}
+			b.conns[conn] = struct{}{}
+			b.mu.Unlock()
+			b.wg.Add(1)
+			go b.handleConn(conn)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the TCP listen address ("" before Serve).
+func (b *Broker) Addr() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.ln == nil {
+		return ""
+	}
+	return b.ln.Addr().String()
+}
+
+func (b *Broker) handleConn(conn net.Conn) {
+	defer b.wg.Done()
+	defer func() {
+		b.mu.Lock()
+		delete(b.conns, conn)
+		b.mu.Unlock()
+		conn.Close()
+	}()
+
+	r := bufio.NewReader(conn)
+	var writeMu sync.Mutex
+	send := func(f *frame) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeBrokerFrame(conn, f)
+	}
+
+	mySubs := map[int]struct{}{}
+	var pumpWG sync.WaitGroup
+	defer func() {
+		for id := range mySubs {
+			b.Unsubscribe(id)
+		}
+		pumpWG.Wait()
+	}()
+
+	for {
+		f, err := readBrokerFrame(r)
+		if err != nil {
+			return
+		}
+		switch f.Op {
+		case opPub:
+			if err := b.Publish(f.Topic, f.Payload, f.Retain); err != nil {
+				_ = send(&frame{ID: f.ID, Op: opErr, Error: err.Error()})
+			} else {
+				_ = send(&frame{ID: f.ID, Op: opAck})
+			}
+		case opSub:
+			id, ch, err := b.Subscribe(f.Topic)
+			if err != nil {
+				_ = send(&frame{ID: f.ID, Op: opErr, Error: err.Error()})
+				continue
+			}
+			mySubs[id] = struct{}{}
+			_ = send(&frame{ID: f.ID, Op: opAck, SubID: id})
+			pumpWG.Add(1)
+			go func(id int, ch <-chan Message) {
+				defer pumpWG.Done()
+				for m := range ch {
+					if err := send(&frame{Op: opMsg, SubID: id, Topic: m.Topic, Payload: m.Payload, Retain: m.Retained}); err != nil {
+						return
+					}
+				}
+			}(id, ch)
+		case opUnsub:
+			if _, ok := mySubs[f.SubID]; ok {
+				b.Unsubscribe(f.SubID)
+				delete(mySubs, f.SubID)
+				_ = send(&frame{ID: f.ID, Op: opAck})
+			} else {
+				_ = send(&frame{ID: f.ID, Op: opErr, Error: fmt.Sprintf("unknown subscription %d", f.SubID)})
+			}
+		default:
+			_ = send(&frame{ID: f.ID, Op: opErr, Error: fmt.Sprintf("unknown op %q", f.Op)})
+		}
+	}
+}

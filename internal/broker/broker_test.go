@@ -1,0 +1,369 @@
+package broker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMatchTopic(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		{"a/b/c", "a/b/c", true},
+		{"a/b/c", "a/b", false},
+		{"a/b", "a/b/c", false},
+		{"a/+/c", "a/b/c", true},
+		{"a/+/c", "a/x/c", true},
+		{"a/+/c", "a/b/d", false},
+		{"a/#", "a/b/c", true},
+		{"a/#", "a", true}, // MQTT: the multi-level wildcard matches the parent level
+		{"a/#", "b", false},
+		{"#", "anything/at/all", true},
+		{"+", "one", true},
+		{"+", "one/two", false},
+		{"factory/+/+/+/values/#", "factory/line1/wc02/emco/values/AxesPositions/actualX", true},
+		{"factory/+/+/+/values/#", "factory/line1/wc02/emco/services/is_ready", false},
+	}
+	for _, c := range cases {
+		if got := MatchTopic(c.filter, c.topic); got != c.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestValidateFilter(t *testing.T) {
+	for _, ok := range []string{"a/b", "+/b", "a/#", "#", "+"} {
+		if err := ValidateFilter(ok); err != nil {
+			t.Errorf("ValidateFilter(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "a/#/b", "a/b#", "a/+x/c"} {
+		if err := ValidateFilter(bad); err == nil {
+			t.Errorf("ValidateFilter(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestMatchExactProperty(t *testing.T) {
+	f := func(segs []string) bool {
+		var clean []string
+		for _, s := range segs {
+			s = strings.Map(func(r rune) rune {
+				if r == '/' || r == '+' || r == '#' || r == 0 {
+					return 'x'
+				}
+				return r
+			}, s)
+			if s == "" {
+				s = "s"
+			}
+			clean = append(clean, s)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		topic := strings.Join(clean, "/")
+		// A topic always matches itself and "#".
+		return MatchTopic(topic, topic) && MatchTopic("#", topic)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInProcessPubSub(t *testing.T) {
+	b := New()
+	defer b.Close()
+	_, ch, err := b.Subscribe("sensors/+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("sensors/temp", []byte(`21.5`), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("other/x", []byte(`1`), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if m.Topic != "sensors/temp" || string(m.Payload) != "21.5" {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no message")
+	}
+	select {
+	case m := <-ch:
+		t.Errorf("unexpected second message %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestRetainedMessages(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if err := b.Publish("state/mode", []byte(`"auto"`), true); err != nil {
+		t.Fatal(err)
+	}
+	_, ch, err := b.Subscribe("state/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if !m.Retained || string(m.Payload) != `"auto"` {
+			t.Errorf("retained replay = %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("retained message not replayed")
+	}
+	// Clearing with empty payload stops future replays.
+	if err := b.Publish("state/mode", nil, true); err != nil {
+		t.Fatal(err)
+	}
+	_, ch2, _ := b.Subscribe("state/#")
+	select {
+	case m := <-ch2:
+		if m.Retained && len(m.Payload) > 0 {
+			t.Errorf("cleared retained message replayed: %+v", m)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPublishInvalidTopic(t *testing.T) {
+	b := New()
+	defer b.Close()
+	for _, topic := range []string{"", "a/+", "a/#"} {
+		if err := b.Publish(topic, []byte(`1`), false); err == nil {
+			t.Errorf("Publish(%q) should fail", topic)
+		}
+	}
+}
+
+func TestTCPPubSub(t *testing.T) {
+	b := New()
+	if err := b.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	sub, err := DialClient(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := DialClient(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	_, ch, err := sub.Subscribe("factory/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("factory/wc02/emco/actualX", []byte(`12.25`), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if m.Topic != "factory/wc02/emco/actualX" || string(m.Payload) != "12.25" {
+			t.Errorf("got %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no message over TCP")
+	}
+}
+
+func TestTCPUnsubscribe(t *testing.T) {
+	b := New()
+	if err := b.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := DialClient(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, ch, err := c.Subscribe("x/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Publish("x/y", []byte(`1`), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m, ok := <-ch:
+		if ok {
+			t.Errorf("message after unsubscribe: %+v", m)
+		}
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	b := New()
+	if err := b.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Responder echoes requests onto the reply topic.
+	responder, err := DialClient(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer responder.Close()
+	_, reqCh, err := responder.Subscribe("svc/is_ready/request")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for m := range reqCh {
+			_ = responder.Publish("svc/is_ready/response", append([]byte(`{"ok":true,"req":`), append(m.Payload, '}')...), false)
+		}
+	}()
+
+	caller, err := DialClient(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+	reply, err := caller.Request("svc/is_ready/request", "svc/is_ready/response", []byte(`1`), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != `{"ok":true,"req":1}` {
+		t.Errorf("reply = %s", reply)
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := New()
+	defer b.Close()
+	_, ch, err := b.Subscribe("load/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const publishers, each = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = b.Publish(fmt.Sprintf("load/p%d", p), []byte(`1`), false)
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	var received int
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ch:
+				received++
+				if received == publishers*each {
+					return
+				}
+			case <-time.After(300 * time.Millisecond):
+				return // stream went quiet
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	// The broker's contract is drop-oldest for slow consumers, so exact
+	// delivery is not guaranteed under load; the counters must be
+	// consistent though, and nothing may deadlock.
+	if received == 0 || received > publishers*each {
+		t.Errorf("received %d, want 1..%d", received, publishers*each)
+	}
+	pub, delivered, _ := b.Stats()
+	if pub != publishers*each {
+		t.Errorf("published counter = %d, want %d", pub, publishers*each)
+	}
+	if delivered < uint64(received) {
+		t.Errorf("delivered counter %d < received %d", delivered, received)
+	}
+}
+
+func TestCloseClosesSubscriberChannels(t *testing.T) {
+	b := New()
+	_, ch, err := b.Subscribe("a/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("expected closed channel")
+		}
+	case <-time.After(time.Second):
+		t.Error("channel not closed on broker close")
+	}
+	if err := b.Publish("a/b", []byte(`1`), false); err == nil {
+		t.Error("publish after close should fail")
+	}
+}
+
+// TestSubscribeUnsubscribeChurn: concurrent subscribe/unsubscribe while a
+// publisher fires must not race or panic (regression for the
+// close-during-deliver race).
+func TestSubscribeUnsubscribeChurn(t *testing.T) {
+	b := New()
+	defer b.Close()
+
+	stop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = b.Publish("churn/x", []byte(`1`), false)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id, ch, err := b.Subscribe("churn/#")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				select {
+				case <-ch:
+				default:
+				}
+				b.Unsubscribe(id)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pubWG.Wait()
+	if _, _, subs := b.Stats(); subs != 0 {
+		t.Errorf("leaked %d subscriptions", subs)
+	}
+}

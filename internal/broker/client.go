@@ -1,0 +1,211 @@
+package broker
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a TCP connection to a Broker.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *frame
+	subs    map[int]chan Message
+	closed  bool
+	readErr error
+
+	writeMu sync.Mutex
+	timeout time.Duration
+	done    chan struct{}
+}
+
+// DialClient connects to a broker at addr.
+func DialClient(addr string) (*Client, error) {
+	return DialClientTimeout(addr, 5*time.Second)
+}
+
+// DialClientTimeout connects with an explicit timeout used for dialing and
+// for each request/ack round trip.
+func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("broker client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan *frame{},
+		subs:    map[int]chan Message{},
+		timeout: timeout,
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close drops the connection; subscription channels close.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	r := bufio.NewReader(c.conn)
+	for {
+		f, err := readBrokerFrame(r)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			for id, ch := range c.subs {
+				close(ch)
+				delete(c.subs, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if f.Op == opMsg {
+			// Deliver under the lock so Unsubscribe cannot close the
+			// channel mid-send (drop-oldest for slow consumers).
+			c.mu.Lock()
+			if ch := c.subs[f.SubID]; ch != nil {
+				msg := Message{Topic: f.Topic, Payload: f.Payload, Retained: f.Retain}
+				select {
+				case ch <- msg:
+				default:
+					select {
+					case <-ch:
+					default:
+					}
+					select {
+					case ch <- msg:
+					default:
+					}
+				}
+			}
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+			close(ch)
+		}
+	}
+}
+
+func (c *Client) roundTrip(f *frame) (*frame, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("broker client: closed")
+	}
+	c.nextID++
+	f.ID = c.nextID
+	ch := make(chan *frame, 1)
+	c.pending[f.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeBrokerFrame(c.conn, f)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("broker client: send: %w", err)
+	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("broker client: connection lost: %v", c.readErr)
+		}
+		if resp.Op == opErr {
+			return nil, fmt.Errorf("broker: %s", resp.Error)
+		}
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("broker client: %s timed out after %v", f.Op, c.timeout)
+	}
+}
+
+// Publish sends payload to a topic.
+func (c *Client) Publish(topic string, payload []byte, retain bool) error {
+	_, err := c.roundTrip(&frame{Op: opPub, Topic: topic, Payload: payload, Retain: retain})
+	return err
+}
+
+// Subscribe registers a topic filter; messages arrive on the returned
+// channel until Unsubscribe or connection loss.
+func (c *Client) Subscribe(filter string) (int, <-chan Message, error) {
+	resp, err := c.roundTrip(&frame{Op: opSub, Topic: filter})
+	if err != nil {
+		return 0, nil, err
+	}
+	ch := make(chan Message, 256)
+	c.mu.Lock()
+	c.subs[resp.SubID] = ch
+	c.mu.Unlock()
+	return resp.SubID, ch, nil
+}
+
+// Unsubscribe cancels a subscription.
+func (c *Client) Unsubscribe(id int) error {
+	_, err := c.roundTrip(&frame{Op: opUnsub, SubID: id})
+	c.mu.Lock()
+	if ch, ok := c.subs[id]; ok {
+		delete(c.subs, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// Request publishes to reqTopic and waits for one reply on respTopic
+// (a simple request/reply convention used for machine services).
+func (c *Client) Request(reqTopic, respTopic string, payload []byte, timeout time.Duration) ([]byte, error) {
+	subID, ch, err := c.Subscribe(respTopic)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Unsubscribe(subID) }()
+	if err := c.Publish(reqTopic, payload, false); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return nil, errors.New("broker client: connection lost awaiting reply")
+		}
+		return m.Payload, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("broker client: no reply on %s after %v", respTopic, timeout)
+	}
+}

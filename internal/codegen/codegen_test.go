@@ -1,0 +1,372 @@
+package codegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/k8s"
+)
+
+// mc builds a synthetic machine config with the given sizes.
+func mc(name, workcell string, vars, methods int) MachineConfig {
+	m := MachineConfig{Machine: name, Workcell: workcell, Line: "line",
+		Server: ServerNameFor(workcell)}
+	for i := 0; i < vars; i++ {
+		m.Variables = append(m.Variables, VarConfig{Name: fmt.Sprintf("v%d", i), Path: fmt.Sprintf("v%d", i)})
+	}
+	for i := 0; i < methods; i++ {
+		m.Methods = append(m.Methods, MethodConfig{Name: fmt.Sprintf("m%d", i)})
+	}
+	return m
+}
+
+func groupSizes(groups [][]MachineConfig) []int {
+	var out []int
+	for _, g := range groups {
+		out = append(out, len(g))
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestGroupFFDPacksUnderCapacity(t *testing.T) {
+	machines := []MachineConfig{
+		mc("a", "w1", 60, 5), mc("b", "w1", 50, 5),
+		mc("c", "w2", 40, 5), mc("d", "w2", 30, 5),
+		mc("e", "w3", 20, 5),
+	}
+	groups, report := Group(machines, Options{MaxVarsPerClient: 100, MaxMethodsPerClient: 40})
+	if report.Clients != len(groups) {
+		t.Errorf("report clients %d != %d groups", report.Clients, len(groups))
+	}
+	for _, g := range groups {
+		vars, methods := 0, 0
+		for _, m := range g {
+			vars += len(m.Variables)
+			methods += len(m.Methods)
+		}
+		if vars > 100 || methods > 40 {
+			t.Errorf("group over capacity: %d vars %d methods", vars, methods)
+		}
+	}
+	// 200 total variables cannot fit in one 100-var client; FFD uses 2:
+	// (60+40)=100 and (50+30+20)=100.
+	if len(groups) != 2 {
+		t.Errorf("groups = %d (%v), want 2", len(groups), groupSizes(groups))
+	}
+}
+
+func TestGroupOversizedGetsDedicatedClient(t *testing.T) {
+	machines := []MachineConfig{
+		mc("big", "w1", 500, 5),
+		mc("tiny1", "w1", 5, 2), mc("tiny2", "w2", 5, 2),
+	}
+	groups, report := Group(machines, Options{MaxVarsPerClient: 100, MaxMethodsPerClient: 40})
+	if report.Oversized != 1 {
+		t.Errorf("oversized = %d, want 1", report.Oversized)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want dedicated + shared", groupSizes(groups))
+	}
+	// No tiny machine should ride on the oversized bin.
+	for _, g := range groups {
+		if len(g) > 1 {
+			for _, m := range g {
+				if m.Machine == "big" {
+					t.Error("tiny machines packed into the oversized client")
+				}
+			}
+		}
+	}
+}
+
+func TestGroupPerMachineBaseline(t *testing.T) {
+	machines := []MachineConfig{mc("a", "w1", 1, 1), mc("b", "w1", 1, 1), mc("c", "w2", 1, 1)}
+	groups, report := Group(machines, Options{Strategy: GroupPerMachine})
+	if len(groups) != 3 || report.Clients != 3 {
+		t.Errorf("per-machine groups = %d", len(groups))
+	}
+}
+
+func TestGroupPerWorkcell(t *testing.T) {
+	machines := []MachineConfig{
+		mc("a", "w1", 10, 2), mc("b", "w1", 10, 2),
+		mc("c", "w2", 10, 2),
+	}
+	groups, _ := Group(machines, Options{Strategy: GroupPerWorkcell, MaxVarsPerClient: 100, MaxMethodsPerClient: 40})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want one per workcell", len(groups))
+	}
+	for _, g := range groups {
+		wc := g[0].Workcell
+		for _, m := range g {
+			if m.Workcell != wc {
+				t.Error("per-workcell group mixes workcells")
+			}
+		}
+	}
+}
+
+// TestGroupNeverSplitsOrDropsProperty: every machine appears in exactly one
+// group, for arbitrary machine sizes and capacities.
+func TestGroupNeverSplitsOrDropsProperty(t *testing.T) {
+	f := func(sizes []uint8, capVars, capMeths uint8) bool {
+		if len(sizes) > 40 {
+			sizes = sizes[:40]
+		}
+		var machines []MachineConfig
+		for i, s := range sizes {
+			machines = append(machines, mc(fmt.Sprintf("m%d", i), fmt.Sprintf("w%d", i%3),
+				int(s%50), int(s%7)))
+		}
+		opts := Options{MaxVarsPerClient: int(capVars%60) + 1, MaxMethodsPerClient: int(capMeths%10) + 1}
+		for _, strategy := range []GroupingStrategy{GroupFFD, GroupPerMachine, GroupPerWorkcell} {
+			opts.Strategy = strategy
+			groups, _ := Group(machines, opts)
+			seen := map[string]int{}
+			for _, g := range groups {
+				for _, m := range g {
+					seen[m.Machine]++
+				}
+			}
+			if len(seen) != len(machines) {
+				return false
+			}
+			for _, n := range seen {
+				if n != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFFDNotWorseThanPerMachineProperty: grouping exists to minimize
+// clients, so FFD must never produce more groups than the baseline.
+func TestFFDNotWorseThanPerMachineProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 30 {
+			sizes = sizes[:30]
+		}
+		var machines []MachineConfig
+		for i, s := range sizes {
+			machines = append(machines, mc(fmt.Sprintf("m%d", i), "w", int(s%120), int(s%9)))
+		}
+		opts := Options{MaxVarsPerClient: 100, MaxMethodsPerClient: 40}
+		ffd, _ := Group(machines, opts)
+		opts.Strategy = GroupPerMachine
+		base, _ := Group(machines, opts)
+		return len(ffd) <= len(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildIntermediateServersPerWorkcell(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	in, err := BuildIntermediate(factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Servers) != 6 {
+		t.Fatalf("servers = %d, want 6", len(in.Servers))
+	}
+	ports := map[int]bool{}
+	for _, s := range in.Servers {
+		if ports[s.Port] {
+			t.Errorf("duplicate server port %d", s.Port)
+		}
+		ports[s.Port] = true
+		if len(s.Machines) == 0 {
+			t.Errorf("server %s has no machines", s.Name)
+		}
+	}
+	// workCell02 hosts both emco and ur5.
+	for _, s := range in.Servers {
+		if s.Workcell == "workCell02" && len(s.Machines) != 2 {
+			t.Errorf("workcell02 machines = %v", s.Machines)
+		}
+	}
+}
+
+func TestTopicAndNodeIDLayout(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	in, err := BuildIntermediate(factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mcfg := range in.Machines {
+		for _, v := range mcfg.Variables {
+			wantTopic := fmt.Sprintf("factory/%s/%s/%s/values/%s", mcfg.Line, mcfg.Workcell, mcfg.Machine, v.Path)
+			if v.Topic != wantTopic {
+				t.Fatalf("topic = %q, want %q", v.Topic, wantTopic)
+			}
+			if !strings.HasPrefix(v.NodeID, "ns=1;s="+mcfg.Machine+"/") {
+				t.Fatalf("node id = %q", v.NodeID)
+			}
+		}
+		for _, m := range mcfg.Methods {
+			if !strings.HasSuffix(m.RequestTopic, "/request") || !strings.HasSuffix(m.ResponseTopic, "/response") {
+				t.Fatalf("method topics = %q / %q", m.RequestTopic, m.ResponseTopic)
+			}
+		}
+	}
+}
+
+func TestStorageTopicsCoverGroupMachines(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	in, err := BuildIntermediate(factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Storage) != len(in.Clients) {
+		t.Fatalf("storage configs = %d, clients = %d", len(in.Storage), len(in.Clients))
+	}
+	for i, sc := range in.Storage {
+		if len(sc.Topics) != len(in.Clients[i].Machines) {
+			t.Errorf("%s topics = %d, machines = %d", sc.Name, len(sc.Topics), len(in.Clients[i].Machines))
+		}
+	}
+}
+
+func TestJSONFilesWellFormed(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	in, err := BuildIntermediate(factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := in.JSONFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range files {
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Errorf("%s: invalid JSON: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateManifestsDecodeAndValidate(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	bundle, err := Generate(factory, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []k8s.Object
+	kinds := map[string]int{}
+	for name, data := range bundle.Manifests {
+		o, err := k8s.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, obj := range o {
+			kinds[obj.Kind()]++
+		}
+		objs = append(objs, o...)
+	}
+	if err := k8s.Validate(objs); err != nil {
+		t.Fatal(err)
+	}
+	// 1 namespace; broker deployment+service; per server CM+Deploy+Svc;
+	// per client CM+Deploy; per historian CM+Deploy; per monitor CM+Deploy.
+	if kinds["Namespace"] != 1 {
+		t.Errorf("namespaces = %d", kinds["Namespace"])
+	}
+	if kinds["Deployment"] != 1+6+4+4+3 { // broker, servers, clients, historians, 2 wc + 1 line monitor
+		t.Errorf("deployments = %d, want 18", kinds["Deployment"])
+	}
+	if kinds["Service"] != 1+6 {
+		t.Errorf("services = %d, want 7", kinds["Service"])
+	}
+	if kinds["ConfigMap"] != 6+4+4+3 {
+		t.Errorf("configmaps = %d, want 17", kinds["ConfigMap"])
+	}
+}
+
+func TestGenerateEmbeddedConfigsRoundTrip(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	bundle, err := Generate(factory, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The machine JSON embedded in the workcell02 server ConfigMap must
+	// decode back to the same MachineConfig as the standalone JSON file.
+	data := bundle.Manifests["manifests/10-opcua-server-workcell02.yaml"]
+	if data == nil {
+		t.Fatal("workcell02 manifest missing")
+	}
+	objs, err := k8s.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmData map[string]string
+	for _, o := range objs {
+		if o.Kind() == "ConfigMap" {
+			cmData = o.ConfigData()
+		}
+	}
+	raw, ok := cmData["machine-emco.json"]
+	if !ok {
+		t.Fatalf("ConfigMap keys = %v", keysOf(cmData))
+	}
+	var embedded MachineConfig
+	if err := json.Unmarshal([]byte(raw), &embedded); err != nil {
+		t.Fatal(err)
+	}
+	if embedded.Machine != "emco" || len(embedded.Variables) != 34 || len(embedded.Methods) != 19 {
+		t.Errorf("embedded config = %s %d/%d", embedded.Machine, len(embedded.Variables), len(embedded.Methods))
+	}
+}
+
+func keysOf(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"workCell02": "workcell02",
+		"WC 01/a":    "wc-01-a",
+		"--x--":      "x",
+		"ICE Lab #1": "ice-lab--1",
+		"":           "x",
+		"..":         "x",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxVarsPerClient != 100 || o.MaxMethodsPerClient != 40 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if o.BaseServerPort != 4840 {
+		t.Errorf("base port = %d", o.BaseServerPort)
+	}
+	custom := Options{MaxVarsPerClient: 7}.withDefaults()
+	if custom.MaxVarsPerClient != 7 {
+		t.Error("explicit option overridden")
+	}
+}

@@ -1,0 +1,87 @@
+package codegen
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diff captures what changes between two generated bundles — the
+// reconfiguration plan when the SysML model evolves (machine added,
+// variable renamed, driver endpoint moved, ...). The paper's conclusion
+// highlights "ensuring consistency between the SysML model and the actual
+// implementation"; Diff makes model-driven reconfiguration incremental:
+// only the listed files need to be re-applied.
+type Diff struct {
+	Added   []string // files only in the new bundle
+	Removed []string // files only in the old bundle
+	Changed []string // files present in both with different content
+	Same    int      // unchanged file count
+}
+
+// Empty reports whether the bundles are identical.
+func (d Diff) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}
+
+// String renders a compact summary.
+func (d Diff) String() string {
+	if d.Empty() {
+		return "no changes"
+	}
+	return fmt.Sprintf("+%d -%d ~%d (=%d)", len(d.Added), len(d.Removed), len(d.Changed), d.Same)
+}
+
+// Describe renders the full file lists, one per line, prefixed +/-/~.
+func (d Diff) Describe() string {
+	var b strings.Builder
+	for _, f := range d.Added {
+		fmt.Fprintf(&b, "+ %s\n", f)
+	}
+	for _, f := range d.Removed {
+		fmt.Fprintf(&b, "- %s\n", f)
+	}
+	for _, f := range d.Changed {
+		fmt.Fprintf(&b, "~ %s\n", f)
+	}
+	return b.String()
+}
+
+// DiffBundles compares two generated bundles file-by-file.
+func DiffBundles(old, new *Bundle) Diff {
+	oldFiles := bundleFileMap(old)
+	newFiles := bundleFileMap(new)
+	var d Diff
+	for name, data := range newFiles {
+		oldData, ok := oldFiles[name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, name)
+		case !bytes.Equal(oldData, data):
+			d.Changed = append(d.Changed, name)
+		default:
+			d.Same++
+		}
+	}
+	for name := range oldFiles {
+		if _, ok := newFiles[name]; !ok {
+			d.Removed = append(d.Removed, name)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Changed)
+	return d
+}
+
+func bundleFileMap(b *Bundle) map[string][]byte {
+	out := make(map[string][]byte, len(b.JSON)+len(b.Manifests))
+	for name, data := range b.JSON {
+		out[name] = data
+	}
+	for name, data := range b.Manifests {
+		out[name] = data
+	}
+	return out
+}

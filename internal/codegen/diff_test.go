@@ -1,0 +1,131 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+func generateFor(t *testing.T, spec icelab.FactorySpec) *Bundle {
+	t.Helper()
+	factory := icelab.MustBuild(spec)
+	bundle, err := Generate(factory, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bundle
+}
+
+func TestDiffIdenticalBundles(t *testing.T) {
+	a := generateFor(t, icelab.ICELab())
+	b := generateFor(t, icelab.ICELab())
+	d := DiffBundles(a, b)
+	if !d.Empty() {
+		t.Errorf("diff of identical models = %s\n%s", d, d.Describe())
+	}
+	if d.Same != len(a.JSON)+len(a.Manifests) {
+		t.Errorf("same count = %d", d.Same)
+	}
+	if d.String() != "no changes" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestDiffMachineAdded(t *testing.T) {
+	base := icelab.ICELab()
+	old := generateFor(t, base)
+
+	// Add a third AGV to workcell 06.
+	grown := icelab.ICELab()
+	extra := grown.Machines[len(grown.Machines)-1] // rbKairos2
+	extra.Name = "rbKairos3"
+	extra.IP = "10.197.12.73"
+	extra.Port = 4849
+	grown.Machines = append(grown.Machines, extra)
+	new := generateFor(t, grown)
+
+	d := DiffBundles(old, new)
+	if d.Empty() {
+		t.Fatal("expected changes")
+	}
+	// The new machine's JSON must be an added file.
+	foundAdded := false
+	for _, f := range d.Added {
+		if strings.Contains(f, "rbkairos3") {
+			foundAdded = true
+		}
+	}
+	if !foundAdded {
+		t.Errorf("added files = %v, want machines/rbkairos3.json", d.Added)
+	}
+	// The workcell06 server config changes (hosts one more machine); the
+	// untouched workcells' manifests must be unchanged.
+	changed := strings.Join(d.Changed, " ")
+	if !strings.Contains(changed, "workcell06") {
+		t.Errorf("changed = %v, want workcell06 server update", d.Changed)
+	}
+	for _, f := range d.Changed {
+		if strings.Contains(f, "workcell01") || strings.Contains(f, "workcell03") ||
+			strings.Contains(f, "workcell04") {
+			t.Errorf("unrelated workcell manifest changed: %s", f)
+		}
+	}
+	if d.Same == 0 {
+		t.Error("nothing survived unchanged; diff should be incremental")
+	}
+	if d.Removed != nil {
+		t.Errorf("removed = %v, want none", d.Removed)
+	}
+}
+
+func TestDiffDriverParameterChange(t *testing.T) {
+	old := generateFor(t, icelab.ICELab())
+	moved := icelab.ICELab()
+	for i := range moved.Machines {
+		if moved.Machines[i].Name == "emco" {
+			moved.Machines[i].IP = "10.197.99.99"
+		}
+	}
+	new := generateFor(t, moved)
+	d := DiffBundles(old, new)
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Errorf("ip change should not add/remove files: %s", d.Describe())
+	}
+	// Exactly the EMCO machine JSON and its workcell server manifest carry
+	// the endpoint.
+	for _, f := range d.Changed {
+		if !strings.Contains(f, "emco") && !strings.Contains(f, "workcell02") {
+			t.Errorf("unexpected changed file %s", f)
+		}
+	}
+	if len(d.Changed) == 0 {
+		t.Error("ip change produced no diff")
+	}
+}
+
+func TestDiffMachineRemoved(t *testing.T) {
+	old := generateFor(t, icelab.ICELab())
+	shrunk := icelab.ICELab()
+	var kept []icelab.MachineSpec
+	for _, m := range shrunk.Machines {
+		if m.Name != "fiam" {
+			kept = append(kept, m)
+		}
+	}
+	shrunk.Machines = kept
+	new := generateFor(t, shrunk)
+	d := DiffBundles(old, new)
+	foundRemoved := false
+	for _, f := range d.Removed {
+		if strings.Contains(f, "fiam") {
+			foundRemoved = true
+		}
+	}
+	if !foundRemoved {
+		t.Errorf("removed = %v, want machines/fiam.json", d.Removed)
+	}
+	if d.Describe() == "" {
+		t.Error("Describe empty")
+	}
+}

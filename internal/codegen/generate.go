@@ -1,0 +1,198 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"text/template"
+
+	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/k8s"
+)
+
+// Bundle is the complete generated configuration: the step-1 intermediate
+// JSON files and the step-2 Kubernetes manifests, plus a summary matching
+// the quantities reported in the paper's Table I last row.
+type Bundle struct {
+	Intermediate *Intermediate
+	// JSON maps "machines/emco.json"-style paths to step-1 artifacts.
+	JSON map[string][]byte
+	// Manifests maps "manifests/10-opcua-server-....yaml" paths to YAML.
+	Manifests map[string][]byte
+	Summary   Summary
+}
+
+// Summary mirrors the last row of Table I.
+type Summary struct {
+	Servers     int `json:"opcuaServers"`
+	Clients     int `json:"opcuaClients"`
+	Monitors    int `json:"monitors"`
+	ConfigBytes int `json:"configBytes"` // total size of all generated files
+	JSONBytes   int `json:"jsonBytes"`
+	YAMLBytes   int `json:"yamlBytes"`
+	Files       int `json:"files"`
+	Machines    int `json:"machines"`
+	Variables   int `json:"variables"`
+	Services    int `json:"services"`
+}
+
+// GenOptions tunes the full pipeline.
+type GenOptions struct {
+	Options           // step 1 options
+	Namespace  string // Kubernetes namespace (default: factory name)
+	Images     Images // container images (default: DefaultImages)
+	BrokerPort int    // broker service port (default 1883)
+}
+
+func (o GenOptions) withDefaults(factory string) GenOptions {
+	o.Options = o.Options.withDefaults()
+	if o.Namespace == "" {
+		o.Namespace = sanitizeName(factory)
+	}
+	if o.Images == (Images{}) {
+		o.Images = DefaultImages
+	}
+	if o.BrokerPort <= 0 {
+		o.BrokerPort = 1883
+	}
+	return o
+}
+
+// Generate runs the full two-step pipeline on an extracted factory.
+func Generate(f *core.Factory, opts GenOptions) (*Bundle, error) {
+	opts = opts.withDefaults(f.Name)
+
+	in, err := BuildIntermediate(f, opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	jsonFiles, err := in.JSONFiles()
+	if err != nil {
+		return nil, err
+	}
+
+	manifests := map[string][]byte{}
+	put := func(name string, data []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		manifests["manifests/"+name] = data
+		return nil
+	}
+
+	type nsData struct {
+		Namespace, Factory string
+	}
+	if err := putRender(put, "00-namespace.yaml", namespaceTmpl,
+		nsData{Namespace: opts.Namespace, Factory: sanitizeName(f.Name)}); err != nil {
+		return nil, err
+	}
+
+	brokerAddr := fmt.Sprintf("message-broker.%s.svc:%d", opts.Namespace, opts.BrokerPort)
+	if err := putRender(put, "01-broker.yaml", brokerTmpl, map[string]any{
+		"Namespace": opts.Namespace, "Images": opts.Images, "BrokerPort": opts.BrokerPort,
+	}); err != nil {
+		return nil, err
+	}
+
+	machinesByServer := map[string][]MachineConfig{}
+	for _, mc := range in.Machines {
+		machinesByServer[mc.Server] = append(machinesByServer[mc.Server], mc)
+	}
+	for i, srv := range in.Servers {
+		name := fmt.Sprintf("10-%s.yaml", sanitizeName(srv.Name))
+		if err := putRender(put, name, serverTmpl, map[string]any{
+			"Namespace": opts.Namespace, "Images": opts.Images,
+			"Server": srv, "Machines": machinesByServer[srv.Name],
+		}); err != nil {
+			return nil, err
+		}
+		_ = i
+	}
+	for _, cc := range in.Clients {
+		name := fmt.Sprintf("20-%s.yaml", sanitizeName(cc.Name))
+		if err := putRender(put, name, clientTmpl, map[string]any{
+			"Namespace": opts.Namespace, "Images": opts.Images,
+			"Client": cc, "BrokerAddr": brokerAddr,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range in.Storage {
+		name := fmt.Sprintf("30-%s.yaml", sanitizeName(st.Name))
+		if err := putRender(put, name, historianTmpl, map[string]any{
+			"Namespace": opts.Namespace, "Images": opts.Images,
+			"Storage": st, "BrokerAddr": brokerAddr,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, mo := range in.Monitors {
+		name := fmt.Sprintf("40-%s.yaml", sanitizeName(mo.Name))
+		if err := putRender(put, name, monitorTmpl, map[string]any{
+			"Namespace": opts.Namespace, "Images": opts.Images,
+			"Monitor": mo, "BrokerAddr": brokerAddr,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sanity: everything we emitted must be valid manifest YAML.
+	for name, data := range manifests {
+		objs, err := k8s.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: generated %s does not parse: %w", name, err)
+		}
+		if err := k8s.Validate(objs); err != nil {
+			return nil, fmt.Errorf("codegen: generated %s invalid: %w", name, err)
+		}
+	}
+
+	b := &Bundle{Intermediate: in, JSON: jsonFiles, Manifests: manifests}
+	b.Summary = summarize(f, in, jsonFiles, manifests)
+	return b, nil
+}
+
+func putRender(put func(string, []byte, error) error, name string, t *template.Template, data any) error {
+	out, err := render(t, data)
+	return put(name, out, err)
+}
+
+func summarize(f *core.Factory, in *Intermediate, jsonFiles, manifests map[string][]byte) Summary {
+	s := Summary{
+		Servers:  len(in.Servers),
+		Clients:  len(in.Clients),
+		Monitors: len(in.Monitors),
+		Machines: len(in.Machines),
+	}
+	for _, data := range jsonFiles {
+		s.JSONBytes += len(data)
+		s.Files++
+	}
+	for _, data := range manifests {
+		s.YAMLBytes += len(data)
+		s.Files++
+	}
+	s.ConfigBytes = s.JSONBytes + s.YAMLBytes
+	s.Variables = f.TotalVariables()
+	s.Services = f.TotalServices()
+	return s
+}
+
+// AllFiles returns every generated file (JSON + manifests) sorted by path.
+func (b *Bundle) AllFiles() []NamedFile {
+	var out []NamedFile
+	for name, data := range b.JSON {
+		out = append(out, NamedFile{Name: name, Data: data})
+	}
+	for name, data := range b.Manifests {
+		out = append(out, NamedFile{Name: name, Data: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedFile pairs a generated file path with its contents.
+type NamedFile struct {
+	Name string
+	Data []byte
+}

@@ -1,0 +1,173 @@
+package codegen
+
+import (
+	"sort"
+)
+
+// GroupingStrategy selects how machines are packed into OPC UA client
+// modules.
+type GroupingStrategy int
+
+const (
+	// GroupFFD packs machines with First-Fit-Decreasing bin packing on the
+	// (variables, methods) vector — the paper's "grouping multiple machines
+	// by considering the maximum number of variables and methods supported
+	// by each OPC UA client module", minimizing client count.
+	GroupFFD GroupingStrategy = iota
+	// GroupPerMachine is the naive baseline the grouping replaces: one
+	// client module per machine.
+	GroupPerMachine
+	// GroupPerWorkcell packs all machines of a workcell into one client
+	// (splitting when over capacity) — an intermediate ablation point.
+	GroupPerWorkcell
+)
+
+func (s GroupingStrategy) String() string {
+	switch s {
+	case GroupFFD:
+		return "ffd"
+	case GroupPerMachine:
+		return "per-machine"
+	case GroupPerWorkcell:
+		return "per-workcell"
+	}
+	return "strategy?"
+}
+
+// GroupingReport summarizes a grouping decision for diagnostics and the
+// experiment harness.
+type GroupingReport struct {
+	Strategy     string `json:"strategy"`
+	MaxVars      int    `json:"maxVars"`
+	MaxMethods   int    `json:"maxMethods"`
+	Machines     int    `json:"machines"`
+	Clients      int    `json:"clients"`
+	Oversized    int    `json:"oversized"` // machines exceeding capacity alone
+	TotalVars    int    `json:"totalVars"`
+	TotalMethods int    `json:"totalMethods"`
+}
+
+// Group packs machine configs into client groups under the option's
+// capacities. Machines whose variable or method count alone exceeds the
+// capacity get a dedicated client module (they cannot be split across
+// modules without splitting a machine's subscription set).
+func Group(machines []MachineConfig, opts Options) ([][]MachineConfig, GroupingReport) {
+	opts = opts.withDefaults()
+	report := GroupingReport{
+		Strategy:   opts.Strategy.String(),
+		MaxVars:    opts.MaxVarsPerClient,
+		MaxMethods: opts.MaxMethodsPerClient,
+		Machines:   len(machines),
+	}
+	for _, m := range machines {
+		report.TotalVars += len(m.Variables)
+		report.TotalMethods += len(m.Methods)
+	}
+
+	var groups [][]MachineConfig
+	switch opts.Strategy {
+	case GroupPerMachine:
+		for _, m := range machines {
+			groups = append(groups, []MachineConfig{m})
+		}
+	case GroupPerWorkcell:
+		groups = groupPerWorkcell(machines, opts, &report)
+	default:
+		groups = groupFFD(machines, opts, &report)
+	}
+	report.Clients = len(groups)
+	return groups, report
+}
+
+type bin struct {
+	vars, methods int
+	items         []MachineConfig
+}
+
+func fits(b *bin, m *MachineConfig, opts Options) bool {
+	return b.vars+len(m.Variables) <= opts.MaxVarsPerClient &&
+		b.methods+len(m.Methods) <= opts.MaxMethodsPerClient
+}
+
+func groupFFD(machines []MachineConfig, opts Options, report *GroupingReport) [][]MachineConfig {
+	// Sort decreasing by variable count (methods tie-break), the classic
+	// FFD ordering.
+	sorted := append([]MachineConfig(nil), machines...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if len(sorted[i].Variables) != len(sorted[j].Variables) {
+			return len(sorted[i].Variables) > len(sorted[j].Variables)
+		}
+		return len(sorted[i].Methods) > len(sorted[j].Methods)
+	})
+
+	var bins []*bin
+	for i := range sorted {
+		m := &sorted[i]
+		if len(m.Variables) > opts.MaxVarsPerClient || len(m.Methods) > opts.MaxMethodsPerClient {
+			// Oversized machine: dedicated client module.
+			report.Oversized++
+			bins = append(bins, &bin{vars: len(m.Variables), methods: len(m.Methods), items: []MachineConfig{*m}})
+			continue
+		}
+		placed := false
+		for _, b := range bins {
+			// Skip dedicated oversized bins: they are already over capacity.
+			if b.vars > opts.MaxVarsPerClient || b.methods > opts.MaxMethodsPerClient {
+				continue
+			}
+			if fits(b, m, opts) {
+				b.items = append(b.items, *m)
+				b.vars += len(m.Variables)
+				b.methods += len(m.Methods)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, &bin{vars: len(m.Variables), methods: len(m.Methods), items: []MachineConfig{*m}})
+		}
+	}
+	out := make([][]MachineConfig, len(bins))
+	for i, b := range bins {
+		out[i] = b.items
+	}
+	return out
+}
+
+func groupPerWorkcell(machines []MachineConfig, opts Options, report *GroupingReport) [][]MachineConfig {
+	byWC := map[string][]MachineConfig{}
+	var order []string
+	for _, m := range machines {
+		if _, seen := byWC[m.Workcell]; !seen {
+			order = append(order, m.Workcell)
+		}
+		byWC[m.Workcell] = append(byWC[m.Workcell], m)
+	}
+	var out [][]MachineConfig
+	for _, wc := range order {
+		cur := &bin{}
+		flush := func() {
+			if len(cur.items) > 0 {
+				out = append(out, cur.items)
+				cur = &bin{}
+			}
+		}
+		for _, m := range byWC[wc] {
+			m := m
+			if len(m.Variables) > opts.MaxVarsPerClient || len(m.Methods) > opts.MaxMethodsPerClient {
+				report.Oversized++
+				flush()
+				out = append(out, []MachineConfig{m})
+				continue
+			}
+			if !fits(cur, &m, opts) {
+				flush()
+			}
+			cur.items = append(cur.items, m)
+			cur.vars += len(m.Variables)
+			cur.methods += len(m.Methods)
+		}
+		flush()
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+func TestClassifyMonitor(t *testing.T) {
+	cases := []struct {
+		name   string
+		fn     MonitorFunction
+		source string
+		ok     bool
+	}{
+		{"samples_total", FnSamplesTotal, "", true},
+		{"variables_live", FnVariablesLive, "", true},
+		{"mean_spindleLoad", FnMean, "spindleLoad", true},
+		{"max_lineSpeed", FnMax, "lineSpeed", true},
+		{"oee", "", "", false},
+		{"total_power", "", "", false},
+	}
+	for _, c := range cases {
+		fn, source, err := classifyMonitor(c.name)
+		if c.ok {
+			if err != nil || fn != c.fn || source != c.source {
+				t.Errorf("classify(%q) = %v/%q/%v", c.name, fn, source, err)
+			}
+		} else if err == nil {
+			t.Errorf("classify(%q) should fail", c.name)
+		}
+	}
+}
+
+func TestBuildMonitorsUnknownAttributeFailsGeneration(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	// Inject an unclassifiable workcell monitor attribute.
+	factory.Lines[0].Workcells[0].Monitors = append(
+		factory.Lines[0].Workcells[0].Monitors,
+		core.Variable{Name: "oee", TypeName: "Double"})
+	_, err := Generate(factory, GenOptions{})
+	if err == nil || !strings.Contains(err.Error(), "no recognized aggregation") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMonitorConfigsFromICELab(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	in, err := BuildIntermediate(factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Monitors) != 3 {
+		t.Fatalf("monitors = %d", len(in.Monitors))
+	}
+	byName := map[string]MonitorConfig{}
+	for _, m := range in.Monitors {
+		byName[m.Name] = m
+	}
+	line, ok := byName["monitor-line-iceproductionline"]
+	if !ok {
+		t.Fatalf("line monitor missing; have %v", keysOfMonitors(in.Monitors))
+	}
+	if line.SourceFilter != "factory/ICEProductionLine/+/+/values/#" {
+		t.Errorf("line filter = %q", line.SourceFilter)
+	}
+	wc02, ok := byName["monitor-workcell02"]
+	if !ok {
+		t.Fatal("workcell02 monitor missing")
+	}
+	if wc02.SourceFilter != "factory/ICEProductionLine/workCell02/+/values/#" {
+		t.Errorf("wc02 filter = %q", wc02.SourceFilter)
+	}
+	var mean *MonitorAttr
+	for i := range wc02.Attributes {
+		if wc02.Attributes[i].Function == FnMean {
+			mean = &wc02.Attributes[i]
+		}
+	}
+	if mean == nil || mean.Source != "spindleLoad" {
+		t.Errorf("mean attr = %+v", mean)
+	}
+	if !strings.HasPrefix(mean.Topic, "factory/ICEProductionLine/workCell02/_monitor/") {
+		t.Errorf("topic = %q", mean.Topic)
+	}
+}
+
+func keysOfMonitors(ms []MonitorConfig) []string {
+	var out []string
+	for _, m := range ms {
+		out = append(out, m.Name)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package codegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"text/template"
+)
+
+// Step 2 renders Kubernetes YAML through template files, mirroring the
+// paper's "template files rendered according to the information contained
+// in the JSON files". The templates live here as string constants; the
+// rendered output is valid against internal/k8s.Decode + Validate.
+
+var tmplFuncs = template.FuncMap{
+	// q renders a double-quoted YAML scalar.
+	"q": func(s string) string { return strconv.Quote(s) },
+	// jsonq renders v as compact JSON inside a double-quoted YAML scalar.
+	"jsonq": func(v any) (string, error) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return "", err
+		}
+		return strconv.Quote(string(data)), nil
+	},
+}
+
+func mustTemplate(name, text string) *template.Template {
+	return template.Must(template.New(name).Funcs(tmplFuncs).Parse(text))
+}
+
+var namespaceTmpl = mustTemplate("namespace", `apiVersion: v1
+kind: Namespace
+metadata:
+  name: {{ q .Namespace }}
+  labels:
+    app.kubernetes.io/part-of: {{ q .Factory }}
+    factory.io/generated-by: sysml2conf
+`)
+
+var brokerTmpl = mustTemplate("broker", `apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: message-broker
+  namespace: {{ q .Namespace }}
+  labels:
+    app: message-broker
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: message-broker
+  template:
+    metadata:
+      labels:
+        app: message-broker
+    spec:
+      containers:
+      - name: broker
+        image: {{ q .Images.Broker }}
+        ports:
+        - containerPort: {{ .BrokerPort }}
+          name: mqtt
+        readinessProbe:
+          tcpSocket:
+            port: {{ .BrokerPort }}
+          periodSeconds: 5
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: message-broker
+  namespace: {{ q .Namespace }}
+spec:
+  selector:
+    app: message-broker
+  ports:
+  - name: mqtt
+    port: {{ .BrokerPort }}
+    targetPort: {{ .BrokerPort }}
+    protocol: TCP
+`)
+
+var serverTmpl = mustTemplate("server", `apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ q (printf "%s-config" .Server.Name) }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Server.Name }}
+    factory.io/workcell: {{ q .Server.Workcell }}
+data:
+  server.json: {{ jsonq .Server }}
+{{- range .Machines }}
+  {{ printf "machine-%s.json" .Machine }}: {{ jsonq . }}
+{{- end }}
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ q .Server.Name }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Server.Name }}
+    factory.io/component: opcua-server
+    factory.io/workcell: {{ q .Server.Workcell }}
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: {{ q .Server.Name }}
+  template:
+    metadata:
+      labels:
+        app: {{ q .Server.Name }}
+        factory.io/component: opcua-server
+    spec:
+      containers:
+      - name: opcua-server
+        image: {{ q .Images.Server }}
+        args:
+        - "--config=/etc/factory/server.json"
+        env:
+        - name: OPCUA_PORT
+          value: {{ q (printf "%d" .Server.Port) }}
+        - name: WORKCELL
+          value: {{ q .Server.Workcell }}
+        ports:
+        - containerPort: {{ .Server.Port }}
+          name: opcua
+        volumeMounts:
+        - name: config
+          mountPath: /etc/factory
+          readOnly: true
+        readinessProbe:
+          tcpSocket:
+            port: {{ .Server.Port }}
+          periodSeconds: 5
+      volumes:
+      - name: config
+        configMap:
+          name: {{ q (printf "%s-config" .Server.Name) }}
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ q .Server.Name }}
+  namespace: {{ q .Namespace }}
+spec:
+  selector:
+    app: {{ q .Server.Name }}
+  ports:
+  - name: opcua
+    port: {{ .Server.Port }}
+    targetPort: {{ .Server.Port }}
+    protocol: TCP
+`)
+
+var clientTmpl = mustTemplate("client", `apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ q (printf "%s-config" .Client.Name) }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Client.Name }}
+data:
+  client.json: {{ jsonq .Client }}
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ q .Client.Name }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Client.Name }}
+    factory.io/component: opcua-client
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: {{ q .Client.Name }}
+  template:
+    metadata:
+      labels:
+        app: {{ q .Client.Name }}
+        factory.io/component: opcua-client
+    spec:
+      containers:
+      - name: opcua-client
+        image: {{ q .Images.Client }}
+        args:
+        - "--config=/etc/factory/client.json"
+        env:
+        - name: BROKER_ADDR
+          value: {{ q .BrokerAddr }}
+        volumeMounts:
+        - name: config
+          mountPath: /etc/factory
+          readOnly: true
+      volumes:
+      - name: config
+        configMap:
+          name: {{ q (printf "%s-config" .Client.Name) }}
+`)
+
+var historianTmpl = mustTemplate("historian", `apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ q (printf "%s-config" .Storage.Name) }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Storage.Name }}
+data:
+  storage.json: {{ jsonq .Storage }}
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ q .Storage.Name }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Storage.Name }}
+    factory.io/component: historian
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: {{ q .Storage.Name }}
+  template:
+    metadata:
+      labels:
+        app: {{ q .Storage.Name }}
+        factory.io/component: historian
+    spec:
+      containers:
+      - name: historian
+        image: {{ q .Images.Historian }}
+        args:
+        - "--config=/etc/factory/storage.json"
+        env:
+        - name: BROKER_ADDR
+          value: {{ q .BrokerAddr }}
+        volumeMounts:
+        - name: config
+          mountPath: /etc/factory
+          readOnly: true
+      volumes:
+      - name: config
+        configMap:
+          name: {{ q (printf "%s-config" .Storage.Name) }}
+`)
+
+// Images selects the container images referenced by the manifests.
+type Images struct {
+	Broker    string
+	Server    string
+	Client    string
+	Historian string
+	Monitor   string
+}
+
+// DefaultImages are the image names used when none are configured.
+var DefaultImages = Images{
+	Broker:    "factory/message-broker:1.0",
+	Server:    "factory/opcua-server:1.0",
+	Client:    "factory/opcua-client:1.0",
+	Historian: "factory/historian:1.0",
+	Monitor:   "factory/workcell-monitor:1.0",
+}
+
+func render(t *template.Template, data any) ([]byte, error) {
+	var b strings.Builder
+	if err := t.Execute(&b, data); err != nil {
+		return nil, fmt.Errorf("codegen: render %s: %w", t.Name(), err)
+	}
+	return []byte(b.String()), nil
+}

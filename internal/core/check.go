@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Check runs methodology-level sanity checks on an extracted factory that
+// go beyond language resolution: every machine should expose data and
+// services, its driver must carry dialable connection parameters, and
+// names/endpoints must not collide across the plant. The returned findings
+// are human-readable lint messages (empty means clean).
+func Check(f *Factory) []string {
+	var findings []string
+	addf := func(format string, args ...any) {
+		findings = append(findings, fmt.Sprintf(format, args...))
+	}
+
+	seenNames := map[string]string{}
+	seenEndpoints := map[string]string{}
+	for _, m := range f.Machines() {
+		where := fmt.Sprintf("%s/%s", m.Workcell, m.Name)
+
+		if prev, dup := seenNames[m.Name]; dup {
+			addf("%s: machine name %q already used in %s", where, m.Name, prev)
+		}
+		seenNames[m.Name] = m.Workcell
+
+		if len(m.Variables) == 0 {
+			addf("%s: machine exposes no variables; nothing to monitor", where)
+		}
+		if len(m.Services) == 0 {
+			addf("%s: machine exposes no services; it cannot participate in SOM processes", where)
+		}
+
+		ip := m.Driver.Parameters["ip"]
+		port := m.Driver.Parameters["ip_port"]
+		switch {
+		case !ip.IsValid() || ip.String() == "":
+			addf("%s: driver %s lacks an ip parameter", where, m.Driver.Name)
+		case !port.IsValid():
+			addf("%s: driver %s lacks an ip_port parameter", where, m.Driver.Name)
+		default:
+			endpoint := ip.String() + ":" + port.String()
+			if prev, dup := seenEndpoints[endpoint]; dup {
+				addf("%s: driver endpoint %s already used by %s", where, endpoint, prev)
+			}
+			seenEndpoints[endpoint] = m.Name
+		}
+
+		// Variable paths must be unique within a machine (they become
+		// OPC UA node ids and broker topics).
+		paths := map[string]bool{}
+		for _, v := range m.Variables {
+			if paths[v.Path()] {
+				addf("%s: duplicate variable path %q", where, v.Path())
+			}
+			paths[v.Path()] = true
+		}
+		svcNames := map[string]bool{}
+		for _, s := range m.Services {
+			if svcNames[s.Name] {
+				addf("%s: duplicate service %q", where, s.Name)
+			}
+			svcNames[s.Name] = true
+		}
+	}
+	sort.Strings(findings)
+	return findings
+}

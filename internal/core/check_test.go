@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/model"
+)
+
+// factoryWith builds a synthetic factory for checker tests.
+func factoryWith(machines ...*Machine) *Factory {
+	wc := &Workcell{Name: "wc1", Machines: machines}
+	return &Factory{
+		Name:  "f",
+		Lines: []*ProductionLine{{Name: "l1", Workcells: []*Workcell{wc}}},
+	}
+}
+
+func goodMachine(name, ip string, port int64) *Machine {
+	return &Machine{
+		Name: name, Workcell: "wc1", Line: "l1",
+		Driver: Driver{
+			Name: name + "Driver",
+			Parameters: map[string]model.Value{
+				"ip":      {Kind: model.StringVal, Str: ip},
+				"ip_port": {Kind: model.IntVal, Int: port},
+			},
+		},
+		Variables: []Variable{{Name: "v", Category: "C", TypeName: "Double"}},
+		Services:  []Service{{Name: "is_ready"}},
+	}
+}
+
+func TestCheckCleanFactory(t *testing.T) {
+	f := factoryWith(goodMachine("a", "10.0.0.1", 1), goodMachine("b", "10.0.0.2", 1))
+	if findings := Check(f); len(findings) != 0 {
+		t.Errorf("findings = %v", findings)
+	}
+}
+
+func TestCheckFindsProblems(t *testing.T) {
+	noVars := goodMachine("novars", "10.0.0.3", 3)
+	noVars.Variables = nil
+	noSvcs := goodMachine("nosvcs", "10.0.0.4", 4)
+	noSvcs.Services = nil
+	noIP := goodMachine("noip", "", 5)
+	delete(noIP.Driver.Parameters, "ip")
+	dupEndpointA := goodMachine("epa", "10.0.0.9", 9)
+	dupEndpointB := goodMachine("epb", "10.0.0.9", 9)
+	dupVar := goodMachine("dupvar", "10.0.0.6", 6)
+	dupVar.Variables = append(dupVar.Variables, dupVar.Variables[0])
+	dupSvc := goodMachine("dupsvc", "10.0.0.7", 7)
+	dupSvc.Services = append(dupSvc.Services, dupSvc.Services[0])
+	dupName1 := goodMachine("twin", "10.0.0.10", 1)
+	dupName2 := goodMachine("twin", "10.0.0.11", 1)
+
+	f := factoryWith(noVars, noSvcs, noIP, dupEndpointA, dupEndpointB,
+		dupVar, dupSvc, dupName1, dupName2)
+	findings := Check(f)
+	all := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"no variables",
+		"no services",
+		"lacks an ip parameter",
+		"endpoint 10.0.0.9:9 already used",
+		"duplicate variable path",
+		"duplicate service",
+		`machine name "twin" already used`,
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("findings lack %q:\n%s", want, all)
+		}
+	}
+}
+
+func TestCheckMissingPort(t *testing.T) {
+	m := goodMachine("m", "10.0.0.1", 1)
+	delete(m.Driver.Parameters, "ip_port")
+	findings := Check(factoryWith(m))
+	if len(findings) != 1 || !strings.Contains(findings[0], "ip_port") {
+		t.Errorf("findings = %v", findings)
+	}
+}

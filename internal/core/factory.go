@@ -1,0 +1,473 @@
+// Package core implements the paper's primary contribution glue: it turns a
+// resolved SysML v2 factory model into a Factory description — the ISA-95
+// topology with, per machine, its driver (protocol + connection
+// parameters), exposed variables and services — ready for the two-step
+// configuration generation pipeline in internal/codegen.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/smartfactory/sysml2conf/internal/isa95"
+	"github.com/smartfactory/sysml2conf/internal/sysml/ast"
+	"github.com/smartfactory/sysml2conf/internal/sysml/model"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// Factory is the extracted, generation-ready description of the plant.
+type Factory struct {
+	Name       string
+	Enterprise string
+	Site       string
+	Area       string
+	Lines      []*ProductionLine
+
+	// ModelStats aggregates element counts over the whole model.
+	ModelStats model.Stats
+}
+
+// ProductionLine groups workcells. Monitors are line-level monitoring
+// attributes (paper Code 1: ProductionLineVariables, "aggregated
+// information relevant across the entire production line").
+type ProductionLine struct {
+	Name      string
+	Workcells []*Workcell
+	Monitors  []Variable
+}
+
+// Workcell groups machines. Monitors are the workcell-level attributes the
+// methodology defines "to capture operational information relevant to the
+// specific layer" (paper Code 1: WorkCellVariables); the generated
+// aggregator component computes and publishes them.
+type Workcell struct {
+	Name     string
+	Machines []*Machine
+	Monitors []Variable
+}
+
+// Machine is one piece of equipment with its communication interface.
+type Machine struct {
+	Name      string
+	TypeName  string
+	Workcell  string
+	Line      string
+	Driver    Driver
+	Variables []Variable
+	Services  []Service
+
+	// Stats covers the machine's and driver's definition and instance
+	// subtrees (the per-row quantities of the paper's Table I).
+	Stats MachineStats
+}
+
+// Driver describes the machine's communication protocol endpoint.
+type Driver struct {
+	Name     string
+	TypeName string
+	// Protocol is "OPC UA" for generic drivers and the driver type name for
+	// machine-proprietary drivers (mirroring the paper's Driver column).
+	Protocol string
+	Generic  bool
+	// Parameters are the resolved static configuration attributes
+	// (ip, ip_port, ...) keyed by attribute name.
+	Parameters map[string]model.Value
+}
+
+// Variable is one machine data point exposed through the driver.
+type Variable struct {
+	Name      string
+	Category  string
+	TypeName  string
+	Direction string // effective direction seen from the architecture
+}
+
+// Path returns "Category/Name" (or just the name without a category).
+func (v Variable) Path() string {
+	if v.Category == "" {
+		return v.Name
+	}
+	return v.Category + "/" + v.Name
+}
+
+// Param is one argument or return of a service.
+type Param struct {
+	Name     string
+	TypeName string
+}
+
+// Service is one machine service (command/operation).
+type Service struct {
+	Name    string
+	Args    []Param
+	Returns []Param
+}
+
+// MachineStats mirrors one row of the paper's Table I.
+type MachineStats struct {
+	PartDefs      int
+	PartInstances int
+	AttrInstances int
+	PortInstances int
+	Variables     int
+	Services      int
+}
+
+// Add accumulates other into s.
+func (s *MachineStats) Add(o MachineStats) {
+	s.PartDefs += o.PartDefs
+	s.PartInstances += o.PartInstances
+	s.AttrInstances += o.AttrInstances
+	s.PortInstances += o.PortInstances
+	s.Variables += o.Variables
+	s.Services += o.Services
+}
+
+// Machines returns every machine in deterministic (line, workcell,
+// declaration) order.
+func (f *Factory) Machines() []*Machine {
+	var out []*Machine
+	for _, l := range f.Lines {
+		for _, wc := range l.Workcells {
+			out = append(out, wc.Machines...)
+		}
+	}
+	return out
+}
+
+// TotalVariables sums variable counts over all machines.
+func (f *Factory) TotalVariables() int {
+	n := 0
+	for _, m := range f.Machines() {
+		n += len(m.Variables)
+	}
+	return n
+}
+
+// TotalServices sums service counts over all machines.
+func (f *Factory) TotalServices() int {
+	n := 0
+	for _, m := range f.Machines() {
+		n += len(m.Services)
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+
+// ExtractFactory builds the Factory view from a resolved model.
+func ExtractFactory(m *sema.Model) (*Factory, error) {
+	root, err := isa95.Extract(m)
+	if err != nil {
+		return nil, err
+	}
+	f := &Factory{Name: root.Name, ModelStats: model.Count(m.Root)}
+
+	if ents := root.AtLevel(isa95.LevelEnterprise); len(ents) > 0 {
+		f.Enterprise = ents[0].Name
+	}
+	if sites := root.AtLevel(isa95.LevelSite); len(sites) > 0 {
+		f.Site = sites[0].Name
+	}
+	if areas := root.AtLevel(isa95.LevelArea); len(areas) > 0 {
+		f.Area = areas[0].Name
+	}
+
+	for _, lineNode := range root.AtLevel(isa95.LevelProductionLine) {
+		line := &ProductionLine{Name: lineNode.Name}
+		for _, attr := range lineNode.Element.Members {
+			if attr.Kind != sema.KindAttributeUsage || attr.Name == "" {
+				continue
+			}
+			v := Variable{Name: attr.Name}
+			if attr.Type != nil {
+				v.TypeName = attr.Type.Name
+			}
+			line.Monitors = append(line.Monitors, v)
+		}
+		for _, wcNode := range lineNode.AtLevel(isa95.LevelWorkcell) {
+			wc := &Workcell{Name: wcNode.Name}
+			for _, attr := range wcNode.Element.Members {
+				if attr.Kind != sema.KindAttributeUsage || attr.Name == "" {
+					continue
+				}
+				v := Variable{Name: attr.Name}
+				if attr.Type != nil {
+					v.TypeName = attr.Type.Name
+				}
+				wc.Monitors = append(wc.Monitors, v)
+			}
+			for _, mNode := range wcNode.AtLevel(isa95.LevelMachine) {
+				machine, err := extractMachine(m, mNode.Element)
+				if err != nil {
+					return nil, fmt.Errorf("core: machine %s: %w", mNode.Element.QualifiedName(), err)
+				}
+				machine.Workcell = wc.Name
+				machine.Line = line.Name
+				wc.Machines = append(wc.Machines, machine)
+			}
+			if len(wc.Machines) > 0 || true { // keep empty workcells visible
+				line.Workcells = append(line.Workcells, wc)
+			}
+		}
+		f.Lines = append(f.Lines, line)
+	}
+	if len(f.Machines()) == 0 {
+		return nil, fmt.Errorf("core: topology %q contains no machines", f.Name)
+	}
+	return f, nil
+}
+
+func extractMachine(m *sema.Model, e *sema.Element) (*Machine, error) {
+	machine := &Machine{Name: e.Name}
+	if e.Type != nil {
+		machine.TypeName = e.Type.Name
+	}
+
+	driverUsage, err := resolveDriverUsage(m, e)
+	if err != nil {
+		return nil, err
+	}
+	machine.Driver = extractDriver(driverUsage)
+	machine.Variables = extractVariables(e)
+	machine.Services = extractServices(e)
+	machine.Stats = computeStats(e, driverUsage)
+	machine.Stats.Variables = len(machine.Variables)
+	machine.Stats.Services = len(machine.Services)
+	return machine, nil
+}
+
+// resolveDriverUsage follows the machine's "ref part <driver>" to the
+// instantiated driver part.
+func resolveDriverUsage(m *sema.Model, machine *sema.Element) (*sema.Element, error) {
+	for _, member := range machine.Members {
+		if member.Kind != sema.KindPartUsage || !member.Ref || member.Name == "" {
+			continue
+		}
+		// The ref names the instantiated driver part elsewhere in the
+		// model; find that usage (skipping the ref itself).
+		for _, u := range m.ElementsNamed(member.Name) {
+			if u != member && u.Kind == sema.KindPartUsage && !u.Ref &&
+				u.Type != nil && u.Type.SpecializesDef("Driver") {
+				return u, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("no driver reference resolves to an instantiated driver part")
+}
+
+func extractDriver(u *sema.Element) Driver {
+	d := Driver{Name: u.Name, Parameters: map[string]model.Value{}}
+	if u.Type == nil {
+		return d
+	}
+	d.TypeName = u.Type.Name
+	d.Generic = u.Type.SpecializesDef("GenericDriver")
+	if d.Generic {
+		d.Protocol = "OPC UA"
+	} else {
+		d.Protocol = d.TypeName
+	}
+	// Parameters: the member part typed by a DriverParameters
+	// specialization carries the redefined attribute values.
+	for _, member := range u.Members {
+		if member.Kind == sema.KindPartUsage && member.Type != nil &&
+			member.Type.SpecializesDef("DriverParameters") {
+			for k, v := range model.ResolvedAttributes(member) {
+				d.Parameters[k] = v
+			}
+		}
+	}
+	return d
+}
+
+// extractVariables walks the machine's MachineData parts: each attribute
+// usage inside a category part is one machine variable; its category is the
+// owning part's name.
+func extractVariables(machine *sema.Element) []Variable {
+	var out []Variable
+	for _, member := range machine.Members {
+		if member.Kind != sema.KindPartUsage || member.Type == nil ||
+			!member.Type.SpecializesDef("MachineData") {
+			continue
+		}
+		collectVariables(member, "", &out)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Path() < out[j].Path() })
+	return out
+}
+
+func collectVariables(e *sema.Element, category string, out *[]Variable) {
+	for _, member := range e.Members {
+		switch member.Kind {
+		case sema.KindAttributeUsage:
+			if member.Name == "" { // pure redefinition
+				continue
+			}
+			v := Variable{Name: member.Name, Category: category}
+			if member.Type != nil {
+				v.TypeName = member.Type.Name
+			}
+			v.Direction = variableDirection(e, member)
+			*out = append(*out, v)
+		case sema.KindPartUsage:
+			// The category label is the part's definition name (the model
+			// groups variables through category part definitions); the
+			// instance name is only a fallback for untyped parts.
+			name := member.Name
+			if member.Type != nil {
+				name = member.Type.Name
+			}
+			sub := name
+			if category != "" {
+				sub = category + "/" + name
+			}
+			collectVariables(member, sub, out)
+		}
+	}
+}
+
+// variableDirection derives the effective direction of a machine variable
+// from the conjugated port its attribute is bound to; machine data defaults
+// to "out" (produced by the machine) when no bind is present.
+func variableDirection(categoryPart *sema.Element, attr *sema.Element) string {
+	for _, member := range categoryPart.Members {
+		if member.Kind != sema.KindBind {
+			continue
+		}
+		if member.BindRight != attr && member.BindLeft != attr {
+			continue
+		}
+		// The opposite endpoint lives inside a port; the port usage's
+		// conjugation flips the declared direction.
+		other := member.BindLeft
+		if other == attr {
+			other = member.BindRight
+		}
+		port := findEnclosingPort(categoryPart, other)
+		conj := port != nil && port.Conjugated
+		dir := sema.EffectiveDirection(other.Direction, conj)
+		if dir == ast.DirNone {
+			break
+		}
+		// Seen from the architecture, an "in" at the driver is data flowing
+		// out of the machine.
+		if dir == ast.DirOut {
+			return "out"
+		}
+		return "in"
+	}
+	return "out"
+}
+
+func findEnclosingPort(scope *sema.Element, attr *sema.Element) *sema.Element {
+	// Ports declared directly on the instantiated category part.
+	for _, member := range scope.Members {
+		if member.Kind == sema.KindPortUsage {
+			if member.Type != nil && member.Type.InheritedMember(attr.Name) == attr {
+				return member
+			}
+		}
+	}
+	// Ports declared on the category part's definition (the paper's Code 3
+	// declares the conjugated ports in the machine definition).
+	if scope.Type != nil {
+		for _, member := range scope.Type.EffectiveMembers() {
+			if member.Kind == sema.KindPortUsage &&
+				member.Type != nil && member.Type.InheritedMember(attr.Name) == attr {
+				return member
+			}
+		}
+	}
+	// The attribute may live inside a port usage's own body.
+	for owner := attr.Owner; owner != nil; owner = owner.Owner {
+		if owner.Kind == sema.KindPortUsage {
+			return owner
+		}
+	}
+	return nil
+}
+
+// extractServices walks the machine's MachineServices parts: each action
+// usage is one machine service.
+func extractServices(machine *sema.Element) []Service {
+	var out []Service
+	for _, member := range machine.Members {
+		if member.Kind != sema.KindPartUsage || member.Type == nil ||
+			!member.Type.SpecializesDef("MachineServices") {
+			continue
+		}
+		collectServices(member, &out)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func collectServices(e *sema.Element, out *[]Service) {
+	for _, member := range e.Members {
+		switch member.Kind {
+		case sema.KindActionUsage:
+			svc := Service{Name: member.Name}
+			for _, p := range member.Members {
+				if p.Kind != sema.KindAttributeUsage || p.Name == "" {
+					continue
+				}
+				param := Param{Name: p.Name}
+				if p.Type != nil {
+					param.TypeName = p.Type.Name
+				}
+				switch p.Direction {
+				case ast.DirIn:
+					svc.Args = append(svc.Args, param)
+				case ast.DirOut:
+					svc.Returns = append(svc.Returns, param)
+				}
+			}
+			*out = append(*out, svc)
+		case sema.KindPartUsage:
+			collectServices(member, out)
+		}
+	}
+}
+
+// computeStats tallies Table I quantities over the machine usage subtree,
+// the driver usage subtree, and the definition subtrees of their types.
+func computeStats(machine, driver *sema.Element) MachineStats {
+	var s MachineStats
+	addInstance := func(e *sema.Element) {
+		st := model.Count(e)
+		s.PartInstances += st.PartInstances
+		s.AttrInstances += st.AttributeInstances
+		s.PortInstances += st.PortInstances
+	}
+	addInstance(machine)
+	addInstance(driver)
+	addDefs := func(def *sema.Element) {
+		if def == nil {
+			return
+		}
+		st := model.Count(def)
+		s.PartDefs += st.PartDefs
+	}
+	addDefs(machine.Type)
+	addDefs(driver.Type)
+	return s
+}
+
+// String renders a compact factory summary.
+func (f *Factory) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "factory %s (%s/%s/%s): %d lines, ", f.Name, f.Enterprise, f.Site, f.Area, len(f.Lines))
+	wcs, machines := 0, 0
+	for _, l := range f.Lines {
+		wcs += len(l.Workcells)
+		for _, wc := range l.Workcells {
+			machines += len(wc.Machines)
+		}
+	}
+	fmt.Fprintf(&b, "%d workcells, %d machines, %d variables, %d services",
+		wcs, machines, f.TotalVariables(), f.TotalServices())
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/model"
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// plantSrc is a compact two-machine factory exercising every extraction
+// path: proprietary + generic drivers, categorized variables with
+// conjugated-port binds, services with args/returns, driver parameters.
+const plantSrc = `
+package ISA95 {
+	part def Topology;
+	part def Enterprise;
+	part def Site;
+	part def Area;
+	part def ProductionLine;
+	part def Workcell { ref part Machine [*]; }
+	abstract part def Machine {
+		part def MachineData;
+		part def MachineServices;
+	}
+	abstract part def Driver {
+		part def DriverParameters;
+		part def DriverVariables;
+		part def DriverMethods;
+	}
+	abstract part def GenericDriver :> Driver;
+	abstract part def MachineDriver :> Driver;
+}
+
+package MillLib {
+	import ISA95::*;
+	part def MillDriver :> MachineDriver {
+		part def MillParameters :> Driver::DriverParameters {
+			attribute ip : String;
+			attribute ip_port : Integer;
+			attribute baud : Integer = 9600;
+		}
+		part def MillVariables :> Driver::DriverVariables {
+			port def MVar {
+				in attribute value : Anything;
+			}
+			part def Axes;
+			part def Status;
+		}
+		part def MillMethods :> Driver::DriverMethods {
+			port def MMethod {
+				attribute description : String;
+				out action operation { in args : String; out result : String; }
+			}
+		}
+	}
+	part def Mill :> Machine {
+		part def MillData :> Machine::MachineData {
+			part def Axes;
+			part def Status;
+		}
+		part def MillServices :> Machine::MachineServices;
+	}
+}
+
+package Plant {
+	import ISA95::*;
+	import MillLib::*;
+
+	part plant : Topology {
+		part ent : Enterprise {
+			part site : Site {
+				part area : Area {
+					part line : ProductionLine {
+						part cell : Workcell {
+							part mill : Mill {
+								ref part millDriver;
+								part millData : Mill::MillData {
+									part axes : Mill::MillData::Axes {
+										attribute x : Double;
+										port x_var : ~MillDriver::MillVariables::MVar;
+										bind x_var.value = x;
+										attribute y : Double;
+										port y_var : ~MillDriver::MillVariables::MVar;
+										bind y_var.value = y;
+									}
+									part status : Mill::MillData::Status {
+										attribute mode : String;
+										port mode_var : ~MillDriver::MillVariables::MVar;
+										bind mode_var.value = mode;
+									}
+								}
+								part millSvcs : Mill::MillServices {
+									action is_ready { out result : Boolean; }
+									action start {
+										in program : String;
+										out result : Boolean;
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	part millDriver : MillDriver {
+		part params : MillDriver::MillParameters {
+			:>> ip = '10.0.0.9';
+			:>> ip_port = 5557;
+		}
+	}
+}
+`
+
+func buildFactory(t *testing.T) *Factory {
+	t.Helper()
+	f, err := parser.ParseFile("plant.sysml", plantSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sema.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := ExtractFactory(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return factory
+}
+
+func TestExtractTopologyNames(t *testing.T) {
+	f := buildFactory(t)
+	if f.Name != "plant" || f.Enterprise != "ent" || f.Site != "site" || f.Area != "area" {
+		t.Errorf("names = %s/%s/%s/%s", f.Name, f.Enterprise, f.Site, f.Area)
+	}
+	if len(f.Lines) != 1 || f.Lines[0].Name != "line" {
+		t.Fatalf("lines = %+v", f.Lines)
+	}
+	if len(f.Lines[0].Workcells) != 1 {
+		t.Fatalf("workcells = %+v", f.Lines[0].Workcells)
+	}
+}
+
+func TestExtractMachineInterface(t *testing.T) {
+	f := buildFactory(t)
+	machines := f.Machines()
+	if len(machines) != 1 {
+		t.Fatalf("machines = %d", len(machines))
+	}
+	m := machines[0]
+	if m.Name != "mill" || m.TypeName != "Mill" || m.Workcell != "cell" || m.Line != "line" {
+		t.Errorf("machine = %+v", m)
+	}
+
+	if len(m.Variables) != 3 {
+		t.Fatalf("variables = %+v", m.Variables)
+	}
+	byPath := map[string]Variable{}
+	for _, v := range m.Variables {
+		byPath[v.Path()] = v
+	}
+	x, ok := byPath["Axes/x"]
+	if !ok {
+		t.Fatalf("Axes/x missing; have %v", byPath)
+	}
+	if x.TypeName != "Double" || x.Category != "Axes" {
+		t.Errorf("x = %+v", x)
+	}
+	if x.Direction != "out" {
+		t.Errorf("x direction = %q, want out (machine produces it)", x.Direction)
+	}
+	if mode, ok := byPath["Status/mode"]; !ok || mode.TypeName != "String" {
+		t.Errorf("Status/mode = %+v", mode)
+	}
+
+	if len(m.Services) != 2 {
+		t.Fatalf("services = %+v", m.Services)
+	}
+	var start Service
+	for _, s := range m.Services {
+		if s.Name == "start" {
+			start = s
+		}
+	}
+	if len(start.Args) != 1 || start.Args[0].Name != "program" || start.Args[0].TypeName != "String" {
+		t.Errorf("start args = %+v", start.Args)
+	}
+	if len(start.Returns) != 1 || start.Returns[0].TypeName != "Boolean" {
+		t.Errorf("start returns = %+v", start.Returns)
+	}
+}
+
+func TestExtractDriver(t *testing.T) {
+	f := buildFactory(t)
+	d := f.Machines()[0].Driver
+	if d.Name != "millDriver" || d.TypeName != "MillDriver" {
+		t.Errorf("driver = %+v", d)
+	}
+	if d.Generic {
+		t.Error("MillDriver specializes MachineDriver: not generic")
+	}
+	if d.Protocol != "MillDriver" {
+		t.Errorf("protocol = %q", d.Protocol)
+	}
+	if got := d.Parameters["ip"].String(); got != "10.0.0.9" {
+		t.Errorf("ip = %q", got)
+	}
+	if got := d.Parameters["ip_port"]; got.Kind != model.IntVal || got.Int != 5557 {
+		t.Errorf("ip_port = %+v", got)
+	}
+	// Declared default without redefinition is still visible.
+	if got := d.Parameters["baud"]; got.Kind != model.IntVal || got.Int != 9600 {
+		t.Errorf("baud default = %+v", got)
+	}
+}
+
+func TestMachineStatsPopulated(t *testing.T) {
+	f := buildFactory(t)
+	s := f.Machines()[0].Stats
+	if s.Variables != 3 || s.Services != 2 {
+		t.Errorf("stats vars/services = %d/%d", s.Variables, s.Services)
+	}
+	if s.PartDefs == 0 || s.PartInstances == 0 || s.AttrInstances == 0 || s.PortInstances == 0 {
+		t.Errorf("zero stats field: %+v", s)
+	}
+	// Machine instantiation declares 3 ports; Table I convention counts
+	// instance-side ports only.
+	if s.PortInstances != 3 {
+		t.Errorf("port instances = %d, want 3", s.PortInstances)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	f := buildFactory(t)
+	if f.TotalVariables() != 3 || f.TotalServices() != 2 {
+		t.Errorf("totals = %d/%d", f.TotalVariables(), f.TotalServices())
+	}
+	if f.ModelStats.PartDefs == 0 {
+		t.Error("model stats empty")
+	}
+	if s := f.String(); s == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestExtractFactoryNoMachines(t *testing.T) {
+	src := `
+package ISA95 {
+	part def Topology;
+	part def Enterprise;
+}
+part top : ISA95::Topology {
+	part e : ISA95::Enterprise;
+}
+`
+	file, err := parser.ParseFile("t.sysml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sema.Resolve(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractFactory(m); err == nil {
+		t.Error("want error for machine-less topology")
+	}
+}
+
+func TestDanglingDriverRef(t *testing.T) {
+	src := `
+package ISA95 {
+	part def Topology;
+	part def Enterprise;
+	part def Site;
+	part def Area;
+	part def ProductionLine;
+	part def Workcell { ref part Machine [*]; }
+	abstract part def Machine;
+	abstract part def Driver;
+}
+package P {
+	import ISA95::*;
+	part def M :> Machine;
+	part top : Topology {
+		part e : Enterprise {
+			part s : Site {
+				part a : Area {
+					part l : ProductionLine {
+						part wc : Workcell {
+							part m1 : M {
+								ref part nonexistentDriver;
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+`
+	file, err := parser.ParseFile("t.sysml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := sema.Resolve(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtractFactory(model); err == nil {
+		t.Error("want error for dangling driver ref")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// ProcessStep is one machine-service invocation of a modeled process.
+type ProcessStep struct {
+	Machine string
+	Service string
+}
+
+// ProcessDef is a production process extracted from the model: an action
+// usage whose body performs machine services in sequence. This realizes the
+// SOM composition of the paper ("production processes are composed of
+// sequences of machine services") at the model level.
+type ProcessDef struct {
+	Name  string
+	Steps []ProcessStep
+}
+
+// ExtractProcesses collects every modeled process: action usages with at
+// least one perform whose target resolves to a service action inside a
+// machine's MachineServices part. Steps keep their declaration order.
+func ExtractProcesses(m *sema.Model) []ProcessDef {
+	var out []ProcessDef
+	m.Root.Walk(func(e *sema.Element) bool {
+		if e.Kind != sema.KindActionUsage {
+			return true
+		}
+		def := ProcessDef{Name: e.Name}
+		for _, member := range e.Members {
+			if member.Kind != sema.KindPerform || member.PerformTarget == nil {
+				continue
+			}
+			target := member.PerformTarget
+			if target.Kind != sema.KindActionUsage {
+				continue
+			}
+			machine := enclosingMachine(target)
+			if machine == nil {
+				continue
+			}
+			def.Steps = append(def.Steps, ProcessStep{
+				Machine: machine.Name,
+				Service: target.Name,
+			})
+		}
+		if len(def.Steps) > 0 {
+			out = append(out, def)
+			return false // nested actions inside a process are not processes
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingMachine walks up from a service action to the machine part
+// usage owning it (its MachineServices part's parent), or nil when the
+// action is not a machine service.
+func enclosingMachine(e *sema.Element) *sema.Element {
+	inServices := false
+	for owner := e.Owner; owner != nil; owner = owner.Owner {
+		if owner.Kind != sema.KindPartUsage {
+			continue
+		}
+		if owner.Type != nil && owner.Type.SpecializesDef("MachineServices") {
+			inServices = true
+			continue
+		}
+		if inServices && owner.Type != nil && owner.Type.SpecializesDef("Machine") {
+			return owner
+		}
+	}
+	return nil
+}

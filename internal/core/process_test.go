@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+const processModel = plantSrc // reuse the mill plant from factory_test.go
+
+func TestExtractProcesses(t *testing.T) {
+	// Extend the mill plant with a modeled process performing its services.
+	src := processModel + `
+package Orders {
+	import ISA95::*;
+	part orderBook {
+		action makePart {
+			perform Plant::plant.ent.site.area.line.cell.mill.millSvcs.is_ready;
+			perform Plant::plant.ent.site.area.line.cell.mill.millSvcs.start;
+		}
+	}
+}
+`
+	f, err := parser.ParseFile("p.sysml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sema.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := ExtractProcesses(m)
+	if len(procs) != 1 {
+		t.Fatalf("processes = %+v, want 1", procs)
+	}
+	p := procs[0]
+	if p.Name != "makePart" || len(p.Steps) != 2 {
+		t.Fatalf("process = %+v", p)
+	}
+	if p.Steps[0] != (ProcessStep{Machine: "mill", Service: "is_ready"}) {
+		t.Errorf("step 0 = %+v", p.Steps[0])
+	}
+	if p.Steps[1] != (ProcessStep{Machine: "mill", Service: "start"}) {
+		t.Errorf("step 1 = %+v", p.Steps[1])
+	}
+}
+
+func TestExtractProcessesIgnoresDriverPerforms(t *testing.T) {
+	// The driver instantiation's call_* actions perform port operations,
+	// not machine services; they must not surface as processes.
+	f, err := parser.ParseFile("p.sysml", processModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sema.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs := ExtractProcesses(m); len(procs) != 0 {
+		t.Errorf("unexpected processes %+v", procs)
+	}
+}

@@ -1,0 +1,141 @@
+package deploy
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/machinesim"
+	"github.com/smartfactory/sysml2conf/internal/stack"
+)
+
+// TestChaosMachineRestarts repeatedly power-cycles machines while the stack
+// runs, then verifies the plant converges: every machine's data flows again
+// and services answer. Exercises the driver-reconnect path under churn.
+func TestChaosMachineRestarts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	full := icelab.ICELab()
+	spec := icelab.FactorySpec{
+		TopologyName: full.TopologyName, Enterprise: full.Enterprise,
+		Site: full.Site, Area: full.Area, Line: full.Line,
+	}
+	for _, m := range full.Machines {
+		// Small machines only: fast polls, fast restarts.
+		switch m.Name {
+		case "speaATE", "warehouse", "rbKairos1":
+			spec.Machines = append(spec.Machines, m)
+		}
+	}
+	factory, _, err := icelab.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex // guards addrs and machines against the poll loops
+	addrs := map[string]string{}
+	machines := map[string]*machinesim.Machine{}
+	configs := map[string]codegen.MachineConfig{}
+	startMachine := func(mc codegen.MachineConfig) {
+		m := machinesim.New(SpecForMachine(mc))
+		if err := m.Serve("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		m.StartGenerator(5 * time.Millisecond)
+		mu.Lock()
+		machines[mc.Machine] = m
+		addrs[mc.Machine] = m.Addr()
+		mu.Unlock()
+	}
+	for _, mc := range bundle.Intermediate.Machines {
+		configs[mc.Machine] = mc
+		startMachine(mc)
+	}
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, m := range machines {
+			m.Close()
+		}
+	}()
+
+	cluster := NewCluster(2, 32)
+	cluster.MachineEndpoints = func(name string, _ codegen.DriverConfig) (string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return addrs[name], nil
+	}
+	cluster.PollPeriod = 5 * time.Millisecond
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	// Chaos: random power-cycles for ~1.5s.
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"speaATE", "warehouse", "rbKairos1"}
+	for round := 0; round < 6; round++ {
+		victim := names[rng.Intn(len(names))]
+		mu.Lock()
+		m := machines[victim]
+		mu.Unlock()
+		m.Close()
+		time.Sleep(50 * time.Millisecond)
+		startMachine(configs[victim])
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Convergence: fresh samples from every machine.
+	series := map[string]string{
+		"speaATE":   "factory/ICEProductionLine/workCell01/speaATE/values/TestStatus/testProgress",
+		"warehouse": "factory/ICEProductionLine/workCell05/warehouse/values/TrayStatus/trayWeight",
+		"rbKairos1": "factory/ICEProductionLine/workCell06/rbKairos1/values/Battery/batteryLevel",
+	}
+	for name, s := range series {
+		before := 0
+		for _, h := range cluster.Historians() {
+			before += cluster.Historian(h).Store.Count(s)
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			count := 0
+			for _, h := range cluster.Historians() {
+				count += cluster.Historian(h).Store.Count(s)
+			}
+			if count > before {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: no fresh samples after chaos", name)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Services answer on every machine.
+	bc, err := broker.DialClient(cluster.BrokerAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	for _, mc := range bundle.Intermediate.Machines {
+		for _, m := range mc.Methods {
+			if m.Name != "is_ready" {
+				continue
+			}
+			reply, err := stack.CallService(bc, m, nil, 5*time.Second)
+			if err != nil || !reply.OK {
+				t.Errorf("%s.is_ready after chaos: err=%v reply=%+v", mc.Machine, err, reply)
+			}
+		}
+	}
+}

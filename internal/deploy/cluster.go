@@ -1,0 +1,483 @@
+// Package deploy simulates the Kubernetes cluster that the generated
+// configuration targets. Applying a manifest bundle schedules one pod per
+// Deployment onto simulated nodes and actually starts the referenced
+// component in-process: the message broker, the per-workcell OPC UA servers
+// (connected to their machine emulators), the OPC UA client bridges and the
+// historians. Deployment success is therefore observable end-to-end — data
+// flows machine → driver → OPC UA → broker → historian, and machine
+// services are callable — exactly the property the paper reports for the
+// ICE Laboratory rollout.
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/historian"
+	"github.com/smartfactory/sysml2conf/internal/k8s"
+	"github.com/smartfactory/sysml2conf/internal/stack"
+)
+
+// Node is one simulated cluster node.
+type Node struct {
+	Name     string
+	Capacity int // max pods
+	pods     int
+}
+
+// PodPhase tracks a simulated pod's lifecycle.
+type PodPhase string
+
+// Pod phases (subset of the Kubernetes phases).
+const (
+	PodPending PodPhase = "Pending"
+	PodRunning PodPhase = "Running"
+	PodFailed  PodPhase = "Failed"
+)
+
+// Pod is one scheduled component instance.
+type Pod struct {
+	Name      string
+	Namespace string
+	Component string // message-broker, opcua-server, opcua-client, historian, monitor
+	Node      string
+	Phase     PodPhase
+	Error     string
+	Started   time.Time
+}
+
+// Cluster is the simulated cluster.
+type Cluster struct {
+	mu    sync.Mutex
+	nodes []*Node
+	pods  map[string]*Pod
+
+	// MachineEndpoints resolves modeled driver endpoints to live machine
+	// emulator addresses. Must be set before Apply when the bundle contains
+	// OPC UA servers.
+	MachineEndpoints stack.EndpointResolver
+
+	// PollPeriod is the OPC UA servers' driver poll period (default 50ms).
+	PollPeriod time.Duration
+
+	broker      *broker.Broker
+	brokerAddr  string
+	servers     map[string]*stack.MachineServer
+	serverAddrs map[string]string
+	clients     map[string]*stack.BridgeClient
+	historians  map[string]*historian.Service
+	monitors    map[string]*stack.WorkcellMonitor
+}
+
+// NewCluster creates a cluster with n nodes of the given pod capacity.
+func NewCluster(n, capacity int) *Cluster {
+	if n <= 0 {
+		n = 3
+	}
+	if capacity <= 0 {
+		capacity = 16
+	}
+	c := &Cluster{
+		pods:        map[string]*Pod{},
+		servers:     map[string]*stack.MachineServer{},
+		serverAddrs: map[string]string{},
+		clients:     map[string]*stack.BridgeClient{},
+		historians:  map[string]*historian.Service{},
+		monitors:    map[string]*stack.WorkcellMonitor{},
+	}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &Node{Name: fmt.Sprintf("node-%d", i+1), Capacity: capacity})
+	}
+	return c
+}
+
+// schedule places a pod on the least-loaded node with spare capacity.
+func (c *Cluster) schedule(pod *Pod) error {
+	var best *Node
+	for _, n := range c.nodes {
+		if n.pods >= n.Capacity {
+			continue
+		}
+		if best == nil || n.pods < best.pods {
+			best = n
+		}
+	}
+	if best == nil {
+		return fmt.Errorf("deploy: no schedulable node for pod %s (all %d nodes full)", pod.Name, len(c.nodes))
+	}
+	best.pods++
+	pod.Node = best.Name
+	return nil
+}
+
+// ApplyBundle decodes and applies every manifest of a generated bundle.
+func (c *Cluster) ApplyBundle(b *codegen.Bundle) error {
+	var all []k8s.Object
+	for _, f := range b.AllFiles() {
+		if !strings.HasPrefix(f.Name, "manifests/") {
+			continue
+		}
+		objs, err := k8s.Decode(f.Data)
+		if err != nil {
+			return fmt.Errorf("deploy: decode %s: %w", f.Name, err)
+		}
+		all = append(all, objs...)
+	}
+	return c.Apply(all)
+}
+
+// Apply schedules and starts the components described by the objects.
+// ConfigMaps are indexed first; Deployments start in dependency order:
+// broker, then OPC UA servers, then clients and historians.
+func (c *Cluster) Apply(objs []k8s.Object) error {
+	if err := k8s.Validate(objs); err != nil {
+		return err
+	}
+	configMaps := map[string]k8s.Object{}
+	var deployments []k8s.Object
+	for _, o := range objs {
+		switch o.Kind() {
+		case "ConfigMap":
+			configMaps[o.Namespace()+"/"+o.Name()] = o
+		case "Deployment":
+			deployments = append(deployments, o)
+		case "Namespace", "Service":
+			// Namespaces are implicit; Services resolve via serverAddrs.
+		default:
+			return fmt.Errorf("deploy: unsupported kind %q (%s)", o.Kind(), o.Name())
+		}
+	}
+	sort.SliceStable(deployments, func(i, j int) bool {
+		return componentRank(deployments[i]) < componentRank(deployments[j])
+	})
+	for _, d := range deployments {
+		if err := c.startDeployment(d, configMaps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func componentOf(o k8s.Object) string {
+	if comp := o.Labels()["factory.io/component"]; comp != "" {
+		return comp
+	}
+	if o.Labels()["app"] == "message-broker" {
+		return "message-broker"
+	}
+	return ""
+}
+
+func componentRank(o k8s.Object) int {
+	switch componentOf(o) {
+	case "message-broker":
+		return 0
+	case "opcua-server":
+		return 1
+	case "opcua-client":
+		return 2
+	case "historian":
+		return 3
+	case "monitor":
+		return 4
+	}
+	return 5
+}
+
+func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object) error {
+	pod := &Pod{
+		Name:      o.Name() + "-0",
+		Namespace: o.Namespace(),
+		Component: componentOf(o),
+		Phase:     PodPending,
+	}
+	c.mu.Lock()
+	if _, exists := c.pods[pod.Name]; exists {
+		c.mu.Unlock()
+		return fmt.Errorf("deploy: pod %s already exists (Deployment %s applied twice)", pod.Name, o.Name())
+	}
+	if err := c.schedule(pod); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.pods[pod.Name] = pod
+	c.mu.Unlock()
+
+	fail := func(err error) error {
+		c.mu.Lock()
+		pod.Phase = PodFailed
+		pod.Error = err.Error()
+		c.mu.Unlock()
+		return err
+	}
+
+	cfg := func(key string) ([]byte, error) {
+		cm, ok := configMaps[o.Namespace()+"/"+o.Name()+"-config"]
+		if !ok {
+			return nil, fmt.Errorf("deploy: ConfigMap %s-config not found", o.Name())
+		}
+		data, ok := cm.ConfigData()[key]
+		if !ok {
+			return nil, fmt.Errorf("deploy: ConfigMap %s-config lacks key %s", o.Name(), key)
+		}
+		return []byte(data), nil
+	}
+
+	switch pod.Component {
+	case "message-broker":
+		b := broker.New()
+		if err := b.Serve("127.0.0.1:0"); err != nil {
+			return fail(err)
+		}
+		c.mu.Lock()
+		c.broker = b
+		c.brokerAddr = b.Addr()
+		c.mu.Unlock()
+
+	case "opcua-server":
+		raw, err := cfg("server.json")
+		if err != nil {
+			return fail(err)
+		}
+		var sc codegen.ServerConfig
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return fail(fmt.Errorf("deploy: bad server.json for %s: %w", o.Name(), err))
+		}
+		var machines []codegen.MachineConfig
+		for _, name := range sc.Machines {
+			mraw, err := cfg("machine-" + name + ".json")
+			if err != nil {
+				return fail(err)
+			}
+			var mc codegen.MachineConfig
+			if err := json.Unmarshal(mraw, &mc); err != nil {
+				return fail(fmt.Errorf("deploy: bad machine config %s: %w", name, err))
+			}
+			machines = append(machines, mc)
+		}
+		resolver := c.MachineEndpoints
+		if resolver == nil {
+			resolver = stack.IdentityResolver
+		}
+		srv := stack.NewMachineServer(sc, machines, resolver, c.PollPeriod)
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return fail(err)
+		}
+		c.mu.Lock()
+		c.servers[sc.Name] = srv
+		c.serverAddrs[sc.Name] = srv.Addr()
+		c.mu.Unlock()
+
+	case "opcua-client":
+		raw, err := cfg("client.json")
+		if err != nil {
+			return fail(err)
+		}
+		var cc codegen.ClientConfig
+		if err := json.Unmarshal(raw, &cc); err != nil {
+			return fail(fmt.Errorf("deploy: bad client.json for %s: %w", o.Name(), err))
+		}
+		c.mu.Lock()
+		brokerAddr := c.brokerAddr
+		c.mu.Unlock()
+		if brokerAddr == "" {
+			return fail(fmt.Errorf("deploy: client %s started before the broker", cc.Name))
+		}
+		client := stack.NewBridgeClient(cc, c.resolveServer, brokerAddr)
+		if err := client.Start(); err != nil {
+			return fail(err)
+		}
+		c.mu.Lock()
+		c.clients[cc.Name] = client
+		c.mu.Unlock()
+
+	case "historian":
+		raw, err := cfg("storage.json")
+		if err != nil {
+			return fail(err)
+		}
+		var sc codegen.StorageConfig
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return fail(fmt.Errorf("deploy: bad storage.json for %s: %w", o.Name(), err))
+		}
+		c.mu.Lock()
+		brokerAddr := c.brokerAddr
+		c.mu.Unlock()
+		if brokerAddr == "" {
+			return fail(fmt.Errorf("deploy: historian %s started before the broker", sc.Name))
+		}
+		svc, err := historian.NewService(brokerAddr, sc.Topics, sc.Retention)
+		if err != nil {
+			return fail(err)
+		}
+		c.mu.Lock()
+		c.historians[sc.Name] = svc
+		c.mu.Unlock()
+
+	case "monitor":
+		raw, err := cfg("monitor.json")
+		if err != nil {
+			return fail(err)
+		}
+		var mc codegen.MonitorConfig
+		if err := json.Unmarshal(raw, &mc); err != nil {
+			return fail(fmt.Errorf("deploy: bad monitor.json for %s: %w", o.Name(), err))
+		}
+		c.mu.Lock()
+		brokerAddr := c.brokerAddr
+		c.mu.Unlock()
+		if brokerAddr == "" {
+			return fail(fmt.Errorf("deploy: monitor %s started before the broker", mc.Name))
+		}
+		mon := stack.NewWorkcellMonitor(mc, brokerAddr)
+		if err := mon.Start(); err != nil {
+			return fail(err)
+		}
+		c.mu.Lock()
+		c.monitors[mc.Name] = mon
+		c.mu.Unlock()
+
+	default:
+		return fail(fmt.Errorf("deploy: deployment %s has no recognized component label", o.Name()))
+	}
+
+	c.mu.Lock()
+	pod.Phase = PodRunning
+	pod.Started = time.Now()
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Cluster) resolveServer(server string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr, ok := c.serverAddrs[server]
+	if !ok {
+		return "", fmt.Errorf("deploy: OPC UA server %q is not running", server)
+	}
+	return addr, nil
+}
+
+// Pods returns pod statuses sorted by name.
+func (c *Cluster) Pods() []Pod {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Pod, 0, len(c.pods))
+	for _, p := range c.pods {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AllRunning reports whether every pod reached Running.
+func (c *Cluster) AllRunning() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pods) == 0 {
+		return false
+	}
+	for _, p := range c.pods {
+		if p.Phase != PodRunning {
+			return false
+		}
+	}
+	return true
+}
+
+// BrokerAddr returns the running broker's address ("" if absent).
+func (c *Cluster) BrokerAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brokerAddr
+}
+
+// Historian returns a running historian service by name, or nil.
+func (c *Cluster) Historian(name string) *historian.Service {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.historians[name]
+}
+
+// Historians lists running historian names, sorted.
+func (c *Cluster) Historians() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for name := range c.historians {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Server returns a running OPC UA server component by name, or nil.
+func (c *Cluster) Server(name string) *stack.MachineServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[name]
+}
+
+// Client returns a running bridge client by name, or nil.
+func (c *Cluster) Client(name string) *stack.BridgeClient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clients[name]
+}
+
+// Monitor returns a running workcell monitor by name, or nil.
+func (c *Cluster) Monitor(name string) *stack.WorkcellMonitor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.monitors[name]
+}
+
+// NodeLoads returns pod counts per node (diagnostics and tests).
+func (c *Cluster) NodeLoads() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int{}
+	for _, n := range c.nodes {
+		out[n.Name] = n.pods
+	}
+	return out
+}
+
+// Shutdown stops every running component.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	clients := c.clients
+	servers := c.servers
+	historians := c.historians
+	monitors := c.monitors
+	b := c.broker
+	c.clients = map[string]*stack.BridgeClient{}
+	c.servers = map[string]*stack.MachineServer{}
+	c.historians = map[string]*historian.Service{}
+	c.monitors = map[string]*stack.WorkcellMonitor{}
+	c.broker = nil
+	c.brokerAddr = ""
+	c.mu.Unlock()
+
+	for _, mo := range monitors {
+		mo.Stop()
+	}
+	for _, cl := range clients {
+		cl.Stop()
+	}
+	for _, h := range historians {
+		h.Close()
+	}
+	for _, s := range servers {
+		s.Stop()
+	}
+	if b != nil {
+		b.Close()
+	}
+}

@@ -1,0 +1,46 @@
+package deploy
+
+import (
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/machinesim"
+	"github.com/smartfactory/sysml2conf/internal/stack"
+)
+
+// SpecForMachine derives a machine emulator spec from a generated machine
+// config: the emulator exposes exactly the modeled variables and services.
+func SpecForMachine(mc codegen.MachineConfig) machinesim.Spec {
+	spec := machinesim.Spec{Name: mc.Machine}
+	for _, v := range mc.Variables {
+		spec.Vars = append(spec.Vars, machinesim.VarSpec{
+			Name: v.Path, Type: v.Type, Category: v.Category,
+		})
+	}
+	for _, m := range mc.Methods {
+		ms := machinesim.MethodSpec{Name: m.Name}
+		for _, a := range m.Args {
+			ms.Args = append(ms.Args, a.Type)
+		}
+		for _, r := range m.Returns {
+			ms.Returns = append(ms.Returns, r.Type)
+		}
+		spec.Methods = append(spec.Methods, ms)
+	}
+	return spec
+}
+
+// StartFleet launches one machine emulator per machine config and returns
+// the fleet plus an endpoint resolver mapping machine names to the live
+// emulator addresses (standing in for the plant network of the modeled
+// ip/ip_port endpoints).
+func StartFleet(machines []codegen.MachineConfig, genPeriod time.Duration) (*machinesim.Fleet, stack.EndpointResolver, error) {
+	fleet := machinesim.NewFleet()
+	for _, mc := range machines {
+		if _, err := fleet.Start(SpecForMachine(mc), genPeriod); err != nil {
+			fleet.Close()
+			return nil, nil, err
+		}
+	}
+	return fleet, stack.MapResolver(fleet.Addrs()), nil
+}

@@ -1,0 +1,238 @@
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/k8s"
+)
+
+// Remove stops the component behind a Deployment and frees its pod slot.
+func (c *Cluster) Remove(deploymentName string) error {
+	podName := deploymentName + "-0"
+	c.mu.Lock()
+	pod, ok := c.pods[podName]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("deploy: pod %s not found", podName)
+	}
+	delete(c.pods, podName)
+	for _, n := range c.nodes {
+		if n.Name == pod.Node && n.pods > 0 {
+			n.pods--
+		}
+	}
+	component := pod.Component
+	c.mu.Unlock()
+
+	switch component {
+	case "message-broker":
+		c.mu.Lock()
+		b := c.broker
+		c.broker = nil
+		c.brokerAddr = ""
+		c.mu.Unlock()
+		if b != nil {
+			b.Close()
+		}
+	case "opcua-server":
+		// The deployment, the server component and its service share the
+		// same name ("opcua-server-<workcell>").
+		c.mu.Lock()
+		srv := c.servers[deploymentName]
+		delete(c.servers, deploymentName)
+		delete(c.serverAddrs, deploymentName)
+		c.mu.Unlock()
+		if srv != nil {
+			srv.Stop()
+		}
+	case "opcua-client":
+		c.mu.Lock()
+		cl := c.clients[deploymentName]
+		delete(c.clients, deploymentName)
+		c.mu.Unlock()
+		if cl != nil {
+			cl.Stop()
+		}
+	case "historian":
+		c.mu.Lock()
+		h := c.historians[deploymentName]
+		delete(c.historians, deploymentName)
+		c.mu.Unlock()
+		if h != nil {
+			h.Close()
+		}
+	case "monitor":
+		c.mu.Lock()
+		mon := c.monitors[deploymentName]
+		delete(c.monitors, deploymentName)
+		c.mu.Unlock()
+		if mon != nil {
+			mon.Stop()
+		}
+	}
+	return nil
+}
+
+// ReconfigureReport records what a Reconfigure run did.
+type ReconfigureReport struct {
+	Diff      codegen.Diff
+	Stopped   []string // deployment names stopped
+	Started   []string // deployment names (re)started
+	Untouched int      // deployments left running
+}
+
+// Reconfigure transitions a running cluster from the configuration in old
+// to the configuration in new, restarting only what the manifest diff (and
+// its runtime dependencies) requires:
+//
+//   - a changed or removed manifest stops its deployments;
+//   - a broker restart cascades to every dependent component (clients and
+//     historians hold broker connections);
+//   - an OPC UA server restart cascades to all client modules (they hold
+//     connections to the server's old endpoint);
+//   - added and changed manifests then start in dependency order.
+//
+// This is the operational counterpart of codegen.DiffBundles: when the
+// SysML model evolves, the plant is reconciled incrementally instead of
+// being redeployed from scratch.
+func (c *Cluster) Reconfigure(old, new *codegen.Bundle) (*ReconfigureReport, error) {
+	diff := codegen.DiffBundles(old, new)
+	report := &ReconfigureReport{Diff: diff}
+	if diff.Empty() {
+		c.mu.Lock()
+		report.Untouched = len(c.pods)
+		c.mu.Unlock()
+		return report, nil
+	}
+
+	oldObjs, err := manifestObjects(old)
+	if err != nil {
+		return nil, err
+	}
+	newObjs, err := manifestObjects(new)
+	if err != nil {
+		return nil, err
+	}
+
+	changedOrRemoved := map[string]bool{}
+	for _, f := range diff.Changed {
+		changedOrRemoved[f] = true
+	}
+	for _, f := range diff.Removed {
+		changedOrRemoved[f] = true
+	}
+	addedOrChanged := map[string]bool{}
+	for _, f := range diff.Added {
+		addedOrChanged[f] = true
+	}
+	for _, f := range diff.Changed {
+		addedOrChanged[f] = true
+	}
+
+	// Deployments to stop: those in changed/removed manifests...
+	stop := map[string]k8s.Object{}
+	brokerRestarts, serverRestarts := false, false
+	for file, objs := range oldObjs {
+		if !changedOrRemoved[file] {
+			continue
+		}
+		for _, o := range objs {
+			if o.Kind() != "Deployment" {
+				continue
+			}
+			stop[o.Name()] = o
+			switch componentOf(o) {
+			case "message-broker":
+				brokerRestarts = true
+			case "opcua-server":
+				serverRestarts = true
+			}
+		}
+	}
+	// ...plus dependency cascades.
+	for _, objs := range oldObjs {
+		for _, o := range objs {
+			if o.Kind() != "Deployment" {
+				continue
+			}
+			comp := componentOf(o)
+			cascade := (brokerRestarts && (comp == "opcua-client" || comp == "historian" || comp == "monitor")) ||
+				(serverRestarts && comp == "opcua-client")
+			if cascade {
+				stop[o.Name()] = o
+			}
+		}
+	}
+
+	// Stop in reverse dependency order.
+	var stopList []k8s.Object
+	for _, o := range stop {
+		stopList = append(stopList, o)
+	}
+	sort.SliceStable(stopList, func(i, j int) bool {
+		ri, rj := componentRank(stopList[i]), componentRank(stopList[j])
+		if ri != rj {
+			return ri > rj
+		}
+		return stopList[i].Name() < stopList[j].Name()
+	})
+	for _, o := range stopList {
+		if err := c.Remove(o.Name()); err != nil {
+			return report, err
+		}
+		report.Stopped = append(report.Stopped, o.Name())
+	}
+
+	// Start: deployments from added/changed manifests plus everything the
+	// cascade stopped whose manifest still exists in new.
+	restart := map[string]bool{}
+	for _, o := range stopList {
+		restart[o.Name()] = true
+	}
+	var startObjs []k8s.Object
+	configMaps := map[string]k8s.Object{}
+	for file, objs := range newObjs {
+		fileSelected := addedOrChanged[file]
+		for _, o := range objs {
+			switch o.Kind() {
+			case "ConfigMap":
+				configMaps[o.Namespace()+"/"+o.Name()] = o
+			case "Deployment":
+				if fileSelected || restart[o.Name()] {
+					startObjs = append(startObjs, o)
+				}
+			}
+		}
+	}
+	sort.SliceStable(startObjs, func(i, j int) bool {
+		ri, rj := componentRank(startObjs[i]), componentRank(startObjs[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return startObjs[i].Name() < startObjs[j].Name()
+	})
+	for _, o := range startObjs {
+		if err := c.startDeployment(o, configMaps); err != nil {
+			return report, err
+		}
+		report.Started = append(report.Started, o.Name())
+	}
+	c.mu.Lock()
+	report.Untouched = len(c.pods) - len(report.Started)
+	c.mu.Unlock()
+	return report, nil
+}
+
+func manifestObjects(b *codegen.Bundle) (map[string][]k8s.Object, error) {
+	out := map[string][]k8s.Object{}
+	for name, data := range b.Manifests {
+		objs, err := k8s.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: decode %s: %w", name, err)
+		}
+		out[name] = objs
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package deploy
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/machinesim"
+)
+
+// reconfigRig deploys the full ICE Lab and returns everything needed to
+// evolve it.
+type reconfigRig struct {
+	cluster *Cluster
+	fleet   *machinesim.Fleet
+	bundle  *codegen.Bundle
+	addrs   map[string]string
+}
+
+func startReconfigRig(t *testing.T, spec icelab.FactorySpec) *reconfigRig {
+	t.Helper()
+	factory := icelab.MustBuild(spec)
+	bundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, _, err := StartFleet(bundle.Intermediate.Machines, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+
+	rig := &reconfigRig{fleet: fleet, bundle: bundle, addrs: fleet.Addrs()}
+	cluster := NewCluster(3, 32)
+	// Resolver uses the rig's mutable table so machines added later are
+	// found too.
+	cluster.MachineEndpoints = func(machine string, _ codegen.DriverConfig) (string, error) {
+		addr, ok := rig.addrs[machine]
+		if !ok {
+			return "", errNoEndpoint(machine)
+		}
+		return addr, nil
+	}
+	cluster.PollPeriod = 10 * time.Millisecond
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Shutdown)
+	rig.cluster = cluster
+	return rig
+}
+
+type errNoEndpoint string
+
+func (e errNoEndpoint) Error() string { return "no endpoint for machine " + string(e) }
+
+func waitForSeries(t *testing.T, c *Cluster, series string, n int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		for _, name := range c.Historians() {
+			if c.Historian(name).Store.Count(series) >= n {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("series %s never reached %d samples", series, n)
+}
+
+func TestReconfigureNoChanges(t *testing.T) {
+	rig := startReconfigRig(t, icelab.ICELab())
+	report, err := rig.cluster.Reconfigure(rig.bundle, rig.bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Diff.Empty() || len(report.Stopped) != 0 || len(report.Started) != 0 {
+		t.Errorf("report = %+v", report)
+	}
+	if report.Untouched != 18 {
+		t.Errorf("untouched = %d, want 18", report.Untouched)
+	}
+}
+
+func TestReconfigureMachineAdded(t *testing.T) {
+	rig := startReconfigRig(t, icelab.ICELab())
+
+	// Evolve the model: a third AGV joins workcell 06.
+	grown := icelab.ICELab()
+	extra := grown.Machines[len(grown.Machines)-1]
+	extra.Name = "rbKairos3"
+	extra.IP = "10.197.12.73"
+	extra.Port = 4849
+	grown.Machines = append(grown.Machines, extra)
+	factory := icelab.MustBuild(grown)
+	newBundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Start the new machine's emulator before reconciling.
+	for _, mc := range newBundle.Intermediate.Machines {
+		if mc.Machine == "rbKairos3" {
+			m, err := rig.fleet.Start(SpecForMachine(mc), 10*time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rig.addrs["rbKairos3"] = m.Addr()
+		}
+	}
+
+	report, err := rig.cluster.Reconfigure(rig.bundle, newBundle)
+	if err != nil {
+		t.Fatalf("reconfigure: %v (report %+v)", err, report)
+	}
+	if !rig.cluster.AllRunning() {
+		for _, p := range rig.cluster.Pods() {
+			t.Logf("pod %s: %s %s", p.Name, p.Phase, p.Error)
+		}
+		t.Fatal("pods not all running after reconfigure")
+	}
+	// The broker never restarted (its manifest is unchanged).
+	for _, name := range report.Stopped {
+		if name == "message-broker" {
+			t.Error("broker restarted needlessly")
+		}
+	}
+	// New machine's data flows.
+	waitForSeries(t, rig.cluster,
+		"factory/ICEProductionLine/workCell06/rbKairos3/values/Battery/batteryLevel", 2, 10*time.Second)
+	// Old machines keep flowing too (fresh samples post-reconfigure).
+	waitForSeries(t, rig.cluster,
+		"factory/ICEProductionLine/workCell02/emco/values/AxesPositions/actualX", 2, 10*time.Second)
+}
+
+func TestReconfigureDriverEndpointChange(t *testing.T) {
+	rig := startReconfigRig(t, icelab.ICELab())
+
+	// The EMCO moves to a new IP; its emulator "moves" too (same address
+	// table entry, new modeled endpoint).
+	moved := icelab.ICELab()
+	for i := range moved.Machines {
+		if moved.Machines[i].Name == "emco" {
+			moved.Machines[i].IP = "10.197.99.99"
+		}
+	}
+	factory := icelab.MustBuild(moved)
+	newBundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := rig.cluster.Reconfigure(rig.bundle, newBundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workcell02 server restarted; all clients cascaded; historians
+	// and broker stayed.
+	stopped := map[string]bool{}
+	for _, n := range report.Stopped {
+		stopped[n] = true
+	}
+	if !stopped["opcua-server-workcell02"] {
+		t.Errorf("stopped = %v, want workcell02 server", report.Stopped)
+	}
+	if stopped["message-broker"] {
+		t.Error("broker restarted for a server-only change")
+	}
+	if stopped["historian-1"] || stopped["historian-2"] {
+		t.Error("historians restarted for a server-only change")
+	}
+	if !stopped["opcua-client-1"] {
+		t.Errorf("clients did not cascade: %v", report.Stopped)
+	}
+	if !rig.cluster.AllRunning() {
+		t.Fatal("pods not all running")
+	}
+	// Data still flows after the reconfiguration.
+	start := time.Now()
+	waitForSeries(t, rig.cluster,
+		"factory/ICEProductionLine/workCell02/emco/values/AxesPositions/actualX", 2, 10*time.Second)
+	_ = start
+}
+
+func TestRemoveUnknownPod(t *testing.T) {
+	cluster := NewCluster(1, 4)
+	if err := cluster.Remove("ghost"); err == nil {
+		t.Error("want error removing unknown deployment")
+	}
+}

@@ -1,0 +1,6 @@
+package deploy
+
+import "github.com/smartfactory/sysml2conf/internal/k8s"
+
+// decodeManifest is a small alias used by tests and tools.
+func decodeManifest(data []byte) ([]k8s.Object, error) { return k8s.Decode(data) }

@@ -1,0 +1,234 @@
+// Package historian implements the data-storage component of the factory
+// software stack: an in-memory time-series store that consumes machine data
+// from broker topics and answers range and aggregate queries. It stands in
+// for the databases of the paper's architecture while preserving the same
+// role — "storing the machinery data within the databases".
+package historian
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+)
+
+// Point is one stored sample. Payload is opaque bytes — components store
+// JSON, but the historian does not require it (snapshots base64-encode it).
+type Point struct {
+	Time    time.Time `json:"time"`
+	Payload []byte    `json:"payload"`
+}
+
+// Float attempts to interpret the payload as a number (raw JSON number, or
+// an object with a "value" field).
+func (p Point) Float() (float64, bool) {
+	var f float64
+	if err := json.Unmarshal(p.Payload, &f); err == nil {
+		return f, true
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(p.Payload, &obj); err == nil {
+		switch v := obj["value"].(type) {
+		case float64:
+			return v, true
+		case string:
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				return f, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Store is a concurrency-safe multi-series store with bounded retention.
+type Store struct {
+	mu           sync.RWMutex
+	series       map[string][]Point
+	maxPerSeries int
+	appended     uint64
+}
+
+// NewStore creates a store retaining up to maxPerSeries points per series
+// (0 means the default of 10000).
+func NewStore(maxPerSeries int) *Store {
+	if maxPerSeries <= 0 {
+		maxPerSeries = 10000
+	}
+	return &Store{series: map[string][]Point{}, maxPerSeries: maxPerSeries}
+}
+
+// Append stores a sample. Samples are expected in non-decreasing time
+// order per series; out-of-order samples are inserted by time.
+func (s *Store) Append(series string, t time.Time, payload []byte) {
+	p := Point{Time: t, Payload: append([]byte(nil), payload...)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pts := s.series[series]
+	if n := len(pts); n > 0 && pts[n-1].Time.After(t) {
+		i := sort.Search(n, func(i int) bool { return pts[i].Time.After(t) })
+		pts = append(pts, Point{})
+		copy(pts[i+1:], pts[i:])
+		pts[i] = p
+	} else {
+		pts = append(pts, p)
+	}
+	if len(pts) > s.maxPerSeries {
+		pts = pts[len(pts)-s.maxPerSeries:]
+	}
+	s.series[series] = pts
+	s.appended++
+}
+
+// Series lists stored series names, sorted.
+func (s *Store) Series() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for k := range s.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of stored points in a series.
+func (s *Store) Count(series string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series[series])
+}
+
+// TotalAppended returns the lifetime number of appended points.
+func (s *Store) TotalAppended() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.appended
+}
+
+// Latest returns the most recent point of a series.
+func (s *Store) Latest(series string) (Point, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pts := s.series[series]
+	if len(pts) == 0 {
+		return Point{}, fmt.Errorf("historian: series %q is empty", series)
+	}
+	return pts[len(pts)-1], nil
+}
+
+// Range returns points with from <= t < to, in time order.
+func (s *Store) Range(series string, from, to time.Time) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pts := s.series[series]
+	lo := sort.Search(len(pts), func(i int) bool { return !pts[i].Time.Before(from) })
+	hi := sort.Search(len(pts), func(i int) bool { return !pts[i].Time.Before(to) })
+	out := make([]Point, hi-lo)
+	copy(out, pts[lo:hi])
+	return out
+}
+
+// Aggregate summarizes numeric samples in [from, to).
+type Aggregate struct {
+	Count int
+	Min   float64
+	Max   float64
+	Mean  float64
+}
+
+// ErrNoNumericData reports that a range held no numeric samples.
+var ErrNoNumericData = errors.New("historian: no numeric data in range")
+
+// AggregateRange computes Count/Min/Max/Mean over numeric samples.
+func (s *Store) AggregateRange(series string, from, to time.Time) (Aggregate, error) {
+	pts := s.Range(series, from, to)
+	agg := Aggregate{}
+	sum := 0.0
+	for _, p := range pts {
+		f, ok := p.Float()
+		if !ok {
+			continue
+		}
+		if agg.Count == 0 {
+			agg.Min, agg.Max = f, f
+		} else {
+			if f < agg.Min {
+				agg.Min = f
+			}
+			if f > agg.Max {
+				agg.Max = f
+			}
+		}
+		agg.Count++
+		sum += f
+	}
+	if agg.Count == 0 {
+		return agg, ErrNoNumericData
+	}
+	agg.Mean = sum / float64(agg.Count)
+	return agg, nil
+}
+
+// ---------------------------------------------------------------------------
+// Broker-fed service
+
+// Service subscribes to broker topics and stores everything it receives,
+// keyed by topic.
+type Service struct {
+	Store *Store
+
+	client  *broker.Client
+	subIDs  []int
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	stopped bool
+
+	// Now returns the ingestion timestamp; overridable in tests.
+	Now func() time.Time
+}
+
+// NewService creates a historian service over its own broker connection.
+func NewService(brokerAddr string, topics []string, maxPerSeries int) (*Service, error) {
+	client, err := broker.DialClient(brokerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("historian: %w", err)
+	}
+	svc := &Service{Store: NewStore(maxPerSeries), client: client, Now: time.Now}
+	for _, topic := range topics {
+		id, ch, err := client.Subscribe(topic)
+		if err != nil {
+			client.Close()
+			return nil, fmt.Errorf("historian: subscribe %q: %w", topic, err)
+		}
+		svc.subIDs = append(svc.subIDs, id)
+		svc.wg.Add(1)
+		go svc.pump(ch)
+	}
+	return svc, nil
+}
+
+func (s *Service) pump(ch <-chan broker.Message) {
+	defer s.wg.Done()
+	for m := range ch {
+		s.Store.Append(m.Topic, s.Now(), m.Payload)
+	}
+}
+
+// Close stops ingestion and drops the broker connection.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	err := s.client.Close()
+	s.wg.Wait()
+	return err
+}

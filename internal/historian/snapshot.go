@@ -1,0 +1,73 @@
+package historian
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is the serializable state of a Store — the persistence format
+// used to checkpoint and restore historians across restarts (a stand-in
+// for the durable databases of the paper's architecture).
+type Snapshot struct {
+	Version      int                `json:"version"`
+	TakenAt      time.Time          `json:"takenAt"`
+	MaxPerSeries int                `json:"maxPerSeries"`
+	Series       map[string][]Point `json:"series"`
+}
+
+// snapshotVersion is the current persistence format version.
+const snapshotVersion = 1
+
+// Snapshot captures the store's full contents.
+func (s *Store) Snapshot() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := Snapshot{
+		Version:      snapshotVersion,
+		TakenAt:      time.Now().UTC(),
+		MaxPerSeries: s.maxPerSeries,
+		Series:       make(map[string][]Point, len(s.series)),
+	}
+	for name, pts := range s.series {
+		cp := make([]Point, len(pts))
+		copy(cp, pts)
+		snap.Series[name] = cp
+	}
+	return snap
+}
+
+// WriteSnapshot streams the snapshot as JSON.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		return fmt.Errorf("historian: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// RestoreStore reconstructs a store from a snapshot stream. Points are
+// re-appended in time order per series, so retention bounds apply.
+func RestoreStore(r io.Reader) (*Store, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("historian: read snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("historian: unsupported snapshot version %d", snap.Version)
+	}
+	store := NewStore(snap.MaxPerSeries)
+	names := make([]string, 0, len(snap.Series))
+	for name := range snap.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, p := range snap.Series[name] {
+			store.Append(name, p.Time, p.Payload)
+		}
+	}
+	return store, nil
+}

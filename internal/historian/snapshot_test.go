@@ -1,0 +1,94 @@
+package historian
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewStore(100)
+	for i := 0; i < 10; i++ {
+		s.Append("a/x", t0.Add(time.Duration(i)*time.Second), []byte(fmt.Sprintf("%d", i)))
+	}
+	s.Append("b/y", t0, []byte(`{"value": 1.5}`))
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Series(), s.Series()) {
+		t.Errorf("series = %v vs %v", restored.Series(), s.Series())
+	}
+	for _, name := range s.Series() {
+		if restored.Count(name) != s.Count(name) {
+			t.Errorf("%s count = %d vs %d", name, restored.Count(name), s.Count(name))
+		}
+	}
+	p, err := restored.Latest("a/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Payload) != "9" {
+		t.Errorf("latest = %s", p.Payload)
+	}
+	agg, err := restored.AggregateRange("a/x", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 10 || agg.Mean != 4.5 {
+		t.Errorf("agg = %+v", agg)
+	}
+}
+
+func TestSnapshotPreservesRetention(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 10; i++ {
+		s.Append("a", t0.Add(time.Duration(i)*time.Second), []byte("x"))
+	}
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Count("a") != 3 {
+		t.Errorf("count = %d", restored.Count("a"))
+	}
+	// Retention still enforced after restore.
+	for i := 10; i < 20; i++ {
+		restored.Append("a", t0.Add(time.Duration(i)*time.Second), []byte("y"))
+	}
+	if restored.Count("a") != 3 {
+		t.Errorf("post-restore count = %d", restored.Count("a"))
+	}
+}
+
+func TestRestoreRejectsBadInput(t *testing.T) {
+	if _, err := RestoreStore(strings.NewReader("{not json")); err == nil {
+		t.Error("want decode error")
+	}
+	if _, err := RestoreStore(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("want version error")
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	s := NewStore(0)
+	s.Append("a", t0, []byte("1"))
+	snap := s.Snapshot()
+	// Mutating the store after the snapshot must not affect it.
+	s.Append("a", t0.Add(time.Second), []byte("2"))
+	if len(snap.Series["a"]) != 1 {
+		t.Errorf("snapshot mutated: %d points", len(snap.Series["a"]))
+	}
+}

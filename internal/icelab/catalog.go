@@ -1,0 +1,543 @@
+// Package icelab holds the complete model of the ICE Laboratory — the
+// guiding example and evaluation subject of the paper — as a machine
+// catalog plus a synthesizer that renders it (or scaled variants of it)
+// into SysML v2 textual notation following the modeling methodology.
+//
+// The catalog reproduces the paper's Table I inventory: six workcells and
+// ten machines whose variable and service counts match the Machine
+// Variables and Machine Services columns exactly.
+package icelab
+
+import "fmt"
+
+// VarDef declares one machine variable in the catalog.
+type VarDef struct {
+	Name string
+	Type string // Double, Integer, Boolean, String
+}
+
+// Category groups variables the way the model groups them into parts.
+type Category struct {
+	Name string
+	Vars []VarDef
+}
+
+// ParamDef is one service argument or return.
+type ParamDef struct {
+	Name string
+	Type string
+}
+
+// ServiceDef declares one machine service.
+type ServiceDef struct {
+	Name    string
+	Args    []ParamDef
+	Returns []ParamDef
+}
+
+// DriverKind distinguishes generic (standardized protocol) drivers from
+// machine-proprietary ones, mirroring the GenericDriver / MachineDriver
+// split of the methodology.
+type DriverKind int
+
+const (
+	// GenericOPCUA models a standardized OPC UA communication interface.
+	GenericOPCUA DriverKind = iota
+	// Proprietary models a machine-specific driver protocol.
+	Proprietary
+)
+
+// MachineSpec is one catalog machine.
+type MachineSpec struct {
+	// Name is the instance name in the topology (lowerCamel, unique).
+	Name string
+	// TypeName is the SysML part definition name.
+	TypeName string
+	// Display is the paper's human-readable machine name.
+	Display string
+	// Workcell the machine belongs to ("workCell01".."workCell06").
+	Workcell string
+	Driver   DriverKind
+	// IP and Port are the modeled driver connection parameters.
+	IP   string
+	Port int
+	// ExtraParams adds driver-specific configuration attributes.
+	ExtraParams map[string]string
+	Categories  []Category
+	Services    []ServiceDef
+}
+
+// VariableCount returns the total number of variables.
+func (m MachineSpec) VariableCount() int {
+	n := 0
+	for _, c := range m.Categories {
+		n += len(c.Vars)
+	}
+	return n
+}
+
+// ProcessStepSpec is one step of a modeled production process.
+type ProcessStepSpec struct {
+	Machine string // machine instance name
+	Service string // service (action) name on that machine
+}
+
+// ProcessSpec is a production process composed of machine services,
+// rendered into the model as an action performing each step in sequence
+// (the SOM composition of the paper's Section II).
+type ProcessSpec struct {
+	Name  string
+	Steps []ProcessStepSpec
+}
+
+// FactorySpec is a whole plant for the synthesizer.
+type FactorySpec struct {
+	TopologyName string
+	Enterprise   string
+	Site         string
+	Area         string
+	Line         string
+	Machines     []MachineSpec
+	Processes    []ProcessSpec
+	// LineMonitors declares production-line-level monitoring attributes
+	// (paper Code 1's ProductionLineVariables), aggregated over every
+	// machine of the line. Same recognized name shapes as workcell
+	// monitors.
+	LineMonitors []VarDef
+	// WorkcellMonitors declares workcell-level monitoring attributes
+	// (paper Code 1's WorkCellVariables): aggregated quantities computed
+	// over the workcell's machine data by the generated monitor component.
+	// Recognized name shapes: "samples_total", "variables_live",
+	// "mean_<machineVar>", "max_<machineVar>".
+	WorkcellMonitors map[string][]VarDef
+}
+
+// Workcells returns the distinct workcell names in declaration order.
+func (f FactorySpec) Workcells() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range f.Machines {
+		if !seen[m.Workcell] {
+			seen[m.Workcell] = true
+			out = append(out, m.Workcell)
+		}
+	}
+	return out
+}
+
+// boolRet is the common single-Boolean return signature.
+var boolRet = []ParamDef{{Name: "result", Type: "Boolean"}}
+
+func svc(name string, args ...ParamDef) ServiceDef {
+	return ServiceDef{Name: name, Args: args, Returns: boolRet}
+}
+
+func vd(name, typ string) VarDef { return VarDef{Name: name, Type: typ} }
+
+func doubles(names ...string) []VarDef {
+	out := make([]VarDef, len(names))
+	for i, n := range names {
+		out[i] = vd(n, "Double")
+	}
+	return out
+}
+
+func booleans(names ...string) []VarDef {
+	out := make([]VarDef, len(names))
+	for i, n := range names {
+		out[i] = vd(n, "Boolean")
+	}
+	return out
+}
+
+// ICELab returns the catalog of the ICE Laboratory production line with the
+// Table I machine inventory.
+func ICELab() FactorySpec {
+	return FactorySpec{
+		TopologyName: "ICETopology",
+		Enterprise:   "UniVR",
+		Site:         "Verona",
+		Area:         "ICELab",
+		Line:         "ICEProductionLine",
+		Machines: []MachineSpec{
+			speaATE(), emcoMilling(), ur5eCobot(),
+			siemensPLC(), fiamETensil(), qualityControlPC(),
+			verticalWarehouse(), conveyorLine(),
+			rbKairos(1), rbKairos(2),
+		},
+		LineMonitors: []VarDef{
+			vd("samples_total", "Integer"),
+			vd("variables_live", "Integer"),
+		},
+		WorkcellMonitors: map[string][]VarDef{
+			"workCell02": {
+				vd("samples_total", "Integer"),
+				vd("variables_live", "Integer"),
+				vd("mean_spindleLoad", "Double"),
+			},
+			"workCell06": {
+				vd("samples_total", "Integer"),
+				vd("max_lineSpeed", "Double"),
+			},
+		},
+		Processes: []ProcessSpec{
+			{
+				Name: "produceFlange",
+				Steps: []ProcessStepSpec{
+					{Machine: "warehouse", Service: "call_tray"},
+					{Machine: "rbKairos1", Service: "pick"},
+					{Machine: "ur5", Service: "move_to_pose"},
+					{Machine: "emco", Service: "start_program"},
+					{Machine: "emco", Service: "stop_program"},
+					{Machine: "fiam", Service: "start_tightening"},
+					{Machine: "qualityPC", Service: "start_inspection"},
+					{Machine: "warehouse", Service: "store_tray"},
+				},
+			},
+			{
+				Name: "electronicTest",
+				Steps: []ProcessStepSpec{
+					{Machine: "conveyor", Service: "route_pallet"},
+					{Machine: "speaATE", Service: "load_testplan"},
+					{Machine: "speaATE", Service: "start_test"},
+					{Machine: "speaATE", Service: "get_report"},
+					{Machine: "conveyor", Service: "release_pallet"},
+				},
+			},
+		},
+	}
+}
+
+// speaATE: WC01, OPC UA, 3 variables / 5 services.
+func speaATE() MachineSpec {
+	return MachineSpec{
+		Name: "speaATE", TypeName: "SPEAATE", Display: "SPEA ATE",
+		Workcell: "workCell01", Driver: GenericOPCUA,
+		IP: "10.197.12.21", Port: 4841,
+		Categories: []Category{
+			{Name: "TestStatus", Vars: []VarDef{
+				vd("testRunning", "Boolean"), vd("testResult", "String"), vd("testProgress", "Double"),
+			}},
+		},
+		Services: []ServiceDef{
+			svc("is_ready"),
+			svc("start_test", ParamDef{"testPlan", "String"}),
+			svc("abort_test"),
+			svc("load_testplan", ParamDef{"path", "String"}),
+			{Name: "get_report", Returns: []ParamDef{{"report", "String"}}},
+		},
+	}
+}
+
+// emcoMilling: WC02, proprietary driver, 34 variables / 19 services.
+func emcoMilling() MachineSpec {
+	return MachineSpec{
+		Name: "emco", TypeName: "EMCOMill", Display: "EMCO Milling",
+		Workcell: "workCell02", Driver: Proprietary,
+		IP: "10.197.12.11", Port: 5557,
+		ExtraParams: map[string]string{"program_file_path": "programs/current.nc"},
+		Categories: []Category{
+			{Name: "AxesPositions", Vars: doubles(
+				"actualX", "actualY", "actualZ",
+				"targetX", "targetY", "targetZ",
+				"distToGoX", "distToGoY", "distToGoZ")},
+			{Name: "SpindleData", Vars: doubles(
+				"spindleSpeed", "spindleLoad", "spindleTemp",
+				"feedRate", "feedOverride", "rapidOverride")},
+			{Name: "ProgramState", Vars: []VarDef{
+				vd("programName", "String"), vd("programStatus", "String"),
+				vd("blockNumber", "Integer"), vd("executionTime", "Double"),
+				vd("partCounter", "Integer"),
+			}},
+			{Name: "ToolData", Vars: []VarDef{
+				vd("toolNumber", "Integer"), vd("toolOffsetX", "Double"),
+				vd("toolOffsetZ", "Double"), vd("toolLife", "Double"),
+			}},
+			{Name: "SystemStatus", Vars: []VarDef{
+				vd("mode", "String"), vd("alarmCode", "Integer"),
+				vd("alarmActive", "Boolean"), vd("emergencyStop", "Boolean"),
+				vd("doorClosed", "Boolean"), vd("coolantOn", "Boolean"),
+				vd("lubricationOk", "Boolean"), vd("powerOn", "Boolean"),
+				vd("controlVoltage", "Double"), vd("hydraulicPressure", "Double"),
+			}},
+		},
+		Services: []ServiceDef{
+			svc("is_ready"),
+			svc("start_program", ParamDef{"program", "String"}),
+			svc("stop_program"), svc("pause_program"), svc("resume_program"),
+			svc("reset"),
+			svc("load_program", ParamDef{"path", "String"}),
+			svc("unload_program"),
+			svc("set_override", ParamDef{"percent", "Integer"}),
+			{Name: "get_tool", Returns: []ParamDef{{"tool", "Integer"}}},
+			svc("set_tool", ParamDef{"tool", "Integer"}),
+			svc("home_axes"),
+			svc("jog_axis", ParamDef{"axis", "String"}, ParamDef{"distance", "Double"}),
+			svc("set_spindle_speed", ParamDef{"rpm", "Double"}),
+			svc("coolant_on"), svc("coolant_off"),
+			svc("open_door"), svc("close_door"),
+			svc("clamp_workpiece"),
+		},
+	}
+}
+
+// ur5eCobot: WC02, proprietary driver, 99 variables / 4 services.
+func ur5eCobot() MachineSpec {
+	joints := []string{"Base", "Shoulder", "Elbow", "Wrist1", "Wrist2", "Wrist3"}
+	var jointStates, jointTargets []VarDef
+	for _, j := range joints {
+		jointStates = append(jointStates,
+			vd("position"+j, "Double"), vd("velocity"+j, "Double"),
+			vd("current"+j, "Double"), vd("temperature"+j, "Double"))
+		jointTargets = append(jointTargets,
+			vd("targetPosition"+j, "Double"), vd("targetVelocity"+j, "Double"))
+	}
+	var ioStatus []VarDef
+	for i := 0; i < 8; i++ {
+		ioStatus = append(ioStatus, vd(fmt.Sprintf("digitalIn%d", i), "Boolean"))
+	}
+	for i := 0; i < 8; i++ {
+		ioStatus = append(ioStatus, vd(fmt.Sprintf("digitalOut%d", i), "Boolean"))
+	}
+	ioStatus = append(ioStatus,
+		vd("analogIn0", "Double"), vd("analogIn1", "Double"),
+		vd("analogOut0", "Double"), vd("analogOut1", "Double"))
+	return MachineSpec{
+		Name: "ur5", TypeName: "UR5e", Display: "UR5e Cobot",
+		Workcell: "workCell02", Driver: Proprietary,
+		IP: "10.197.12.12", Port: 30002,
+		ExtraParams: map[string]string{"rtde_frequency": "125"},
+		Categories: []Category{
+			{Name: "JointStates", Vars: jointStates},   // 24
+			{Name: "JointTargets", Vars: jointTargets}, // 12
+			{Name: "TCPPose", Vars: doubles(
+				"tcpX", "tcpY", "tcpZ", "tcpRX", "tcpRY", "tcpRZ", "tcpSpeed", "tcpForce")}, // 8
+			{Name: "IOStatus", Vars: ioStatus}, // 20
+			{Name: "SafetyStatus", Vars: []VarDef{
+				vd("safetyMode", "String"), vd("protectiveStop", "Boolean"),
+				vd("emergencyStop", "Boolean"), vd("reducedMode", "Boolean"),
+				vd("safeguardStop", "Boolean"), vd("faultState", "Boolean"),
+				vd("threePositionEnabled", "Boolean"),
+			}}, // 7
+			{Name: "RobotState", Vars: []VarDef{
+				vd("robotMode", "String"), vd("programState", "String"),
+				vd("programName", "String"), vd("speedScaling", "Double"),
+				vd("robotVoltage", "Double"), vd("robotCurrent", "Double"),
+				vd("elbowX", "Double"), vd("elbowY", "Double"), vd("elbowZ", "Double"),
+			}}, // 9
+			{Name: "PayloadData", Vars: doubles(
+				"payloadMass", "payloadCogX", "payloadCogY", "payloadCogZ")}, // 4
+			{Name: "PowerData", Vars: doubles(
+				"mainVoltage", "mainCurrent", "ioCurrent", "toolVoltage", "toolCurrent")}, // 5
+			{Name: "ForceTorque", Vars: doubles(
+				"forceX", "forceY", "forceZ", "torqueX", "torqueY", "torqueZ")}, // 6
+			{Name: "Counters", Vars: []VarDef{
+				vd("cycleCount", "Integer"), vd("totalRuntime", "Double"),
+				vd("lastCycleTime", "Double"), vd("errorCount", "Integer"),
+			}}, // 4
+		}, // total 99
+		Services: []ServiceDef{
+			svc("is_ready"),
+			svc("run_program", ParamDef{"program", "String"}),
+			svc("stop_program"),
+			svc("move_to_pose",
+				ParamDef{"x", "Double"}, ParamDef{"y", "Double"}, ParamDef{"z", "Double"}),
+		},
+	}
+}
+
+// siemensPLC: WC03, OPC UA, 26 variables / 8 services.
+func siemensPLC() MachineSpec {
+	var digIn, digOut []VarDef
+	for i := 0; i < 8; i++ {
+		digIn = append(digIn, vd(fmt.Sprintf("di%d", i), "Boolean"))
+		digOut = append(digOut, vd(fmt.Sprintf("do%d", i), "Boolean"))
+	}
+	return MachineSpec{
+		Name: "siemensPLC", TypeName: "SiemensPLC", Display: "Siemens PLC",
+		Workcell: "workCell03", Driver: GenericOPCUA,
+		IP: "10.197.12.31", Port: 4842,
+		Categories: []Category{
+			{Name: "DigitalInputs", Vars: digIn},                              // 8
+			{Name: "DigitalOutputs", Vars: digOut},                            // 8
+			{Name: "AnalogValues", Vars: doubles("ai0", "ai1", "ao0", "ao1")}, // 4
+			{Name: "Counters", Vars: []VarDef{
+				vd("goodParts", "Integer"), vd("badParts", "Integer"), vd("cycleTime", "Double"),
+			}}, // 3
+			{Name: "Status", Vars: []VarDef{
+				vd("running", "Boolean"), vd("fault", "Boolean"), vd("mode", "String"),
+			}}, // 3
+		}, // total 26
+		Services: []ServiceDef{
+			svc("is_ready"), svc("start_cycle"), svc("stop_cycle"), svc("reset_fault"),
+			svc("set_output", ParamDef{"index", "Integer"}, ParamDef{"value", "Boolean"}),
+			{Name: "read_marker", Args: []ParamDef{{"address", "String"}}, Returns: []ParamDef{{"value", "Integer"}}},
+			svc("write_marker", ParamDef{"address", "String"}, ParamDef{"value", "Integer"}),
+			{Name: "get_diagnostics", Returns: []ParamDef{{"diagnostics", "String"}}},
+		},
+	}
+}
+
+// fiamETensil: WC03, OPC UA, 12 variables / 3 services.
+func fiamETensil() MachineSpec {
+	return MachineSpec{
+		Name: "fiam", TypeName: "FiamETensil", Display: "Fiam eTensil",
+		Workcell: "workCell03", Driver: GenericOPCUA,
+		IP: "10.197.12.32", Port: 4843,
+		Categories: []Category{
+			{Name: "TighteningData", Vars: []VarDef{
+				vd("torque", "Double"), vd("angle", "Double"),
+				vd("targetTorque", "Double"), vd("targetAngle", "Double"),
+				vd("tighteningResult", "String"), vd("screwCount", "Integer"),
+			}}, // 6
+			{Name: "ProgramData", Vars: []VarDef{
+				vd("programNumber", "Integer"), vd("programName", "String"),
+			}}, // 2
+			{Name: "Status", Vars: booleans("ready", "busy", "fault", "batchComplete")}, // 4
+		}, // total 12
+		Services: []ServiceDef{
+			svc("is_ready"),
+			svc("start_tightening"),
+			svc("select_program", ParamDef{"program", "Integer"}),
+		},
+	}
+}
+
+// qualityControlPC: WC04, OPC UA, 13 variables / 2 services.
+func qualityControlPC() MachineSpec {
+	return MachineSpec{
+		Name: "qualityPC", TypeName: "QualityControlPC", Display: "Quality Control PC",
+		Workcell: "workCell04", Driver: GenericOPCUA,
+		IP: "10.197.12.41", Port: 4844,
+		Categories: []Category{
+			{Name: "MeasurementData", Vars: []VarDef{
+				vd("dimX", "Double"), vd("dimY", "Double"), vd("dimZ", "Double"),
+				vd("tolerance", "Double"), vd("deviation", "Double"), vd("passed", "Boolean"),
+			}}, // 6
+			{Name: "CameraStatus", Vars: []VarDef{
+				vd("connected", "Boolean"), vd("exposure", "Double"), vd("frameRate", "Double"),
+			}}, // 3
+			{Name: "InspectionState", Vars: []VarDef{
+				vd("inspecting", "Boolean"), vd("lastResult", "String"),
+				vd("defectCount", "Integer"), vd("inspectionTime", "Double"),
+			}}, // 4
+		}, // total 13
+		Services: []ServiceDef{
+			svc("start_inspection", ParamDef{"recipe", "String"}),
+			{Name: "get_result", Returns: []ParamDef{{"passed", "Boolean"}}},
+		},
+	}
+}
+
+// verticalWarehouse: WC05, OPC UA, 5 variables / 3 services.
+func verticalWarehouse() MachineSpec {
+	return MachineSpec{
+		Name: "warehouse", TypeName: "VerticalWarehouse", Display: "Vertical Warehouse",
+		Workcell: "workCell05", Driver: GenericOPCUA,
+		IP: "10.197.12.51", Port: 4845,
+		Categories: []Category{
+			{Name: "TrayStatus", Vars: []VarDef{
+				vd("currentTray", "Integer"), vd("trayPresent", "Boolean"), vd("trayWeight", "Double"),
+			}}, // 3
+			{Name: "Status", Vars: booleans("moving", "fault")}, // 2
+		}, // total 5
+		Services: []ServiceDef{
+			svc("call_tray", ParamDef{"tray", "Integer"}),
+			svc("store_tray"),
+			svc("is_ready"),
+		},
+	}
+}
+
+// conveyorLine: WC06, OPC UA, 296 variables / 10 services.
+func conveyorLine() MachineSpec {
+	segmentVars := func(seg int) []VarDef {
+		p := fmt.Sprintf("seg%02d", seg)
+		return []VarDef{
+			vd(p+"Occupied", "Boolean"), vd(p+"PalletId", "Integer"),
+			vd(p+"MotorOn", "Boolean"), vd(p+"MotorSpeed", "Double"),
+			vd(p+"MotorCurrent", "Double"), vd(p+"SensorEntry", "Boolean"),
+			vd(p+"SensorExit", "Boolean"), vd(p+"StopperClosed", "Boolean"),
+			vd(p+"LifterUp", "Boolean"), vd(p+"Temperature", "Double"),
+			vd(p+"Runtime", "Double"), vd(p+"JamDetected", "Boolean"),
+		} // 12 per segment
+	}
+	var cats []Category
+	for seg := 1; seg <= 24; seg++ {
+		cats = append(cats, Category{Name: fmt.Sprintf("Segment%02d", seg), Vars: segmentVars(seg)})
+	}
+	cats = append(cats, Category{Name: "SystemStatus", Vars: []VarDef{
+		vd("running", "Boolean"), vd("fault", "Boolean"),
+		vd("emergencyStop", "Boolean"), vd("lineSpeed", "Double"),
+		vd("powerConsumption", "Double"), vd("palletCount", "Integer"),
+		vd("mode", "String"), vd("alarmCode", "Integer"),
+	}}) // 8; total 24*12+8 = 296
+	return MachineSpec{
+		Name: "conveyor", TypeName: "ConveyorLine", Display: "Conveyor Line",
+		Workcell: "workCell06", Driver: GenericOPCUA,
+		IP: "10.197.12.61", Port: 4846,
+		Categories: cats,
+		Services: []ServiceDef{
+			svc("is_ready"), svc("start"), svc("stop"), svc("reset"),
+			svc("route_pallet", ParamDef{"pallet", "Integer"}, ParamDef{"destination", "Integer"}),
+			svc("release_pallet", ParamDef{"segment", "Integer"}),
+			{Name: "get_pallet_position", Args: []ParamDef{{"pallet", "Integer"}}, Returns: []ParamDef{{"segment", "Integer"}}},
+			svc("set_speed", ParamDef{"speed", "Double"}),
+			svc("lock_segment", ParamDef{"segment", "Integer"}),
+			svc("unlock_segment", ParamDef{"segment", "Integer"}),
+		},
+	}
+}
+
+// rbKairos: WC06, OPC UA, 5 variables / 6 services (two instances).
+func rbKairos(n int) MachineSpec {
+	return MachineSpec{
+		Name:     fmt.Sprintf("rbKairos%d", n),
+		TypeName: "RBKairos", Display: "RB-Kairos",
+		Workcell: "workCell06", Driver: GenericOPCUA,
+		IP: fmt.Sprintf("10.197.12.%d", 70+n), Port: 4846 + n,
+		Categories: []Category{
+			{Name: "Battery", Vars: []VarDef{
+				vd("batteryLevel", "Double"), vd("charging", "Boolean"),
+			}}, // 2
+			{Name: "Pose", Vars: doubles("poseX", "poseY", "poseTheta")}, // 3
+		}, // total 5
+		Services: []ServiceDef{
+			svc("is_ready"),
+			svc("move_to", ParamDef{"x", "Double"}, ParamDef{"y", "Double"}),
+			svc("dock"), svc("undock"),
+			svc("pick"), svc("place"),
+		},
+	}
+}
+
+// Scaled replicates the ICE Lab n times (distinct machine, workcell and
+// topology names) for the scalability ablation. Scaled(1) == ICELab modulo
+// names.
+func Scaled(n int) FactorySpec {
+	base := ICELab()
+	out := FactorySpec{
+		TopologyName: base.TopologyName,
+		Enterprise:   base.Enterprise,
+		Site:         base.Site,
+		Area:         base.Area,
+		Line:         base.Line,
+		// Monitors and processes reference the base replica's machines and
+		// workcells; replicas share the line-level monitors.
+		LineMonitors:     base.LineMonitors,
+		WorkcellMonitors: base.WorkcellMonitors,
+		Processes:        base.Processes,
+	}
+	for rep := 0; rep < n; rep++ {
+		for _, m := range base.Machines {
+			c := m
+			if rep > 0 {
+				c.Name = fmt.Sprintf("%sR%d", m.Name, rep)
+				c.TypeName = fmt.Sprintf("%sR%d", m.TypeName, rep)
+				c.Workcell = fmt.Sprintf("%sR%d", m.Workcell, rep)
+			}
+			out.Machines = append(out.Machines, c)
+		}
+	}
+	return out
+}

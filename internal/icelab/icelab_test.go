@@ -1,0 +1,222 @@
+package icelab
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/isa95"
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// table1 pins the paper's Table I Machine Variables / Machine Services
+// columns, which the catalog must reproduce exactly.
+var table1 = []struct {
+	name      string
+	workcell  string
+	variables int
+	services  int
+	generic   bool
+}{
+	{"speaATE", "workCell01", 3, 5, true},
+	{"emco", "workCell02", 34, 19, false},
+	{"ur5", "workCell02", 99, 4, false},
+	{"siemensPLC", "workCell03", 26, 8, true},
+	{"fiam", "workCell03", 12, 3, true},
+	{"qualityPC", "workCell04", 13, 2, true},
+	{"warehouse", "workCell05", 5, 3, true},
+	{"conveyor", "workCell06", 296, 10, true},
+	{"rbKairos1", "workCell06", 5, 6, true},
+	{"rbKairos2", "workCell06", 5, 6, true},
+}
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	spec := ICELab()
+	if len(spec.Machines) != len(table1) {
+		t.Fatalf("catalog has %d machines, want %d", len(spec.Machines), len(table1))
+	}
+	for i, want := range table1 {
+		m := spec.Machines[i]
+		if m.Name != want.name {
+			t.Errorf("machine %d = %s, want %s", i, m.Name, want.name)
+			continue
+		}
+		if m.Workcell != want.workcell {
+			t.Errorf("%s workcell = %s, want %s", m.Name, m.Workcell, want.workcell)
+		}
+		if got := m.VariableCount(); got != want.variables {
+			t.Errorf("%s variables = %d, want %d", m.Name, got, want.variables)
+		}
+		if got := len(m.Services); got != want.services {
+			t.Errorf("%s services = %d, want %d", m.Name, got, want.services)
+		}
+		if (m.Driver == GenericOPCUA) != want.generic {
+			t.Errorf("%s driver kind = %v, want generic=%v", m.Name, m.Driver, want.generic)
+		}
+	}
+	if len(spec.Workcells()) != 6 {
+		t.Errorf("workcells = %v, want 6", spec.Workcells())
+	}
+}
+
+func TestGeneratedModelParsesAndResolves(t *testing.T) {
+	text := GenerateModelText(ICELab())
+	file, err := parser.ParseFile("icelab.sysml", text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	model, err := sema.Resolve(file)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	// No warnings either: the generated model should be perfectly clean.
+	for _, d := range model.Diags {
+		t.Errorf("diagnostic: %s", d)
+	}
+}
+
+func TestBuildExtractsTable1Factory(t *testing.T) {
+	f, _, err := Build(ICELab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := f.Machines()
+	if len(machines) != 10 {
+		t.Fatalf("extracted %d machines, want 10", len(machines))
+	}
+	byName := map[string]int{}
+	for i, m := range machines {
+		byName[m.Name] = i
+	}
+	for _, want := range table1 {
+		i, ok := byName[want.name]
+		if !ok {
+			t.Errorf("machine %s missing from extraction", want.name)
+			continue
+		}
+		m := machines[i]
+		if len(m.Variables) != want.variables {
+			t.Errorf("%s extracted variables = %d, want %d", m.Name, len(m.Variables), want.variables)
+		}
+		if len(m.Services) != want.services {
+			t.Errorf("%s extracted services = %d, want %d", m.Name, len(m.Services), want.services)
+		}
+		wantProto := "OPC UA"
+		if !want.generic {
+			wantProto = m.Driver.TypeName
+		}
+		if m.Driver.Protocol != wantProto {
+			t.Errorf("%s protocol = %q, want %q", m.Name, m.Driver.Protocol, wantProto)
+		}
+		if m.Driver.Parameters["ip"].String() == "" {
+			t.Errorf("%s driver has no ip parameter", m.Name)
+		}
+	}
+	if got := f.TotalVariables(); got != 498 {
+		t.Errorf("total variables = %d, want 498", got)
+	}
+	if got := f.TotalServices(); got != 66 {
+		t.Errorf("total services = %d, want 66", got)
+	}
+}
+
+func TestISA95HierarchyValid(t *testing.T) {
+	text := GenerateModelText(ICELab())
+	file, err := parser.ParseFile("icelab.sysml", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := sema.Resolve(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := isa95.Extract(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := isa95.Validate(root); len(problems) > 0 {
+		for _, p := range problems {
+			t.Errorf("isa95: %s", p)
+		}
+	}
+	if got := len(root.AtLevel(isa95.LevelWorkcell)); got != 6 {
+		t.Errorf("workcells = %d, want 6", got)
+	}
+	if got := len(root.AtLevel(isa95.LevelMachine)); got != 10 {
+		t.Errorf("machines = %d, want 10", got)
+	}
+}
+
+func TestGenerateBundleMatchesTable1LastRow(t *testing.T) {
+	f := MustBuild(ICELab())
+	bundle, err := codegen.Generate(f, codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := bundle.Summary
+	if s.Servers != 6 {
+		t.Errorf("OPC UA servers = %d, want 6 (one per workcell)", s.Servers)
+	}
+	if s.Clients != 4 {
+		t.Errorf("OPC UA clients = %d, want 4 (paper's grouping result)", s.Clients)
+	}
+	if s.Machines != 10 || s.Variables != 498 || s.Services != 66 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.ConfigBytes < 100_000 {
+		t.Errorf("config size = %d bytes; expected hundreds of KB", s.ConfigBytes)
+	}
+	// Step-1 artifact inventory: 1 JSON per machine, 1 per server, 2 per
+	// client group (client + storage), and 1 per workcell monitor.
+	wantJSON := 10 + 6 + 2*s.Clients + s.Monitors
+	gotJSON := len(bundle.JSON)
+	if gotJSON != wantJSON {
+		t.Errorf("intermediate JSON files = %d, want %d", gotJSON, wantJSON)
+	}
+	if s.Monitors != 3 {
+		t.Errorf("monitors = %d, want 3 (line + workCell02 + workCell06)", s.Monitors)
+	}
+}
+
+func TestScaledSpec(t *testing.T) {
+	s2 := Scaled(2)
+	if len(s2.Machines) != 20 {
+		t.Fatalf("Scaled(2) machines = %d, want 20", len(s2.Machines))
+	}
+	if len(s2.Workcells()) != 12 {
+		t.Errorf("Scaled(2) workcells = %d, want 12", len(s2.Workcells()))
+	}
+	names := map[string]bool{}
+	for _, m := range s2.Machines {
+		if names[m.Name] {
+			t.Errorf("duplicate machine name %s", m.Name)
+		}
+		names[m.Name] = true
+	}
+	// Scaled(1) is the base catalog.
+	if len(Scaled(1).Machines) != 10 {
+		t.Error("Scaled(1) should equal the base catalog")
+	}
+}
+
+func TestModelTextContainsPaperConstructs(t *testing.T) {
+	text := GenerateModelText(ICELab())
+	for _, construct := range []string{
+		"abstract part def Machine",
+		"abstract part def Driver",
+		"ref part Machine [*];",
+		":> MachineDriver",
+		":> GenericDriver",
+		":>> ip = '10.197.12.11';",
+		":>> ip_port = 5557;",
+		"port def EMCOMillVar",
+		"~EMCOMillDriver::EMCOMillVariables::EMCOMillVar",
+		"bind actualX_var.value = actualX;",
+		"perform is_ready_mpp.operation",
+	} {
+		if !strings.Contains(text, construct) {
+			t.Errorf("generated model lacks construct %q", construct)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package icelab
+
+import (
+	"fmt"
+
+	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// Build renders the spec to SysML v2 text, parses and resolves it, and
+// extracts the generation-ready Factory. It is the programmatic equivalent
+// of feeding the ICE Laboratory model to the toolchain.
+func Build(spec FactorySpec) (*core.Factory, *sema.Model, error) {
+	text := GenerateModelText(spec)
+	file, err := parser.ParseFile("icelab.sysml", text)
+	if err != nil {
+		return nil, nil, fmt.Errorf("icelab: parse: %w", err)
+	}
+	model, err := sema.Resolve(file)
+	if err != nil {
+		return nil, nil, fmt.Errorf("icelab: resolve: %w", err)
+	}
+	factory, err := core.ExtractFactory(model)
+	if err != nil {
+		return nil, model, fmt.Errorf("icelab: extract: %w", err)
+	}
+	return factory, model, nil
+}
+
+// MustBuild builds the spec or panics (tests, examples, benches).
+func MustBuild(spec FactorySpec) *core.Factory {
+	f, _, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,359 @@
+package icelab
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BaseLibrary is the methodology's base SysML v2 library: the ISA-95
+// hierarchy definitions and the abstract Machine / Driver templates
+// (the paper's Code 1 plus the abstract driver split of Section III-A).
+const BaseLibrary = `package ISA95 {
+	doc 'Base library of the smart-factory modeling methodology: ISA-95 equipment hierarchy and abstract machine/driver templates.';
+
+	part def Topology;
+	part def Enterprise;
+	part def Site;
+	part def Area;
+	part def ProductionLine {
+		attribute def ProductionLineVariables;
+	}
+	part def Workcell {
+		ref part Machine [*];
+		attribute def WorkCellVariables;
+	}
+
+	abstract part def Machine {
+		part def MachineData;
+		part def MachineServices;
+	}
+
+	abstract part def Driver {
+		part def DriverParameters;
+		part def DriverVariables;
+		part def DriverMethods;
+	}
+	abstract part def GenericDriver :> Driver;
+	abstract part def MachineDriver :> Driver;
+}
+
+package Materials {
+	doc 'Things that flow through the plant: transported by the AGVs and the conveyor, machined in the workcells.';
+	item def Workpiece {
+		attribute material : String;
+		attribute mass : Double;
+	}
+	item def Pallet {
+		attribute palletId : Integer;
+	}
+	item def Tray {
+		attribute trayId : Integer;
+	}
+}
+`
+
+// GenerateModelText renders the full SysML v2 model of a factory spec:
+// the base library, one library package per machine type (driver and
+// machine definitions), and the instantiated ISA-95 topology with driver
+// instances (the paper's Codes 1-5 pattern at full scale).
+func GenerateModelText(f FactorySpec) string {
+	var b strings.Builder
+	b.Grow(1 << 20)
+	b.WriteString(BaseLibrary)
+	b.WriteString("\n")
+
+	seenTypes := map[string]bool{}
+	for _, m := range f.Machines {
+		if seenTypes[m.TypeName] {
+			continue
+		}
+		seenTypes[m.TypeName] = true
+		writeMachineLibrary(&b, m)
+	}
+
+	writeTopology(&b, f)
+	return b.String()
+}
+
+// driverTypeName returns the machine type's driver definition name.
+func driverTypeName(m MachineSpec) string { return m.TypeName + "Driver" }
+
+func driverBase(m MachineSpec) string {
+	if m.Driver == GenericOPCUA {
+		return "GenericDriver"
+	}
+	return "MachineDriver"
+}
+
+// writeMachineLibrary emits "package <Type>Lib { part def <Type>Driver ...;
+// part def <Type> ...; }".
+func writeMachineLibrary(b *strings.Builder, m MachineSpec) {
+	dt := driverTypeName(m)
+	fmt.Fprintf(b, "package %sLib {\n", m.TypeName)
+	fmt.Fprintf(b, "\timport ISA95::*;\n")
+	fmt.Fprintf(b, "\tdoc 'Model library of the %s and its %s communication interface.';\n\n", m.Display, protocolName(m))
+
+	// --- Driver definition (paper Code 2 pattern).
+	fmt.Fprintf(b, "\tpart def %s :> %s {\n", dt, driverBase(m))
+	fmt.Fprintf(b, "\t\tpart def %sParameters :> Driver::DriverParameters {\n", m.TypeName)
+	fmt.Fprintf(b, "\t\t\tattribute ip : String;\n")
+	fmt.Fprintf(b, "\t\t\tattribute ip_port : Integer;\n")
+	for _, name := range sortedKeyList(m.ExtraParams) {
+		fmt.Fprintf(b, "\t\t\tattribute %s : String;\n", name)
+	}
+	fmt.Fprintf(b, "\t\t}\n")
+
+	fmt.Fprintf(b, "\t\tpart def %sVariables :> Driver::DriverVariables {\n", m.TypeName)
+	fmt.Fprintf(b, "\t\t\tport def %sVar {\n", m.TypeName)
+	fmt.Fprintf(b, "\t\t\t\tin attribute value : Anything;\n")
+	fmt.Fprintf(b, "\t\t\t\tattribute varName : String;\n")
+	fmt.Fprintf(b, "\t\t\t\tattribute varType : String;\n")
+	fmt.Fprintf(b, "\t\t\t\tattribute category : String;\n")
+	fmt.Fprintf(b, "\t\t\t}\n")
+	for _, c := range m.Categories {
+		fmt.Fprintf(b, "\t\t\tpart def %s;\n", c.Name)
+	}
+	fmt.Fprintf(b, "\t\t}\n")
+
+	fmt.Fprintf(b, "\t\tpart def %sMethods :> Driver::DriverMethods {\n", m.TypeName)
+	fmt.Fprintf(b, "\t\t\tport def %sMethod {\n", m.TypeName)
+	fmt.Fprintf(b, "\t\t\t\tattribute description : String;\n")
+	fmt.Fprintf(b, "\t\t\t\tattribute methodName : String;\n")
+	fmt.Fprintf(b, "\t\t\t\tout action operation {\n")
+	fmt.Fprintf(b, "\t\t\t\t\tin args : String;\n")
+	fmt.Fprintf(b, "\t\t\t\t\tout result : String;\n")
+	fmt.Fprintf(b, "\t\t\t\t}\n")
+	fmt.Fprintf(b, "\t\t\t}\n")
+	fmt.Fprintf(b, "\t\t}\n")
+	fmt.Fprintf(b, "\t}\n\n")
+
+	// --- Machine definition (paper Code 3 pattern).
+	fmt.Fprintf(b, "\tpart def %s :> Machine {\n", m.TypeName)
+	fmt.Fprintf(b, "\t\tpart def %sMachineData :> Machine::MachineData {\n", m.TypeName)
+	for _, c := range m.Categories {
+		fmt.Fprintf(b, "\t\t\tpart def %s;\n", c.Name)
+	}
+	fmt.Fprintf(b, "\t\t}\n")
+	fmt.Fprintf(b, "\t\tpart def %sServices :> Machine::MachineServices;\n", m.TypeName)
+	fmt.Fprintf(b, "\t}\n")
+	fmt.Fprintf(b, "}\n\n")
+}
+
+func protocolName(m MachineSpec) string {
+	if m.Driver == GenericOPCUA {
+		return "OPC UA"
+	}
+	return "proprietary"
+}
+
+// writeTopology emits the instantiated factory (paper Codes 4-5 pattern).
+func writeTopology(b *strings.Builder, f FactorySpec) {
+	fmt.Fprintf(b, "package ICE {\n")
+	fmt.Fprintf(b, "\timport ISA95::*;\n")
+	fmt.Fprintf(b, "\timport Materials::*;\n")
+	for _, tn := range uniqueTypeNames(f) {
+		fmt.Fprintf(b, "\timport %sLib::*;\n", tn)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(b, "\tpart %s : Topology {\n", f.TopologyName)
+	fmt.Fprintf(b, "\t\tpart %s : Enterprise {\n", f.Enterprise)
+	fmt.Fprintf(b, "\t\t\tpart %s : Site {\n", f.Site)
+	fmt.Fprintf(b, "\t\t\t\tpart %s : Area {\n", f.Area)
+	fmt.Fprintf(b, "\t\t\t\t\tpart %s : ProductionLine {\n", f.Line)
+	for _, mon := range f.LineMonitors {
+		fmt.Fprintf(b, "\t\t\t\t\t\tattribute %s : %s;\n", mon.Name, mon.Type)
+	}
+
+	for _, wc := range f.Workcells() {
+		fmt.Fprintf(b, "\t\t\t\t\t\tpart %s : Workcell {\n", wc)
+		for _, mon := range f.WorkcellMonitors[wc] {
+			fmt.Fprintf(b, "\t\t\t\t\t\t\tattribute %s : %s;\n", mon.Name, mon.Type)
+		}
+		for _, m := range f.Machines {
+			if m.Workcell != wc {
+				continue
+			}
+			writeMachineInstance(b, m, "\t\t\t\t\t\t\t")
+		}
+		fmt.Fprintf(b, "\t\t\t\t\t\t}\n")
+	}
+
+	// Material flow: the pallets and trays circulating on the line.
+	fmt.Fprintf(b, "\t\t\t\t\t\tpart materialFlow {\n")
+	fmt.Fprintf(b, "\t\t\t\t\t\t\tref item pallets : Pallet [*];\n")
+	fmt.Fprintf(b, "\t\t\t\t\t\t\tref item trays : Tray [*];\n")
+	fmt.Fprintf(b, "\t\t\t\t\t\t\titem blank : Workpiece {\n")
+	fmt.Fprintf(b, "\t\t\t\t\t\t\t\t:>> material = 'AlMg3';\n")
+	fmt.Fprintf(b, "\t\t\t\t\t\t\t\t:>> mass = 1.2;\n")
+	fmt.Fprintf(b, "\t\t\t\t\t\t\t}\n")
+	fmt.Fprintf(b, "\t\t\t\t\t\t}\n")
+
+	writeProcesses(b, f, "\t\t\t\t\t\t")
+
+	fmt.Fprintf(b, "\t\t\t\t\t}\n") // line
+	fmt.Fprintf(b, "\t\t\t\t}\n")   // area
+	fmt.Fprintf(b, "\t\t\t}\n")     // site
+	fmt.Fprintf(b, "\t\t}\n")       // enterprise
+	fmt.Fprintf(b, "\t}\n\n")       // topology
+
+	for _, m := range f.Machines {
+		writeDriverInstance(b, m)
+	}
+	fmt.Fprintf(b, "}\n")
+}
+
+// writeMachineInstance emits "part emco : EMCOMill { ... }" with machine
+// data attributes bound to conjugated ports and service actions.
+func writeMachineInstance(b *strings.Builder, m MachineSpec, ind string) {
+	t := m.TypeName
+	fmt.Fprintf(b, "%spart %s : %s {\n", ind, m.Name, t)
+	fmt.Fprintf(b, "%s\tref part %sDriver;\n", ind, m.Name)
+
+	fmt.Fprintf(b, "%s\tpart %sData : %s::%sMachineData {\n", ind, m.Name, t, t)
+	for _, c := range m.Categories {
+		fmt.Fprintf(b, "%s\t\tpart %s%s : %s::%sMachineData::%s {\n", ind, m.Name, c.Name, t, t, c.Name)
+		for _, v := range c.Vars {
+			fmt.Fprintf(b, "%s\t\t\tattribute %s : %s;\n", ind, v.Name, v.Type)
+			fmt.Fprintf(b, "%s\t\t\tport %s_var : ~%sDriver::%sVariables::%sVar;\n", ind, v.Name, t, t, t)
+			fmt.Fprintf(b, "%s\t\t\tbind %s_var.value = %s;\n", ind, v.Name, v.Name)
+			fmt.Fprintf(b, "%s\t\t\tinterface : %sVarChannel connect %sDriver.%sVars.%s%sDrv.%s_pp to %s_var;\n",
+				ind, t, m.Name, m.Name, m.Name, c.Name, v.Name, v.Name)
+		}
+		fmt.Fprintf(b, "%s\t\t}\n", ind)
+	}
+	fmt.Fprintf(b, "%s\t}\n", ind)
+
+	fmt.Fprintf(b, "%s\tpart %sSvcs : %s::%sServices {\n", ind, m.Name, t, t)
+	for _, s := range m.Services {
+		fmt.Fprintf(b, "%s\t\taction %s {\n", ind, s.Name)
+		for _, a := range s.Args {
+			fmt.Fprintf(b, "%s\t\t\tin %s : %s;\n", ind, a.Name, a.Type)
+		}
+		for _, r := range s.Returns {
+			fmt.Fprintf(b, "%s\t\t\tout %s : %s;\n", ind, r.Name, r.Type)
+		}
+		fmt.Fprintf(b, "%s\t\t}\n", ind)
+		fmt.Fprintf(b, "%s\t\tport %s_svc : ~%sDriver::%sMethods::%sMethod;\n", ind, s.Name, t, t, t)
+		fmt.Fprintf(b, "%s\t\tinterface : %sMethodChannel connect %sDriver.%sMthds.%s_mpp to %s_svc;\n",
+			ind, t, m.Name, m.Name, s.Name, s.Name)
+	}
+	fmt.Fprintf(b, "%s\t}\n", ind)
+	fmt.Fprintf(b, "%s}\n", ind)
+}
+
+// writeDriverInstance emits "part emcoDriver : EMCOMillDriver { ... }" with
+// parameter redefinitions, variable ports with metadata, and method actions
+// performing port operations (paper Code 5 pattern).
+func writeDriverInstance(b *strings.Builder, m MachineSpec) {
+	t := m.TypeName
+	dt := driverTypeName(m)
+	fmt.Fprintf(b, "\tpart %sDriver : %s {\n", m.Name, dt)
+
+	fmt.Fprintf(b, "\t\tpart %sParams : %s::%sParameters {\n", m.Name, dt, t)
+	fmt.Fprintf(b, "\t\t\t:>> ip = '%s';\n", m.IP)
+	fmt.Fprintf(b, "\t\t\t:>> ip_port = %d;\n", m.Port)
+	for _, name := range sortedKeyList(m.ExtraParams) {
+		fmt.Fprintf(b, "\t\t\t:>> %s = '%s';\n", name, m.ExtraParams[name])
+	}
+	fmt.Fprintf(b, "\t\t}\n")
+
+	fmt.Fprintf(b, "\t\tpart %sVars : %s::%sVariables {\n", m.Name, dt, t)
+	for _, c := range m.Categories {
+		fmt.Fprintf(b, "\t\t\tpart %s%sDrv : %s::%sVariables::%s {\n", m.Name, c.Name, dt, t, c.Name)
+		for _, v := range c.Vars {
+			fmt.Fprintf(b, "\t\t\t\tattribute %s : %s;\n", v.Name, v.Type)
+			fmt.Fprintf(b, "\t\t\t\tport %s_pp : %s::%sVariables::%sVar {\n", v.Name, dt, t, t)
+			fmt.Fprintf(b, "\t\t\t\t\t:>> varName = '%s';\n", v.Name)
+			fmt.Fprintf(b, "\t\t\t\t\t:>> varType = '%s';\n", v.Type)
+			fmt.Fprintf(b, "\t\t\t\t\t:>> category = '%s';\n", c.Name)
+			fmt.Fprintf(b, "\t\t\t\t}\n")
+			fmt.Fprintf(b, "\t\t\t\tbind %s_pp.value = %s;\n", v.Name, v.Name)
+		}
+		fmt.Fprintf(b, "\t\t\t}\n")
+	}
+	fmt.Fprintf(b, "\t\t}\n")
+
+	fmt.Fprintf(b, "\t\tpart %sMthds : %s::%sMethods {\n", m.Name, dt, t)
+	for _, s := range m.Services {
+		fmt.Fprintf(b, "\t\t\tport %s_mpp : %s::%sMethods::%sMethod {\n", s.Name, dt, t, t)
+		fmt.Fprintf(b, "\t\t\t\t:>> description = 'Machine service %s of %s';\n", s.Name, m.Display)
+		fmt.Fprintf(b, "\t\t\t\t:>> methodName = '%s';\n", s.Name)
+		fmt.Fprintf(b, "\t\t\t}\n")
+		fmt.Fprintf(b, "\t\t\taction call_%s {\n", s.Name)
+		fmt.Fprintf(b, "\t\t\t\tout result : String;\n")
+		fmt.Fprintf(b, "\t\t\t\tperform %s_mpp.operation {\n", s.Name)
+		fmt.Fprintf(b, "\t\t\t\t\tout result = call_%s.result;\n", s.Name)
+		fmt.Fprintf(b, "\t\t\t\t}\n")
+		fmt.Fprintf(b, "\t\t\t}\n")
+	}
+	fmt.Fprintf(b, "\t\t}\n")
+	fmt.Fprintf(b, "\t}\n")
+}
+
+// writeProcesses emits the modeled production processes: an action per
+// process performing the machine services in sequence (paper Section II's
+// "production processes are composed of sequences of machine services").
+func writeProcesses(b *strings.Builder, f FactorySpec, ind string) {
+	if len(f.Processes) == 0 {
+		return
+	}
+	wcOf := map[string]string{}
+	for _, m := range f.Machines {
+		wcOf[m.Name] = m.Workcell
+	}
+	// Only processes whose every step targets a machine present in this
+	// plant variant are renderable (plant variants may drop machines).
+	var renderable []ProcessSpec
+	for _, p := range f.Processes {
+		ok := true
+		for _, step := range p.Steps {
+			if wcOf[step.Machine] == "" {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			renderable = append(renderable, p)
+		}
+	}
+	if len(renderable) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%spart processes {\n", ind)
+	for _, p := range renderable {
+		fmt.Fprintf(b, "%s\taction %s {\n", ind, p.Name)
+		for _, step := range p.Steps {
+			fmt.Fprintf(b, "%s\t\tperform %s.%s.%sSvcs.%s;\n",
+				ind, wcOf[step.Machine], step.Machine, step.Machine, step.Service)
+		}
+		fmt.Fprintf(b, "%s\t}\n", ind)
+	}
+	fmt.Fprintf(b, "%s}\n", ind)
+}
+
+func uniqueTypeNames(f FactorySpec) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range f.Machines {
+		if !seen[m.TypeName] {
+			seen[m.TypeName] = true
+			out = append(out, m.TypeName)
+		}
+	}
+	return out
+}
+
+func sortedKeyList(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort: maps are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

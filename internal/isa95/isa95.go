@@ -1,0 +1,192 @@
+// Package isa95 maps a resolved SysML v2 model onto the ISA-95 (IEC 62264)
+// equipment hierarchy — Enterprise, Site, Area, ProductionLine, Workcell,
+// Machine — and validates that the model follows the paper's modeling
+// methodology (hierarchy well-formed, machines concrete with drivers, ...).
+package isa95
+
+import (
+	"fmt"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// Level is one ISA-95 equipment hierarchy level.
+type Level int
+
+// Hierarchy levels from the enterprise down to individual machines.
+const (
+	LevelTopology Level = iota
+	LevelEnterprise
+	LevelSite
+	LevelArea
+	LevelProductionLine
+	LevelWorkcell
+	LevelMachine
+)
+
+var levelNames = [...]string{
+	"Topology", "Enterprise", "Site", "Area", "ProductionLine", "Workcell", "Machine",
+}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "Level?"
+}
+
+// DefName returns the part-definition simple name conventionally used for
+// the level (the methodology's base library uses exactly these names).
+func (l Level) DefName() string { return l.String() }
+
+// Node is one element of the extracted equipment hierarchy.
+type Node struct {
+	Level    Level
+	Name     string
+	Element  *sema.Element
+	Children []*Node
+}
+
+// Walk visits the node and its descendants depth-first.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// AtLevel returns all descendant nodes (including n) at the given level.
+func (n *Node) AtLevel(l Level) []*Node {
+	var out []*Node
+	n.Walk(func(x *Node) {
+		if x.Level == l {
+			out = append(out, x)
+		}
+	})
+	return out
+}
+
+// Extract locates the instantiated topology in the model and builds the
+// equipment hierarchy. It returns an error when no topology part is
+// instantiated.
+func Extract(m *sema.Model) (*Node, error) {
+	topoUsage := findUsageSpecializing(m, LevelTopology.DefName())
+	if topoUsage == nil {
+		return nil, fmt.Errorf("isa95: no part instantiating a %s definition found", LevelTopology.DefName())
+	}
+	root := &Node{Level: LevelTopology, Name: topoUsage.Name, Element: topoUsage}
+	build(root, topoUsage)
+	return root, nil
+}
+
+func findUsageSpecializing(m *sema.Model, defName string) *sema.Element {
+	var found *sema.Element
+	m.Root.Walk(func(e *sema.Element) bool {
+		if found != nil {
+			return false
+		}
+		if e.Kind == sema.KindPartUsage && !e.Ref && e.Type != nil && e.Type.SpecializesDef(defName) {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// build attaches children for every hierarchy level found beneath parent.
+// Levels may be nested directly or skip intermediate levels (the walk
+// searches transitively until it hits the next hierarchy-typed part).
+func build(parent *Node, e *sema.Element) {
+	for _, member := range e.Members {
+		if member.Kind != sema.KindPartUsage || member.Ref {
+			continue
+		}
+		lvl, ok := levelOf(member)
+		if !ok {
+			// Not a hierarchy part (machine internals etc.): do not descend.
+			continue
+		}
+		child := &Node{Level: lvl, Name: member.Name, Element: member}
+		parent.Children = append(parent.Children, child)
+		if lvl != LevelMachine {
+			build(child, member)
+		}
+	}
+}
+
+func levelOf(e *sema.Element) (Level, bool) {
+	if e.Type == nil {
+		return 0, false
+	}
+	for l := LevelTopology; l <= LevelMachine; l++ {
+		if e.Type.SpecializesDef(l.DefName()) {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// Problem is one methodology-compliance finding.
+type Problem struct {
+	Path string // qualified name of the offending element
+	Msg  string
+}
+
+func (p Problem) String() string { return p.Path + ": " + p.Msg }
+
+// Validate checks the extracted hierarchy against the methodology rules:
+//   - the hierarchy contains at least one of each level down to Workcell;
+//   - every Workcell contains at least one Machine;
+//   - hierarchy levels are properly ordered (a child's level is strictly
+//     deeper than its parent's);
+//   - every Machine references a driver part ("ref part <driver>").
+func Validate(root *Node) []Problem {
+	var problems []Problem
+	addf := func(e *sema.Element, format string, args ...any) {
+		path := ""
+		if e != nil {
+			path = e.QualifiedName()
+		}
+		problems = append(problems, Problem{Path: path, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	for l := LevelEnterprise; l <= LevelWorkcell; l++ {
+		if len(root.AtLevel(l)) == 0 {
+			addf(root.Element, "hierarchy has no %s", l)
+		}
+	}
+	root.Walk(func(n *Node) {
+		for _, c := range n.Children {
+			if c.Level <= n.Level {
+				addf(c.Element, "%s %q nested under %s %q violates ISA-95 ordering",
+					c.Level, c.Name, n.Level, n.Name)
+			}
+		}
+		if n.Level == LevelWorkcell && len(n.Children) == 0 {
+			addf(n.Element, "workcell contains no machines")
+		}
+		if n.Level == LevelMachine {
+			if !hasDriverRef(n.Element) {
+				addf(n.Element, "machine does not reference a driver part")
+			}
+		}
+	})
+	return problems
+}
+
+func hasDriverRef(machine *sema.Element) bool {
+	for _, m := range machine.Members {
+		if m.Kind == sema.KindPartUsage && m.Ref {
+			if m.Type != nil && m.Type.SpecializesDef("Driver") {
+				return true
+			}
+			// Unresolved ref named like a driver instance still counts as a
+			// reference; the core extractor reports it if it dangles.
+			if m.Type == nil {
+				return true
+			}
+		}
+	}
+	return false
+}

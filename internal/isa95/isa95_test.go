@@ -1,0 +1,228 @@
+package isa95
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+const base = `
+package ISA95 {
+	part def Topology;
+	part def Enterprise;
+	part def Site;
+	part def Area;
+	part def ProductionLine;
+	part def Workcell { ref part Machine [*]; }
+	abstract part def Machine;
+	abstract part def Driver;
+	abstract part def GenericDriver :> Driver;
+}
+`
+
+func modelOf(t *testing.T, src string) *sema.Model {
+	t.Helper()
+	f, err := parser.ParseFile("t.sysml", base+src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sema.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const goodPlant = `
+package P {
+	import ISA95::*;
+	part def Robot :> Machine;
+	part def RobotDriver :> GenericDriver;
+	part plant : Topology {
+		part e : Enterprise {
+			part s : Site {
+				part a : Area {
+					part line : ProductionLine {
+						part wc1 : Workcell {
+							part r1 : Robot { ref part rDriver; }
+						}
+						part wc2 : Workcell {
+							part r2 : Robot { ref part rDriver; }
+						}
+					}
+				}
+			}
+		}
+	}
+	part rDriver : RobotDriver;
+}
+`
+
+func TestExtractHierarchy(t *testing.T) {
+	m := modelOf(t, goodPlant)
+	root, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Level != LevelTopology || root.Name != "plant" {
+		t.Errorf("root = %v %s", root.Level, root.Name)
+	}
+	counts := map[Level]int{}
+	root.Walk(func(n *Node) { counts[n.Level]++ })
+	want := map[Level]int{
+		LevelTopology: 1, LevelEnterprise: 1, LevelSite: 1, LevelArea: 1,
+		LevelProductionLine: 1, LevelWorkcell: 2, LevelMachine: 2,
+	}
+	for lvl, n := range want {
+		if counts[lvl] != n {
+			t.Errorf("%s count = %d, want %d", lvl, counts[lvl], n)
+		}
+	}
+}
+
+func TestExtractNoTopology(t *testing.T) {
+	m := modelOf(t, `package Empty { part def X; }`)
+	if _, err := Extract(m); err == nil {
+		t.Error("want error when no topology is instantiated")
+	}
+}
+
+func TestValidateCleanPlant(t *testing.T) {
+	m := modelOf(t, goodPlant)
+	root, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := Validate(root); len(problems) != 0 {
+		t.Errorf("problems = %v", problems)
+	}
+}
+
+func TestValidateEmptyWorkcell(t *testing.T) {
+	m := modelOf(t, `
+package P {
+	import ISA95::*;
+	part plant : Topology {
+		part e : Enterprise {
+			part s : Site {
+				part a : Area {
+					part line : ProductionLine {
+						part wc : Workcell;
+					}
+				}
+			}
+		}
+	}
+}
+`)
+	root, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := Validate(root)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Msg, "no machines") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("problems = %v, want empty-workcell finding", problems)
+	}
+}
+
+func TestValidateMissingDriverRef(t *testing.T) {
+	m := modelOf(t, `
+package P {
+	import ISA95::*;
+	part def Robot :> Machine;
+	part plant : Topology {
+		part e : Enterprise {
+			part s : Site {
+				part a : Area {
+					part line : ProductionLine {
+						part wc : Workcell {
+							part r : Robot;
+						}
+					}
+				}
+			}
+		}
+	}
+}
+`)
+	root, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := Validate(root)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Msg, "driver") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("problems = %v, want missing-driver finding", problems)
+	}
+}
+
+func TestValidateLevelOrdering(t *testing.T) {
+	// A Site nested directly under a ProductionLine violates ordering.
+	m := modelOf(t, `
+package P {
+	import ISA95::*;
+	part def Robot :> Machine;
+	part def RobotDriver :> GenericDriver;
+	part plant : Topology {
+		part e : Enterprise {
+			part s : Site {
+				part a : Area {
+					part line : ProductionLine {
+						part oops : Site;
+						part wc : Workcell {
+							part r : Robot { ref part rDriver; }
+						}
+					}
+				}
+			}
+		}
+	}
+	part rDriver : RobotDriver;
+}
+`)
+	root, err := Extract(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems := Validate(root)
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p.Msg, "ISA-95 ordering") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("problems = %v, want ordering violation", problems)
+	}
+}
+
+func TestAtLevelAndLevelNames(t *testing.T) {
+	m := modelOf(t, goodPlant)
+	root, _ := Extract(m)
+	wcs := root.AtLevel(LevelWorkcell)
+	if len(wcs) != 2 || wcs[0].Name != "wc1" || wcs[1].Name != "wc2" {
+		var names []string
+		for _, n := range wcs {
+			names = append(names, n.Name)
+		}
+		t.Errorf("workcells = %v", names)
+	}
+	for l := LevelTopology; l <= LevelMachine; l++ {
+		if l.String() == "Level?" {
+			t.Errorf("level %d has no name", l)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package k8s provides the subset of Kubernetes resource types that the
+// configuration generator emits — Namespace, ConfigMap, Service, Deployment —
+// plus helpers to serialize them as multi-document YAML manifests and to
+// read manifests back for the deployment simulator.
+package k8s
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/smartfactory/sysml2conf/internal/yamlenc"
+)
+
+// ObjectMeta is the standard Kubernetes object metadata.
+type ObjectMeta struct {
+	Name        string            `yaml:"name"`
+	Namespace   string            `yaml:"namespace,omitempty"`
+	Labels      map[string]string `yaml:"labels,omitempty"`
+	Annotations map[string]string `yaml:"annotations,omitempty"`
+}
+
+// Namespace is a cluster namespace.
+type Namespace struct {
+	APIVersion string     `yaml:"apiVersion"`
+	Kind       string     `yaml:"kind"`
+	Metadata   ObjectMeta `yaml:"metadata"`
+}
+
+// NewNamespace returns a v1 Namespace.
+func NewNamespace(name string, labels map[string]string) *Namespace {
+	return &Namespace{APIVersion: "v1", Kind: "Namespace",
+		Metadata: ObjectMeta{Name: name, Labels: labels}}
+}
+
+// ConfigMap carries configuration data for a component.
+type ConfigMap struct {
+	APIVersion string            `yaml:"apiVersion"`
+	Kind       string            `yaml:"kind"`
+	Metadata   ObjectMeta        `yaml:"metadata"`
+	Data       map[string]string `yaml:"data,omitempty"`
+}
+
+// NewConfigMap returns a v1 ConfigMap.
+func NewConfigMap(name, namespace string, data map[string]string) *ConfigMap {
+	return &ConfigMap{APIVersion: "v1", Kind: "ConfigMap",
+		Metadata: ObjectMeta{Name: name, Namespace: namespace}, Data: data}
+}
+
+// ServicePort maps a service port to a container target port.
+type ServicePort struct {
+	Name       string `yaml:"name,omitempty"`
+	Port       int    `yaml:"port"`
+	TargetPort int    `yaml:"targetPort,omitempty"`
+	Protocol   string `yaml:"protocol,omitempty"`
+}
+
+// ServiceSpec selects pods and exposes ports.
+type ServiceSpec struct {
+	Selector map[string]string `yaml:"selector,omitempty"`
+	Ports    []ServicePort     `yaml:"ports,omitempty"`
+	Type     string            `yaml:"type,omitempty"`
+}
+
+// Service exposes a component inside the cluster.
+type Service struct {
+	APIVersion string      `yaml:"apiVersion"`
+	Kind       string      `yaml:"kind"`
+	Metadata   ObjectMeta  `yaml:"metadata"`
+	Spec       ServiceSpec `yaml:"spec"`
+}
+
+// NewService returns a v1 Service selecting app=name.
+func NewService(name, namespace string, port int) *Service {
+	return &Service{APIVersion: "v1", Kind: "Service",
+		Metadata: ObjectMeta{Name: name, Namespace: namespace,
+			Labels: map[string]string{"app": name}},
+		Spec: ServiceSpec{
+			Selector: map[string]string{"app": name},
+			Ports:    []ServicePort{{Name: "main", Port: port, TargetPort: port, Protocol: "TCP"}},
+		}}
+}
+
+// EnvVar is a container environment variable.
+type EnvVar struct {
+	Name  string `yaml:"name"`
+	Value string `yaml:"value"`
+}
+
+// ContainerPort exposes a port from a container.
+type ContainerPort struct {
+	Name          string `yaml:"name,omitempty"`
+	ContainerPort int    `yaml:"containerPort"`
+	Protocol      string `yaml:"protocol,omitempty"`
+}
+
+// VolumeMount mounts a volume into a container.
+type VolumeMount struct {
+	Name      string `yaml:"name"`
+	MountPath string `yaml:"mountPath"`
+	ReadOnly  bool   `yaml:"readOnly,omitempty"`
+}
+
+// ResourceList maps resource names (cpu, memory) to quantities.
+type ResourceList map[string]string
+
+// ResourceRequirements bounds a container's resources.
+type ResourceRequirements struct {
+	Requests ResourceList `yaml:"requests,omitempty"`
+	Limits   ResourceList `yaml:"limits,omitempty"`
+}
+
+// Probe is a liveness/readiness probe (TCP socket flavor only).
+type Probe struct {
+	TCPSocket           *TCPSocketAction `yaml:"tcpSocket,omitempty"`
+	InitialDelaySeconds int              `yaml:"initialDelaySeconds,omitempty"`
+	PeriodSeconds       int              `yaml:"periodSeconds,omitempty"`
+}
+
+// TCPSocketAction probes a TCP port.
+type TCPSocketAction struct {
+	Port int `yaml:"port"`
+}
+
+// Container is one container of a pod.
+type Container struct {
+	Name           string               `yaml:"name"`
+	Image          string               `yaml:"image"`
+	Args           []string             `yaml:"args,omitempty"`
+	Env            []EnvVar             `yaml:"env,omitempty"`
+	Ports          []ContainerPort      `yaml:"ports,omitempty"`
+	VolumeMounts   []VolumeMount        `yaml:"volumeMounts,omitempty"`
+	Resources      ResourceRequirements `yaml:"resources,omitempty"`
+	ReadinessProbe *Probe               `yaml:"readinessProbe,omitempty"`
+}
+
+// ConfigMapVolumeSource references a ConfigMap as a volume.
+type ConfigMapVolumeSource struct {
+	Name string `yaml:"name"`
+}
+
+// Volume is a pod volume (ConfigMap flavor only).
+type Volume struct {
+	Name      string                 `yaml:"name"`
+	ConfigMap *ConfigMapVolumeSource `yaml:"configMap,omitempty"`
+}
+
+// PodSpec describes pod contents.
+type PodSpec struct {
+	Containers []Container `yaml:"containers"`
+	Volumes    []Volume    `yaml:"volumes,omitempty"`
+}
+
+// PodTemplateSpec is the pod template of a Deployment.
+type PodTemplateSpec struct {
+	Metadata ObjectMeta `yaml:"metadata"`
+	Spec     PodSpec    `yaml:"spec"`
+}
+
+// LabelSelector matches pods by labels.
+type LabelSelector struct {
+	MatchLabels map[string]string `yaml:"matchLabels,omitempty"`
+}
+
+// DeploymentSpec describes the desired deployment state.
+type DeploymentSpec struct {
+	Replicas int             `yaml:"replicas"`
+	Selector LabelSelector   `yaml:"selector"`
+	Template PodTemplateSpec `yaml:"template"`
+}
+
+// Deployment is an apps/v1 Deployment.
+type Deployment struct {
+	APIVersion string         `yaml:"apiVersion"`
+	Kind       string         `yaml:"kind"`
+	Metadata   ObjectMeta     `yaml:"metadata"`
+	Spec       DeploymentSpec `yaml:"spec"`
+}
+
+// NewDeployment returns an apps/v1 Deployment with one replica of a single
+// container, labeled and selected by app=name.
+func NewDeployment(name, namespace string, c Container) *Deployment {
+	labels := map[string]string{"app": name}
+	return &Deployment{
+		APIVersion: "apps/v1", Kind: "Deployment",
+		Metadata: ObjectMeta{Name: name, Namespace: namespace, Labels: labels},
+		Spec: DeploymentSpec{
+			Replicas: 1,
+			Selector: LabelSelector{MatchLabels: labels},
+			Template: PodTemplateSpec{
+				Metadata: ObjectMeta{Labels: labels},
+				Spec:     PodSpec{Containers: []Container{c}},
+			},
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+// Encode renders objects as a multi-document YAML manifest.
+func Encode(objs ...any) ([]byte, error) {
+	return yamlenc.MarshalDocs(objs...)
+}
+
+// Object is a decoded manifest document with typed accessors over the
+// generic map representation.
+type Object struct {
+	Raw map[string]any
+}
+
+// Kind returns the object's kind ("Deployment", ...).
+func (o Object) Kind() string { s, _ := o.Raw["kind"].(string); return s }
+
+// APIVersion returns the object's apiVersion.
+func (o Object) APIVersion() string { s, _ := o.Raw["apiVersion"].(string); return s }
+
+// Name returns metadata.name.
+func (o Object) Name() string { return o.metaString("name") }
+
+// Namespace returns metadata.namespace.
+func (o Object) Namespace() string { return o.metaString("namespace") }
+
+func (o Object) metaString(key string) string {
+	meta, _ := o.Raw["metadata"].(map[string]any)
+	if meta == nil {
+		return ""
+	}
+	s, _ := meta[key].(string)
+	return s
+}
+
+// Labels returns metadata.labels as a string map.
+func (o Object) Labels() map[string]string {
+	meta, _ := o.Raw["metadata"].(map[string]any)
+	out := map[string]string{}
+	if meta == nil {
+		return out
+	}
+	labels, _ := meta["labels"].(map[string]any)
+	for k, v := range labels {
+		if s, ok := v.(string); ok {
+			out[k] = s
+		}
+	}
+	return out
+}
+
+// Path fetches a nested value by dotted path ("spec.template.spec"), or nil.
+func (o Object) Path(path string) any {
+	var cur any = o.Raw
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil
+		}
+		cur = m[part]
+	}
+	return cur
+}
+
+// ConfigData returns data for ConfigMap objects.
+func (o Object) ConfigData() map[string]string {
+	data, _ := o.Raw["data"].(map[string]any)
+	out := map[string]string{}
+	for k, v := range data {
+		if s, ok := v.(string); ok {
+			out[k] = s
+		}
+	}
+	return out
+}
+
+// Decode parses a multi-document manifest into Objects.
+func Decode(data []byte) ([]Object, error) {
+	docs, err := yamlenc.UnmarshalDocs(data)
+	if err != nil {
+		return nil, err
+	}
+	var objs []Object
+	for i, d := range docs {
+		m, ok := d.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("k8s: document %d is not a mapping", i)
+		}
+		objs = append(objs, Object{Raw: m})
+	}
+	return objs, nil
+}
+
+// Validate checks the minimal well-formedness the deployment simulator
+// relies on: every object has kind and metadata.name; Deployments have at
+// least one container with name and image; Services have ports.
+func Validate(objs []Object) error {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	for i, o := range objs {
+		if o.Kind() == "" {
+			addf("document %d: missing kind", i)
+			continue
+		}
+		if o.Name() == "" {
+			addf("document %d (%s): missing metadata.name", i, o.Kind())
+		}
+		switch o.Kind() {
+		case "Deployment":
+			containers, _ := o.Path("spec.template.spec.containers").([]any)
+			if len(containers) == 0 {
+				addf("Deployment %s: no containers", o.Name())
+			}
+			for _, c := range containers {
+				cm, _ := c.(map[string]any)
+				if cm == nil {
+					continue
+				}
+				if cm["name"] == nil || cm["image"] == nil {
+					addf("Deployment %s: container missing name or image", o.Name())
+				}
+			}
+		case "Service":
+			ports, _ := o.Path("spec.ports").([]any)
+			if len(ports) == 0 {
+				addf("Service %s: no ports", o.Name())
+			}
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("k8s: invalid manifest:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

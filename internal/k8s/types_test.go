@@ -1,0 +1,142 @@
+package k8s
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeDeployment(t *testing.T) {
+	d := NewDeployment("opcua-server-wc02", "icelab", Container{
+		Name:           "server",
+		Image:          "factory/opcua-server:1.0",
+		Env:            []EnvVar{{Name: "OPCUA_PORT", Value: "4840"}},
+		Ports:          []ContainerPort{{Name: "opcua", ContainerPort: 4840, Protocol: "TCP"}},
+		VolumeMounts:   []VolumeMount{{Name: "config", MountPath: "/etc/factory", ReadOnly: true}},
+		ReadinessProbe: &Probe{TCPSocket: &TCPSocketAction{Port: 4840}, PeriodSeconds: 5},
+	})
+	d.Spec.Template.Spec.Volumes = []Volume{{Name: "config", ConfigMap: &ConfigMapVolumeSource{Name: "cfg"}}}
+
+	data, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode:\n%s\nerr: %v", data, err)
+	}
+	if len(objs) != 1 {
+		t.Fatalf("objs = %d", len(objs))
+	}
+	o := objs[0]
+	if o.Kind() != "Deployment" || o.APIVersion() != "apps/v1" {
+		t.Errorf("kind/apiVersion = %s/%s", o.Kind(), o.APIVersion())
+	}
+	if o.Name() != "opcua-server-wc02" || o.Namespace() != "icelab" {
+		t.Errorf("name/ns = %s/%s", o.Name(), o.Namespace())
+	}
+	if o.Labels()["app"] != "opcua-server-wc02" {
+		t.Errorf("labels = %v", o.Labels())
+	}
+	containers, _ := o.Path("spec.template.spec.containers").([]any)
+	if len(containers) != 1 {
+		t.Fatalf("containers = %v", containers)
+	}
+	c := containers[0].(map[string]any)
+	if c["image"] != "factory/opcua-server:1.0" {
+		t.Errorf("image = %v", c["image"])
+	}
+	if got, _ := o.Path("spec.replicas").(int64); got != 1 {
+		t.Errorf("replicas = %v", o.Path("spec.replicas"))
+	}
+}
+
+func TestEncodeMultiDoc(t *testing.T) {
+	ns := NewNamespace("icelab", map[string]string{"team": "factory"})
+	svc := NewService("broker", "icelab", 1883)
+	cm := NewConfigMap("broker-config", "icelab", map[string]string{"conf": `{"a":1}`})
+	data, err := Encode(ns, svc, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "---") {
+		t.Error("multi-doc separator missing")
+	}
+	objs, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 {
+		t.Fatalf("objs = %d", len(objs))
+	}
+	if objs[2].ConfigData()["conf"] != `{"a":1}` {
+		t.Errorf("config data = %v", objs[2].ConfigData())
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		objs []Object
+		want string
+	}{
+		{
+			name: "missing kind",
+			objs: []Object{{Raw: map[string]any{"metadata": map[string]any{"name": "x"}}}},
+			want: "missing kind",
+		},
+		{
+			name: "missing name",
+			objs: []Object{{Raw: map[string]any{"kind": "Service", "metadata": map[string]any{}, "spec": map[string]any{"ports": []any{map[string]any{"port": int64(1)}}}}}},
+			want: "missing metadata.name",
+		},
+		{
+			name: "deployment without containers",
+			objs: []Object{{Raw: map[string]any{"kind": "Deployment", "metadata": map[string]any{"name": "d"}}}},
+			want: "no containers",
+		},
+		{
+			name: "service without ports",
+			objs: []Object{{Raw: map[string]any{"kind": "Service", "metadata": map[string]any{"name": "s"}}}},
+			want: "no ports",
+		},
+	}
+	for _, c := range cases {
+		err := Validate(c.objs)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateAcceptsGoodObjects(t *testing.T) {
+	d := NewDeployment("ok", "ns", Container{Name: "c", Image: "img"})
+	s := NewService("ok", "ns", 80)
+	n := NewNamespace("ns", nil)
+	data, err := Encode(n, d, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(objs); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestObjectPathMissing(t *testing.T) {
+	o := Object{Raw: map[string]any{"a": map[string]any{"b": int64(1)}}}
+	if o.Path("a.b") != int64(1) {
+		t.Error("Path a.b")
+	}
+	if o.Path("a.b.c") != nil || o.Path("x.y") != nil {
+		t.Error("missing paths should be nil")
+	}
+}
+
+func TestDecodeRejectsNonMapping(t *testing.T) {
+	if _, err := Decode([]byte("- a\n- b\n")); err == nil {
+		t.Error("want error for sequence document")
+	}
+}

@@ -1,0 +1,529 @@
+// Package machinesim emulates factory machinery behind proprietary-protocol
+// TCP endpoints. Each simulated machine exposes the variables and services
+// declared in its SysML v2 model over a simple line-based wire protocol —
+// the stand-in for the vendor drivers (EMCO mill, UR5e cobot, Siemens PLC,
+// ...) that the paper's drivers connect to. Variable values evolve over time
+// according to per-type generators so that data actually flows through the
+// generated software stack.
+package machinesim
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// VarSpec declares one machine variable.
+type VarSpec struct {
+	Name     string `json:"name"`     // slash-separated path, e.g. "AxesPositions/actualX"
+	Type     string `json:"type"`     // Double, Integer, Boolean, String
+	Category string `json:"category"` // grouping from the model, e.g. "AxesPositions"
+}
+
+// MethodSpec declares one machine service.
+type MethodSpec struct {
+	Name    string   `json:"name"`
+	Args    []string `json:"args"`    // argument type names
+	Returns []string `json:"returns"` // return type names
+}
+
+// Spec is the full interface of a simulated machine.
+type Spec struct {
+	Name    string       `json:"name"`
+	Vars    []VarSpec    `json:"vars"`
+	Methods []MethodSpec `json:"methods"`
+}
+
+// Machine is a running emulator.
+type Machine struct {
+	spec Spec
+
+	mu        sync.RWMutex
+	values    map[string]any
+	calls     map[string]int // per-method call counts
+	tick      int
+	busyUntil time.Time
+
+	ln      net.Listener
+	wg      sync.WaitGroup
+	conns   map[net.Conn]struct{}
+	closed  bool
+	stopGen chan struct{}
+}
+
+// New creates a machine emulator from its spec with initial values.
+func New(spec Spec) *Machine {
+	m := &Machine{
+		spec:    spec,
+		values:  map[string]any{},
+		calls:   map[string]int{},
+		conns:   map[net.Conn]struct{}{},
+		stopGen: make(chan struct{}),
+	}
+	for _, v := range spec.Vars {
+		m.values[v.Name] = initialValue(v.Type)
+	}
+	return m
+}
+
+// Spec returns the machine's declared interface.
+func (m *Machine) Spec() Spec { return m.spec }
+
+func initialValue(typ string) any {
+	switch typ {
+	case "Double", "Real", "Float":
+		return 0.0
+	case "Integer", "Int64", "Natural", "Positive":
+		return float64(0) // JSON numbers; kept numeric
+	case "Boolean":
+		return false
+	default:
+		return "idle"
+	}
+}
+
+// Step advances the simulation one tick: every variable gets a new value
+// from its per-type generator. Deterministic given the tick counter.
+func (m *Machine) Step() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	t := float64(m.tick)
+	for i, v := range m.spec.Vars {
+		phase := float64(i+1) * 0.7
+		switch v.Type {
+		case "Double", "Real", "Float":
+			m.values[v.Name] = math.Round((50+40*math.Sin(t/10+phase))*1000) / 1000
+		case "Integer", "Int64", "Natural", "Positive":
+			m.values[v.Name] = float64((m.tick + i) % 1000)
+		case "Boolean":
+			m.values[v.Name] = (m.tick+i)%7 < 5
+		default:
+			states := []string{"idle", "running", "paused", "completed"}
+			m.values[v.Name] = states[(m.tick/4+i)%len(states)]
+		}
+	}
+}
+
+// StartGenerator steps the machine on a fixed period until Close.
+func (m *Machine) StartGenerator(period time.Duration) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				m.Step()
+			case <-m.stopGen:
+				return
+			}
+		}
+	}()
+}
+
+// Get reads a variable.
+func (m *Machine) Get(name string) (any, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	v, ok := m.values[name]
+	if !ok {
+		return nil, fmt.Errorf("machinesim %s: unknown variable %q", m.spec.Name, name)
+	}
+	return v, nil
+}
+
+// Set writes a variable (used by control paths and tests).
+func (m *Machine) Set(name string, value any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.values[name]; !ok {
+		return fmt.Errorf("machinesim %s: unknown variable %q", m.spec.Name, name)
+	}
+	m.values[name] = value
+	return nil
+}
+
+// Call invokes a machine service. Built-in semantics: every machine
+// answers is_ready (busy after any other call for 50 ms), start_program /
+// stop / reset mark state transitions, and anything else declared in the
+// spec echoes success with its call count.
+func (m *Machine) Call(name string, args []any) ([]any, error) {
+	var spec *MethodSpec
+	for i := range m.spec.Methods {
+		if m.spec.Methods[i].Name == name {
+			spec = &m.spec.Methods[i]
+			break
+		}
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("machinesim %s: unknown method %q", m.spec.Name, name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls[name]++
+	now := time.Now()
+	switch {
+	case name == "is_ready" || name == "isReady":
+		return []any{now.After(m.busyUntil)}, nil
+	case strings.HasPrefix(name, "start") || strings.HasPrefix(name, "run") || strings.HasPrefix(name, "execute"):
+		m.busyUntil = now.Add(50 * time.Millisecond)
+		return []any{true}, nil
+	case name == "stop" || name == "reset" || name == "abort":
+		m.busyUntil = now
+		return []any{true}, nil
+	}
+	out := make([]any, 0, len(spec.Returns))
+	for _, rt := range spec.Returns {
+		switch rt {
+		case "Boolean":
+			out = append(out, true)
+		case "Double", "Real", "Float", "Integer":
+			out = append(out, float64(m.calls[name]))
+		default:
+			out = append(out, fmt.Sprintf("%s:ok:%d", name, m.calls[name]))
+		}
+	}
+	return out, nil
+}
+
+// CallCount returns how many times a method has been invoked.
+func (m *Machine) CallCount(name string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.calls[name]
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+//
+// Line-based, JSON-armored: each request is one line
+//   GET <var>
+//   SET <var> <json>
+//   CALL <method> <json-array-args>
+//   LIST
+//   PING
+// and each response one line: "OK <json>" or "ERR <message>".
+
+// Serve binds the machine's TCP endpoint (port 0 picks a free port).
+func (m *Machine) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("machinesim %s: listen: %w", m.spec.Name, err)
+	}
+	m.mu.Lock()
+	m.ln = ln
+	m.mu.Unlock()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			m.mu.Lock()
+			if m.closed {
+				m.mu.Unlock()
+				conn.Close()
+				return
+			}
+			m.conns[conn] = struct{}{}
+			m.mu.Unlock()
+			m.wg.Add(1)
+			go m.handle(conn)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address ("" before Serve).
+func (m *Machine) Addr() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Close stops the generator, listener and connections.
+func (m *Machine) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.stopGen)
+	ln := m.ln
+	for c := range m.conns {
+		c.Close()
+	}
+	m.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	m.wg.Wait()
+	return err
+}
+
+func (m *Machine) handle(conn net.Conn) {
+	defer m.wg.Done()
+	defer func() {
+		m.mu.Lock()
+		delete(m.conns, conn)
+		m.mu.Unlock()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		resp := m.dispatch(line)
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (m *Machine) dispatch(line string) string {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		return "OK \"pong\""
+	case "LIST":
+		data, err := json.Marshal(m.spec)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + string(data)
+	case "GET":
+		v, err := m.Get(strings.TrimSpace(rest))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		data, _ := json.Marshal(v)
+		return "OK " + string(data)
+	case "SET":
+		name, valStr, ok := strings.Cut(strings.TrimSpace(rest), " ")
+		if !ok {
+			return "ERR SET requires variable and value"
+		}
+		var v any
+		if err := json.Unmarshal([]byte(valStr), &v); err != nil {
+			return "ERR invalid JSON value: " + err.Error()
+		}
+		if err := m.Set(name, v); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK true"
+	case "CALL":
+		name, argStr, _ := strings.Cut(strings.TrimSpace(rest), " ")
+		var args []any
+		if strings.TrimSpace(argStr) != "" {
+			if err := json.Unmarshal([]byte(argStr), &args); err != nil {
+				return "ERR invalid JSON args: " + err.Error()
+			}
+		}
+		results, err := m.Call(name, args)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		data, _ := json.Marshal(results)
+		return "OK " + string(data)
+	default:
+		return fmt.Sprintf("ERR unknown command %q", cmd)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Protocol client (the "driver" side)
+
+// Conn is a driver-side connection to a simulated machine.
+type Conn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	mu   sync.Mutex
+}
+
+// DialMachine connects to a machine endpoint.
+func DialMachine(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("machinesim driver: dial %s: %w", addr, err)
+	}
+	return &Conn{conn: c, r: bufio.NewReader(c)}, nil
+}
+
+// Close drops the connection.
+func (c *Conn) Close() error { return c.conn.Close() }
+
+func (c *Conn) roundTrip(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	resp = strings.TrimSpace(resp)
+	if body, ok := strings.CutPrefix(resp, "OK "); ok {
+		return body, nil
+	}
+	if msg, ok := strings.CutPrefix(resp, "ERR "); ok {
+		return "", errors.New(msg)
+	}
+	return "", fmt.Errorf("machinesim driver: malformed response %q", resp)
+}
+
+// Ping checks liveness.
+func (c *Conn) Ping() error {
+	_, err := c.roundTrip("PING")
+	return err
+}
+
+// List fetches the machine's spec.
+func (c *Conn) List() (Spec, error) {
+	body, err := c.roundTrip("LIST")
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Get reads one variable.
+func (c *Conn) Get(name string) (any, error) {
+	body, err := c.roundTrip("GET " + name)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Set writes one variable.
+func (c *Conn) Set(name string, value any) error {
+	data, err := json.Marshal(value)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(fmt.Sprintf("SET %s %s", name, data))
+	return err
+}
+
+// Call invokes a machine method.
+func (c *Conn) Call(name string, args ...any) ([]any, error) {
+	line := "CALL " + name
+	if len(args) > 0 {
+		data, err := json.Marshal(args)
+		if err != nil {
+			return nil, err
+		}
+		line += " " + string(data)
+	}
+	body, err := c.roundTrip(line)
+	if err != nil {
+		return nil, err
+	}
+	var out []any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fleet helper
+
+// Fleet runs a set of machines and tracks their endpoints by name.
+type Fleet struct {
+	mu       sync.Mutex
+	machines map[string]*Machine
+}
+
+// NewFleet creates an empty fleet.
+func NewFleet() *Fleet { return &Fleet{machines: map[string]*Machine{}} }
+
+// Start launches a machine on a free port with a value generator.
+func (f *Fleet) Start(spec Spec, genPeriod time.Duration) (*Machine, error) {
+	m := New(spec)
+	if err := m.Serve("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	if genPeriod > 0 {
+		m.StartGenerator(genPeriod)
+	}
+	f.mu.Lock()
+	f.machines[spec.Name] = m
+	f.mu.Unlock()
+	return m, nil
+}
+
+// Machine fetches a running machine by name.
+func (f *Fleet) Machine(name string) *Machine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.machines[name]
+}
+
+// Addrs returns name -> endpoint for all running machines.
+func (f *Fleet) Addrs() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[string]string{}
+	for name, m := range f.machines {
+		out[name] = m.Addr()
+	}
+	return out
+}
+
+// Names lists machine names, sorted.
+func (f *Fleet) Names() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for name := range f.machines {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops every machine.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var firstErr error
+	for _, m := range f.machines {
+		if err := m.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

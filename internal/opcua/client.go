@@ -1,0 +1,239 @@
+package opcua
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a connection to an OPC UA server. It multiplexes concurrent
+// requests over one TCP connection and dispatches subscription
+// notifications to per-subscription channels.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Message
+	subs    map[int]chan DataChange
+	closed  bool
+	readErr error
+
+	writeMu sync.Mutex
+	timeout time.Duration
+	done    chan struct{}
+}
+
+// Dial connects to an OPC UA server at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with an explicit dial and request timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("opcua client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan *Message{},
+		subs:    map[int]chan DataChange{},
+		timeout: timeout,
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	if _, err := c.roundTrip(&Message{Op: OpHello}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("opcua client: handshake with %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Close terminates the connection; pending requests fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	r := bufio.NewReader(c.conn)
+	for {
+		m, err := readFrame(r)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			for id, ch := range c.subs {
+				close(ch)
+				delete(c.subs, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if m.Op == OpNotify {
+			// The non-blocking send happens under the lock so Unsubscribe
+			// cannot close the channel mid-send.
+			c.mu.Lock()
+			if ch := c.subs[m.SubID]; ch != nil && m.Value != nil {
+				select {
+				case ch <- DataChange{SubID: m.SubID, NodeID: m.NodeID, Value: *m.Value}:
+				default: // drop for slow consumers, matching server behavior
+				}
+			}
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[m.ID]
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+			close(ch)
+		}
+	}
+}
+
+func (c *Client) roundTrip(req *Message) (*Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("client closed")
+		}
+		return nil, fmt.Errorf("opcua client: %w", err)
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *Message, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("opcua client: send: %w", err)
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("opcua client: connection lost: %v", c.readErr)
+		}
+		if !resp.OK {
+			return nil, fmt.Errorf("opcua: %s", resp.Error)
+		}
+		return resp, nil
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("opcua client: %s request timed out after %v", req.Op, c.timeout)
+	}
+}
+
+// Read fetches a variable's value.
+func (c *Client) Read(id NodeID) (Variant, error) {
+	resp, err := c.roundTrip(&Message{Op: OpRead, NodeID: id})
+	if err != nil {
+		return Variant{}, err
+	}
+	if resp.Value == nil {
+		return Variant{}, errors.New("opcua client: read response without value")
+	}
+	return *resp.Value, nil
+}
+
+// Write sets a variable's value.
+func (c *Client) Write(id NodeID, v Variant) error {
+	_, err := c.roundTrip(&Message{Op: OpWrite, NodeID: id, Value: &v})
+	return err
+}
+
+// Call invokes a method node.
+func (c *Client) Call(id NodeID, args ...Variant) ([]Variant, error) {
+	resp, err := c.roundTrip(&Message{Op: OpCall, NodeID: id, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Browse describes a node; an empty id browses the root folder.
+func (c *Client) Browse(id NodeID) (NodeInfo, error) {
+	resp, err := c.roundTrip(&Message{Op: OpBrowse, NodeID: id})
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	if resp.Node == nil {
+		return NodeInfo{}, errors.New("opcua client: browse response without node")
+	}
+	return *resp.Node, nil
+}
+
+// BrowseTree walks the address space from id (root when empty), returning
+// every reachable node in depth-first order.
+func (c *Client) BrowseTree(id NodeID) ([]NodeInfo, error) {
+	info, err := c.Browse(id)
+	if err != nil {
+		return nil, err
+	}
+	out := []NodeInfo{info}
+	for _, child := range info.Children {
+		sub, err := c.BrowseTree(child)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sub...)
+	}
+	return out, nil
+}
+
+// Subscribe registers a monitored item; value changes arrive on the
+// returned channel until Unsubscribe or connection loss.
+func (c *Client) Subscribe(id NodeID) (int, <-chan DataChange, error) {
+	resp, err := c.roundTrip(&Message{Op: OpSubscribe, NodeID: id})
+	if err != nil {
+		return 0, nil, err
+	}
+	ch := make(chan DataChange, 64)
+	c.mu.Lock()
+	c.subs[resp.SubID] = ch
+	c.mu.Unlock()
+	return resp.SubID, ch, nil
+}
+
+// Unsubscribe cancels a monitored item.
+func (c *Client) Unsubscribe(subID int) error {
+	_, err := c.roundTrip(&Message{Op: OpUnsubscribe, SubID: subID})
+	c.mu.Lock()
+	if ch, ok := c.subs[subID]; ok {
+		delete(c.subs, subID)
+		close(ch)
+	}
+	c.mu.Unlock()
+	return err
+}

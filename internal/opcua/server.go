@@ -1,0 +1,209 @@
+package opcua
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+)
+
+// Server exposes an AddressSpace over the framed TCP protocol.
+type Server struct {
+	Name  string
+	Space *AddressSpace
+
+	// Logf, when set, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server around an address space.
+func NewServer(name string, space *AddressSpace) *Server {
+	return &Server{Name: name, Space: space, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen binds to addr ("host:port"; port 0 picks a free port) and starts
+// accepting connections in the background.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("opcua server %s: %w", s.Name, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("opcua server %s: accept: %v", s.Name, err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	r := bufio.NewReader(conn)
+	var writeMu sync.Mutex
+	send := func(m *Message) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeFrame(conn, m)
+	}
+
+	// Per-connection subscriptions, cleaned up on disconnect.
+	subs := map[int]struct{}{}
+	var subWG sync.WaitGroup
+	defer func() {
+		for id := range subs {
+			s.Space.Unsubscribe(id)
+		}
+		subWG.Wait()
+	}()
+
+	for {
+		req, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		resp := &Message{ID: req.ID, Op: req.Op, OK: true}
+		switch req.Op {
+		case OpHello:
+			resp.Endpoint = s.Name
+		case OpRead:
+			v, err := s.Space.Read(req.NodeID)
+			if err != nil {
+				resp.OK, resp.Error = false, err.Error()
+			} else {
+				resp.Value = &v
+			}
+		case OpWrite:
+			if req.Value == nil {
+				resp.OK, resp.Error = false, "write without value"
+			} else if err := s.Space.Write(req.NodeID, *req.Value); err != nil {
+				resp.OK, resp.Error = false, err.Error()
+			}
+		case OpCall:
+			results, err := s.Space.Call(req.NodeID, req.Args)
+			if err != nil {
+				resp.OK, resp.Error = false, err.Error()
+			} else {
+				resp.Results = results
+			}
+		case OpBrowse:
+			id := req.NodeID
+			if id == "" {
+				id = s.Space.Root()
+			}
+			info, err := s.Space.Browse(id)
+			if err != nil {
+				resp.OK, resp.Error = false, err.Error()
+			} else {
+				resp.Node = &info
+			}
+		case OpSubscribe:
+			subID, ch, err := s.Space.Subscribe(req.NodeID, 64)
+			if err != nil {
+				resp.OK, resp.Error = false, err.Error()
+				break
+			}
+			subs[subID] = struct{}{}
+			resp.SubID = subID
+			subWG.Add(1)
+			go func(nodeID NodeID) {
+				defer subWG.Done()
+				for change := range ch {
+					v := change.Value
+					if err := send(&Message{Op: OpNotify, NodeID: nodeID, Value: &v, SubID: change.SubID, OK: true}); err != nil {
+						return
+					}
+				}
+			}(req.NodeID)
+		case OpUnsubscribe:
+			if _, ok := subs[req.SubID]; ok {
+				s.Space.Unsubscribe(req.SubID)
+				delete(subs, req.SubID)
+			} else {
+				resp.OK, resp.Error = false, fmt.Sprintf("unknown subscription %d", req.SubID)
+			}
+		default:
+			resp.OK, resp.Error = false, fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := send(resp); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				log.Printf("opcua server %s: send: %v", s.Name, err)
+			}
+			return
+		}
+	}
+}

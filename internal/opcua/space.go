@@ -1,0 +1,350 @@
+// Package opcua implements a simulated OPC Unified Architecture stack: a
+// hierarchical address space of objects, variables and methods, plus a
+// TCP server and client speaking a compact length-prefixed JSON protocol
+// with read/write/call/browse/subscribe services.
+//
+// It stands in for the real OPC UA servers that front each machine in the
+// paper's factory: the configuration generator emits server configs whose
+// address spaces mirror the modeled machine variables and services, and the
+// deployment simulator actually runs them.
+package opcua
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NodeID identifies a node, e.g. "ns=1;s=EMCO/AxesPositions/actualX".
+type NodeID string
+
+// NewNodeID builds a string node id in namespace ns from path segments.
+func NewNodeID(ns int, path ...string) NodeID {
+	return NodeID(fmt.Sprintf("ns=%d;s=%s", ns, strings.Join(path, "/")))
+}
+
+// NodeClass is the OPC UA node class (subset).
+type NodeClass int
+
+const (
+	// ClassObject groups other nodes.
+	ClassObject NodeClass = iota
+	// ClassVariable holds a value.
+	ClassVariable
+	// ClassMethod is callable.
+	ClassMethod
+)
+
+func (c NodeClass) String() string {
+	switch c {
+	case ClassObject:
+		return "Object"
+	case ClassVariable:
+		return "Variable"
+	case ClassMethod:
+		return "Method"
+	}
+	return "Unknown"
+}
+
+// Variant is a dynamically typed OPC UA value, JSON-encodable.
+type Variant struct {
+	Type  string          `json:"type"` // String, Double, Int64, Boolean, ...
+	Value json.RawMessage `json:"value"`
+}
+
+// V builds a Variant from a Go value.
+func V(v any) Variant {
+	data, _ := json.Marshal(v)
+	t := "Null"
+	switch v.(type) {
+	case string:
+		t = "String"
+	case bool:
+		t = "Boolean"
+	case int, int32, int64:
+		t = "Int64"
+	case float32, float64:
+		t = "Double"
+	case nil:
+		t = "Null"
+	default:
+		t = "Json"
+	}
+	return Variant{Type: t, Value: data}
+}
+
+// AsString decodes a string variant (empty for other types).
+func (v Variant) AsString() string {
+	var s string
+	_ = json.Unmarshal(v.Value, &s)
+	return s
+}
+
+// AsFloat decodes a numeric variant.
+func (v Variant) AsFloat() float64 {
+	var f float64
+	_ = json.Unmarshal(v.Value, &f)
+	return f
+}
+
+// AsBool decodes a boolean variant.
+func (v Variant) AsBool() bool {
+	var b bool
+	_ = json.Unmarshal(v.Value, &b)
+	return b
+}
+
+// Equal reports deep equality of type and encoded value.
+func (v Variant) Equal(o Variant) bool {
+	return v.Type == o.Type && string(v.Value) == string(o.Value)
+}
+
+// MethodFunc is the server-side implementation of a method node.
+type MethodFunc func(args []Variant) ([]Variant, error)
+
+// Node is one entry of the address space.
+type Node struct {
+	ID         NodeID
+	BrowseName string
+	Class      NodeClass
+	DataType   string            // for variables
+	Metadata   map[string]string // modeled metadata (category, description, ...)
+	Parent     NodeID
+	children   []NodeID
+	value      Variant
+	method     MethodFunc
+}
+
+// NodeInfo is the wire-friendly description of a node.
+type NodeInfo struct {
+	ID         NodeID            `json:"id"`
+	BrowseName string            `json:"browseName"`
+	Class      string            `json:"class"`
+	DataType   string            `json:"dataType,omitempty"`
+	Metadata   map[string]string `json:"metadata,omitempty"`
+	Children   []NodeID          `json:"children,omitempty"`
+}
+
+// AddressSpace is a concurrency-safe node store with change notification.
+type AddressSpace struct {
+	mu    sync.RWMutex
+	nodes map[NodeID]*Node
+	root  NodeID
+
+	subMu    sync.Mutex
+	nextSub  int
+	monitors map[int]*monitor
+}
+
+type monitor struct {
+	id     int
+	nodeID NodeID
+	ch     chan DataChange
+}
+
+// DataChange is one monitored-item notification.
+type DataChange struct {
+	SubID  int     `json:"subId"`
+	NodeID NodeID  `json:"nodeId"`
+	Value  Variant `json:"value"`
+}
+
+// NewAddressSpace creates a space with a root Objects folder.
+func NewAddressSpace() *AddressSpace {
+	s := &AddressSpace{
+		nodes:    map[NodeID]*Node{},
+		root:     NodeID("ns=0;s=Objects"),
+		monitors: map[int]*monitor{},
+	}
+	s.nodes[s.root] = &Node{ID: s.root, BrowseName: "Objects", Class: ClassObject}
+	return s
+}
+
+// Root returns the root folder id.
+func (s *AddressSpace) Root() NodeID { return s.root }
+
+// AddObject creates an object node under parent.
+func (s *AddressSpace) AddObject(parent NodeID, id NodeID, browseName string, meta map[string]string) (*Node, error) {
+	return s.add(&Node{ID: id, BrowseName: browseName, Class: ClassObject, Metadata: meta, Parent: parent})
+}
+
+// AddVariable creates a variable node under parent with an initial value.
+func (s *AddressSpace) AddVariable(parent NodeID, id NodeID, browseName, dataType string, initial Variant, meta map[string]string) (*Node, error) {
+	return s.add(&Node{ID: id, BrowseName: browseName, Class: ClassVariable,
+		DataType: dataType, value: initial, Metadata: meta, Parent: parent})
+}
+
+// AddMethod creates a callable method node under parent.
+func (s *AddressSpace) AddMethod(parent NodeID, id NodeID, browseName string, fn MethodFunc, meta map[string]string) (*Node, error) {
+	return s.add(&Node{ID: id, BrowseName: browseName, Class: ClassMethod,
+		method: fn, Metadata: meta, Parent: parent})
+}
+
+func (s *AddressSpace) add(n *Node) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.nodes[n.ID]; exists {
+		return nil, fmt.Errorf("opcua: node %s already exists", n.ID)
+	}
+	parent, ok := s.nodes[n.Parent]
+	if !ok {
+		return nil, fmt.Errorf("opcua: parent %s of %s not found", n.Parent, n.ID)
+	}
+	s.nodes[n.ID] = n
+	parent.children = append(parent.children, n.ID)
+	return n, nil
+}
+
+// Read returns a variable's current value.
+func (s *AddressSpace) Read(id NodeID) (Variant, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return Variant{}, fmt.Errorf("opcua: node %s not found", id)
+	}
+	if n.Class != ClassVariable {
+		return Variant{}, fmt.Errorf("opcua: node %s is a %s, not a Variable", id, n.Class)
+	}
+	return n.value, nil
+}
+
+// Write updates a variable's value and notifies monitors.
+func (s *AddressSpace) Write(id NodeID, v Variant) error {
+	s.mu.Lock()
+	n, ok := s.nodes[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("opcua: node %s not found", id)
+	}
+	if n.Class != ClassVariable {
+		s.mu.Unlock()
+		return fmt.Errorf("opcua: node %s is a %s, not a Variable", id, n.Class)
+	}
+	changed := !n.value.Equal(v)
+	n.value = v
+	s.mu.Unlock()
+	if changed {
+		s.notify(id, v)
+	}
+	return nil
+}
+
+// Call invokes a method node.
+func (s *AddressSpace) Call(id NodeID, args []Variant) ([]Variant, error) {
+	s.mu.RLock()
+	n, ok := s.nodes[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("opcua: node %s not found", id)
+	}
+	if n.Class != ClassMethod || n.method == nil {
+		return nil, fmt.Errorf("opcua: node %s is not callable", id)
+	}
+	return n.method(args)
+}
+
+// Browse returns the node's description including child ids.
+func (s *AddressSpace) Browse(id NodeID) (NodeInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.nodes[id]
+	if !ok {
+		return NodeInfo{}, fmt.Errorf("opcua: node %s not found", id)
+	}
+	return n.info(), nil
+}
+
+func (n *Node) info() NodeInfo {
+	children := append([]NodeID(nil), n.children...)
+	return NodeInfo{ID: n.ID, BrowseName: n.BrowseName, Class: n.Class.String(),
+		DataType: n.DataType, Metadata: n.Metadata, Children: children}
+}
+
+// AllNodes returns node infos sorted by id (diagnostics and tests).
+func (s *AddressSpace) AllNodes() []NodeInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]NodeInfo, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		out = append(out, n.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CountByClass tallies nodes per class.
+func (s *AddressSpace) CountByClass() (objects, variables, methods int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, n := range s.nodes {
+		switch n.Class {
+		case ClassObject:
+			objects++
+		case ClassVariable:
+			variables++
+		case ClassMethod:
+			methods++
+		}
+	}
+	return
+}
+
+// Subscribe registers a monitored item on a variable; changes are delivered
+// on the returned channel until Unsubscribe.
+func (s *AddressSpace) Subscribe(id NodeID, buffer int) (int, <-chan DataChange, error) {
+	s.mu.RLock()
+	n, ok := s.nodes[id]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("opcua: node %s not found", id)
+	}
+	if n.Class != ClassVariable {
+		return 0, nil, fmt.Errorf("opcua: cannot subscribe to %s node %s", n.Class, id)
+	}
+	if buffer <= 0 {
+		buffer = 16
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	s.nextSub++
+	m := &monitor{id: s.nextSub, nodeID: id, ch: make(chan DataChange, buffer)}
+	s.monitors[m.id] = m
+	return m.id, m.ch, nil
+}
+
+// Unsubscribe removes a monitored item and closes its channel.
+func (s *AddressSpace) Unsubscribe(subID int) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if m, ok := s.monitors[subID]; ok {
+		delete(s.monitors, subID)
+		close(m.ch)
+	}
+}
+
+func (s *AddressSpace) notify(id NodeID, v Variant) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, m := range s.monitors {
+		if m.nodeID != id {
+			continue
+		}
+		select {
+		case m.ch <- DataChange{SubID: m.id, NodeID: id, Value: v}:
+		default:
+			// Slow consumer: drop the oldest by draining one, then retry.
+			select {
+			case <-m.ch:
+			default:
+			}
+			select {
+			case m.ch <- DataChange{SubID: m.id, NodeID: id, Value: v}:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package opcua
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The wire protocol frames JSON messages with a 4-byte big-endian length
+// prefix. Requests carry an operation and a correlation id; the server
+// answers with the same id. Subscription notifications are pushed with
+// id 0 and op "notify".
+
+// Op names of the protocol.
+const (
+	OpHello       = "hello"
+	OpRead        = "read"
+	OpWrite       = "write"
+	OpCall        = "call"
+	OpBrowse      = "browse"
+	OpSubscribe   = "subscribe"
+	OpUnsubscribe = "unsubscribe"
+	OpNotify      = "notify"
+)
+
+// maxFrame bounds a single message (4 MiB) to protect against corrupt
+// length prefixes.
+const maxFrame = 4 << 20
+
+// Message is both request and response envelope.
+type Message struct {
+	ID     uint64    `json:"id"`
+	Op     string    `json:"op"`
+	NodeID NodeID    `json:"nodeId,omitempty"`
+	Value  *Variant  `json:"value,omitempty"`
+	Args   []Variant `json:"args,omitempty"`
+	// Response fields.
+	OK      bool      `json:"ok,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Results []Variant `json:"results,omitempty"`
+	Node    *NodeInfo `json:"node,omitempty"`
+	SubID   int       `json:"subId,omitempty"`
+	// Hello payload.
+	Endpoint string `json:"endpoint,omitempty"`
+}
+
+// writeFrame writes one length-prefixed JSON message.
+func writeFrame(w io.Writer, m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("opcua: encode frame: %w", err)
+	}
+	if len(data) > maxFrame {
+		return fmt.Errorf("opcua: frame too large (%d bytes)", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON message.
+func readFrame(r *bufio.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("opcua: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("opcua: decode frame: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,73 @@
+// Package report renders human-readable summaries of an extracted factory
+// and its generated configuration — the Markdown counterpart of the
+// paper's Table I, produced by `sysml2cfg -report`.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/core"
+)
+
+// Markdown renders the per-machine model statistics and the generation
+// summary as a Markdown document.
+func Markdown(f *core.Factory, b *codegen.Bundle) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Factory configuration report — %s\n\n", f.Name)
+	fmt.Fprintf(&sb, "Plant: %s / %s / %s\n\n", f.Enterprise, f.Site, f.Area)
+
+	sb.WriteString("## Model features (per machine)\n\n")
+	sb.WriteString("| WC | Machine | Driver | Part Def. | Part Inst. | Attr Inst. | Port Inst. | Variables | Services |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	var total core.MachineStats
+	for _, line := range f.Lines {
+		for _, wc := range line.Workcells {
+			for _, m := range wc.Machines {
+				fmt.Fprintf(&sb, "| %s | %s | %s | %d | %d | %d | %d | %d | %d |\n",
+					wc.Name, m.Name, m.Driver.Protocol,
+					m.Stats.PartDefs, m.Stats.PartInstances,
+					m.Stats.AttrInstances, m.Stats.PortInstances,
+					m.Stats.Variables, m.Stats.Services)
+				total.Add(m.Stats)
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "| | **total** | | %d | %d | %d | %d | %d | %d |\n\n",
+		total.PartDefs, total.PartInstances, total.AttrInstances,
+		total.PortInstances, total.Variables, total.Services)
+
+	if b != nil {
+		s := b.Summary
+		sb.WriteString("## Generated configuration\n\n")
+		fmt.Fprintf(&sb, "- OPC UA servers: %d (one per workcell)\n", s.Servers)
+		fmt.Fprintf(&sb, "- OPC UA clients: %d (%s grouping, %d vars / %d methods per module)\n",
+			s.Clients, b.Intermediate.Grouping.Strategy,
+			b.Intermediate.Grouping.MaxVars, b.Intermediate.Grouping.MaxMethods)
+		fmt.Fprintf(&sb, "- Configuration size: %.1f KB in %d files (%.1f KB JSON, %.1f KB YAML)\n",
+			float64(s.ConfigBytes)/1024, s.Files,
+			float64(s.JSONBytes)/1024, float64(s.YAMLBytes)/1024)
+		sb.WriteString("\n### Client groups\n\n")
+		for _, cc := range b.Intermediate.Clients {
+			var names []string
+			for _, cm := range cc.Machines {
+				names = append(names, cm.Machine)
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&sb, "- **%s**: %s (%d variables, %d methods)\n",
+				cc.Name, strings.Join(names, ", "), cc.Variables, cc.Methods)
+		}
+	}
+
+	sb.WriteString("\n### Service inventory\n\n")
+	for _, m := range f.Machines() {
+		var names []string
+		for _, s := range m.Services {
+			names = append(names, s.Name)
+		}
+		fmt.Fprintf(&sb, "- **%s** (%s): %s\n", m.Name, m.Workcell, strings.Join(names, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+func TestMarkdownReport(t *testing.T) {
+	f := icelab.MustBuild(icelab.ICELab())
+	b, err := codegen.Generate(f, codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Markdown(f, b)
+	for _, want := range []string{
+		"# Factory configuration report — ICETopology",
+		"UniVR / Verona / ICELab",
+		"| workCell02 | emco | EMCOMillDriver |",
+		"| workCell06 | conveyor | OPC UA |",
+		"OPC UA servers: 6",
+		"OPC UA clients: 4",
+		"ffd grouping",
+		"### Client groups",
+		"### Service inventory",
+		"**emco** (workCell02):",
+		"is_ready",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+	// Totals row is present and the table has 10 machine rows.
+	if !strings.Contains(md, "**total**") {
+		t.Error("no totals row")
+	}
+	rows := strings.Count(md, "| workCell")
+	if rows != 10 {
+		t.Errorf("machine rows = %d, want 10", rows)
+	}
+}
+
+func TestMarkdownWithoutBundle(t *testing.T) {
+	f := icelab.MustBuild(icelab.ICELab())
+	md := Markdown(f, nil)
+	if strings.Contains(md, "Generated configuration") {
+		t.Error("bundle section rendered without a bundle")
+	}
+	if !strings.Contains(md, "Service inventory") {
+		t.Error("service inventory missing")
+	}
+}

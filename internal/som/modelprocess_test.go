@@ -1,0 +1,84 @@
+package som
+
+import (
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/deploy"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+// TestModeledProcessesExecuteEndToEnd: the production processes written in
+// the SysML model (ICE Lab's produceFlange / electronicTest) are extracted,
+// converted and executed against the deployed plant.
+func TestModeledProcessesExecuteEndToEnd(t *testing.T) {
+	factory, model, err := icelab.Build(icelab.ICELab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := core.ExtractProcesses(model)
+	if len(defs) != 2 {
+		t.Fatalf("extracted %d processes, want 2: %+v", len(defs), defs)
+	}
+	byName := map[string]core.ProcessDef{}
+	for _, d := range defs {
+		byName[d.Name] = d
+	}
+	flange, ok := byName["produceFlange"]
+	if !ok || len(flange.Steps) != 8 {
+		t.Fatalf("produceFlange = %+v", flange)
+	}
+	if flange.Steps[0] != (core.ProcessStep{Machine: "warehouse", Service: "call_tray"}) {
+		t.Errorf("first step = %+v", flange.Steps[0])
+	}
+	etest, ok := byName["electronicTest"]
+	if !ok || len(etest.Steps) != 5 {
+		t.Fatalf("electronicTest = %+v", etest)
+	}
+
+	// Deploy and execute both modeled processes.
+	bundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, resolver, err := deploy.StartFleet(bundle.Intermediate.Machines, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	cluster := deploy.NewCluster(3, 32)
+	cluster.MachineEndpoints = resolver
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	reg := NewRegistry(bundle.Intermediate)
+	orch, err := NewOrchestrator(cluster.BrokerAddr(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orch.Close()
+	orch.Timeout = 10 * time.Second
+
+	for _, proc := range FromModel(defs) {
+		if err := proc.Validate(reg); err != nil {
+			t.Fatalf("modeled process %s does not validate: %v", proc.Name, err)
+		}
+		result, err := orch.Execute(proc)
+		if err != nil {
+			t.Fatalf("execute %s: %v", proc.Name, err)
+		}
+		if !result.Finished {
+			t.Errorf("process %s did not finish", proc.Name)
+		}
+		for _, sr := range result.Steps {
+			if !sr.Reply.OK {
+				t.Errorf("%s step %s.%s failed: %s", proc.Name,
+					sr.Step.Machine, sr.Step.Service, sr.Reply.Error)
+			}
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package som implements the Service-oriented Manufacturing layer of the
+// architecture: machinery exposes its functionality as machine services
+// (registered from the generated configuration), and production processes
+// are composed as sequences of machine services executed through the
+// message broker — the paradigm the paper's modeling methodology targets.
+package som
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/stack"
+)
+
+// Registry indexes the machine services of a deployed factory.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]map[string]codegen.MethodConfig // machine -> service -> config
+}
+
+// NewRegistry builds a registry from the generated intermediate configs.
+func NewRegistry(in *codegen.Intermediate) *Registry {
+	r := &Registry{services: map[string]map[string]codegen.MethodConfig{}}
+	for _, mc := range in.Machines {
+		byName := map[string]codegen.MethodConfig{}
+		for _, m := range mc.Methods {
+			byName[m.Name] = m
+		}
+		r.services[mc.Machine] = byName
+	}
+	return r
+}
+
+// Lookup finds a machine service.
+func (r *Registry) Lookup(machine, service string) (codegen.MethodConfig, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	byName, ok := r.services[machine]
+	if !ok {
+		return codegen.MethodConfig{}, fmt.Errorf("som: unknown machine %q", machine)
+	}
+	m, ok := byName[service]
+	if !ok {
+		return codegen.MethodConfig{}, fmt.Errorf("som: machine %q has no service %q", machine, service)
+	}
+	return m, nil
+}
+
+// Machines lists registered machine names, sorted.
+func (r *Registry) Machines() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for m := range r.services {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Services lists a machine's service names, sorted.
+func (r *Registry) Services(machine string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for s := range r.services[machine] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the total number of registered services.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, byName := range r.services {
+		n += len(byName)
+	}
+	return n
+}
+
+// Step is one process step: a machine service invocation.
+type Step struct {
+	Name    string // human-readable step label (defaults to machine.service)
+	Machine string
+	Service string
+	Args    []any
+	// Retries re-invokes the service on failure (transport or service
+	// error) up to this many extra times.
+	Retries int
+}
+
+// Process is a sequence of machine-service steps (the paper: "production
+// processes are composed of sequences of machine services").
+type Process struct {
+	Name  string
+	Steps []Step
+}
+
+// FromModel converts processes extracted from the SysML model
+// (core.ExtractProcesses) into executable SOM processes.
+func FromModel(defs []core.ProcessDef) []Process {
+	out := make([]Process, 0, len(defs))
+	for _, d := range defs {
+		p := Process{Name: d.Name}
+		for _, s := range d.Steps {
+			p.Steps = append(p.Steps, Step{Machine: s.Machine, Service: s.Service})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Validate checks every step resolves against the registry.
+func (p Process) Validate(reg *Registry) error {
+	var problems []string
+	for i, s := range p.Steps {
+		if _, err := reg.Lookup(s.Machine, s.Service); err != nil {
+			problems = append(problems, fmt.Sprintf("step %d (%s): %v", i, s.Name, err))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("som: process %q invalid:\n  %s", p.Name, strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// StepResult records one executed step.
+type StepResult struct {
+	Step     Step
+	Reply    stack.ServiceReply
+	Err      error
+	Attempts int
+	Elapsed  time.Duration
+}
+
+// ProcessResult records a full process execution.
+type ProcessResult struct {
+	Process  string
+	Steps    []StepResult
+	Elapsed  time.Duration
+	Finished bool // all steps succeeded
+}
+
+// Orchestrator executes processes by calling machine services over the
+// broker.
+type Orchestrator struct {
+	Registry *Registry
+	// Timeout bounds each service call (default 5s).
+	Timeout time.Duration
+
+	bc *broker.Client
+}
+
+// NewOrchestrator connects an orchestrator to the broker.
+func NewOrchestrator(brokerAddr string, reg *Registry) (*Orchestrator, error) {
+	bc, err := broker.DialClient(brokerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("som: %w", err)
+	}
+	return &Orchestrator{Registry: reg, Timeout: 5 * time.Second, bc: bc}, nil
+}
+
+// Close drops the broker connection.
+func (o *Orchestrator) Close() error { return o.bc.Close() }
+
+// Call invokes one machine service.
+func (o *Orchestrator) Call(machine, service string, args ...any) (stack.ServiceReply, error) {
+	m, err := o.Registry.Lookup(machine, service)
+	if err != nil {
+		return stack.ServiceReply{}, err
+	}
+	reply, err := stack.CallService(o.bc, m, args, o.Timeout)
+	if err != nil {
+		return stack.ServiceReply{}, err
+	}
+	if !reply.OK {
+		return reply, fmt.Errorf("som: %s.%s failed: %s", machine, service, reply.Error)
+	}
+	return reply, nil
+}
+
+// Execute runs the process steps in order, stopping at the first failure
+// after exhausting per-step retries.
+func (o *Orchestrator) Execute(p Process) (*ProcessResult, error) {
+	if err := p.Validate(o.Registry); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	result := &ProcessResult{Process: p.Name}
+	for _, step := range p.Steps {
+		if step.Name == "" {
+			step.Name = step.Machine + "." + step.Service
+		}
+		sr := o.runStep(step)
+		result.Steps = append(result.Steps, sr)
+		if sr.Err != nil {
+			result.Elapsed = time.Since(start)
+			return result, fmt.Errorf("som: process %q stopped at step %q: %w", p.Name, step.Name, sr.Err)
+		}
+	}
+	result.Elapsed = time.Since(start)
+	result.Finished = true
+	return result, nil
+}
+
+func (o *Orchestrator) runStep(step Step) StepResult {
+	sr := StepResult{Step: step}
+	start := time.Now()
+	for attempt := 0; attempt <= step.Retries; attempt++ {
+		sr.Attempts = attempt + 1
+		reply, err := o.Call(step.Machine, step.Service, step.Args...)
+		sr.Reply = reply
+		sr.Err = err
+		if err == nil {
+			break
+		}
+	}
+	sr.Elapsed = time.Since(start)
+	return sr
+}
+
+// WaitReady polls a machine's is_ready service until it reports true or the
+// deadline passes — the canonical SOM synchronization primitive.
+func (o *Orchestrator) WaitReady(machine string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		reply, err := o.Call(machine, "is_ready")
+		if err == nil && len(reply.Results) == 1 {
+			if ready, ok := reply.Results[0].(bool); ok && ready {
+				return nil
+			}
+			last = fmt.Errorf("som: %s not ready", machine)
+		} else if err != nil {
+			last = err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("som: %s not ready after %v: %w", machine, timeout, last)
+}

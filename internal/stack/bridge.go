@@ -1,0 +1,374 @@
+package stack
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/opcua"
+)
+
+// ServerResolver maps an OPC UA server name (e.g. "opcua-server-workcell02")
+// to its dialable address.
+type ServerResolver func(server string) (string, error)
+
+// BridgeClient is the OPC UA client module of the architecture: for the
+// machines in its group it subscribes to every configured variable on the
+// owning OPC UA server and republishes values to the message broker; it
+// also listens on each service's request topic and proxies the call to the
+// OPC UA method node, publishing the result on the response topic.
+type BridgeClient struct {
+	Config codegen.ClientConfig
+
+	resolveServer ServerResolver
+	brokerAddr    string
+
+	// ReconnectBackoff paces redial attempts after a server connection is
+	// lost (default 100ms).
+	ReconnectBackoff time.Duration
+
+	mu         sync.Mutex
+	opcua      map[string]*opcua.Client // per server name
+	broker     *broker.Client
+	wg         sync.WaitGroup
+	stopCh     chan struct{}
+	published  uint64
+	calls      uint64
+	reconnects uint64
+}
+
+// ServicePayload is the JSON body exchanged on service request topics.
+type ServicePayload struct {
+	Args []any  `json:"args,omitempty"`
+	ID   string `json:"id,omitempty"` // correlation id echoed in the reply
+}
+
+// ServiceReply is the JSON body published on service response topics.
+type ServiceReply struct {
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Results []any  `json:"results,omitempty"`
+	ID      string `json:"id,omitempty"`
+}
+
+// VariableSample is the JSON body published on variable topics.
+type VariableSample struct {
+	Machine  string `json:"machine"`
+	Variable string `json:"variable"`
+	Category string `json:"category,omitempty"`
+	Type     string `json:"type,omitempty"`
+	Value    any    `json:"value"`
+}
+
+// NewBridgeClient builds the component; Start brings it up.
+func NewBridgeClient(cfg codegen.ClientConfig, resolver ServerResolver, brokerAddr string) *BridgeClient {
+	return &BridgeClient{
+		Config:        cfg,
+		resolveServer: resolver,
+		brokerAddr:    brokerAddr,
+		opcua:         map[string]*opcua.Client{},
+		stopCh:        make(chan struct{}),
+	}
+}
+
+// Start connects to the broker and all owning OPC UA servers, then wires
+// subscriptions and service listeners.
+func (b *BridgeClient) Start() error {
+	bc, err := broker.DialClient(b.brokerAddr)
+	if err != nil {
+		return fmt.Errorf("stack: client %s: %w", b.Config.Name, err)
+	}
+	b.mu.Lock()
+	b.broker = bc
+	b.mu.Unlock()
+
+	for _, cm := range b.Config.Machines {
+		client, err := b.clientFor(cm.Server)
+		if err != nil {
+			b.Stop()
+			return err
+		}
+		for _, v := range cm.Subscriptions {
+			if err := b.wireVariable(client, cm, v); err != nil {
+				b.Stop()
+				return err
+			}
+		}
+		for _, m := range cm.Methods {
+			if err := b.wireService(cm, m); err != nil {
+				b.Stop()
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (b *BridgeClient) backoff() time.Duration {
+	if b.ReconnectBackoff > 0 {
+		return b.ReconnectBackoff
+	}
+	return 100 * time.Millisecond
+}
+
+func (b *BridgeClient) stopped() bool {
+	select {
+	case <-b.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// invalidate drops a cached server connection if it is still the cached one
+// (idempotent under concurrent failure detection by many subscriptions).
+func (b *BridgeClient) invalidate(server string, broken *opcua.Client) {
+	b.mu.Lock()
+	if b.opcua[server] == broken {
+		delete(b.opcua, server)
+	}
+	b.mu.Unlock()
+	broken.Close()
+}
+
+// reconnect redials a server after invalidation, pacing retries until the
+// bridge stops. Returns nil when stopping.
+func (b *BridgeClient) reconnect(server string) *opcua.Client {
+	for !b.stopped() {
+		client, err := b.clientFor(server)
+		if err == nil {
+			b.mu.Lock()
+			b.reconnects++
+			b.mu.Unlock()
+			return client
+		}
+		timer := time.NewTimer(b.backoff())
+		select {
+		case <-b.stopCh:
+			timer.Stop()
+			return nil
+		case <-timer.C:
+		}
+	}
+	return nil
+}
+
+// Reconnects returns how many times server connections were re-established.
+func (b *BridgeClient) Reconnects() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reconnects
+}
+
+func (b *BridgeClient) clientFor(server string) (*opcua.Client, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c, ok := b.opcua[server]; ok {
+		return c, nil
+	}
+	addr, err := b.resolveServer(server)
+	if err != nil {
+		return nil, fmt.Errorf("stack: client %s: %w", b.Config.Name, err)
+	}
+	c, err := opcua.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("stack: client %s: server %s: %w", b.Config.Name, server, err)
+	}
+	b.opcua[server] = c
+	return c, nil
+}
+
+func (b *BridgeClient) wireVariable(client *opcua.Client, cm codegen.ClientMachine, v codegen.VarConfig) error {
+	_, ch, err := client.Subscribe(opcua.NodeID(v.NodeID))
+	if err != nil {
+		return fmt.Errorf("stack: client %s: subscribe %s: %w", b.Config.Name, v.NodeID, err)
+	}
+	b.wg.Add(1)
+	go func() {
+		cur, curCh := client, ch
+		defer b.wg.Done()
+		for {
+			select {
+			case <-b.stopCh:
+				return
+			case change, ok := <-curCh:
+				if !ok {
+					// Connection lost: invalidate, redial, resubscribe —
+					// an OPC UA server restart heals transparently.
+					b.invalidate(cm.Server, cur)
+					for {
+						next := b.reconnect(cm.Server)
+						if next == nil {
+							return // stopping
+						}
+						_, nextCh, err := next.Subscribe(opcua.NodeID(v.NodeID))
+						if err == nil {
+							cur, curCh = next, nextCh
+							break
+						}
+						b.invalidate(cm.Server, next)
+					}
+					continue
+				}
+				var val any
+				_ = json.Unmarshal(change.Value.Value, &val)
+				payload, err := json.Marshal(VariableSample{
+					Machine: cm.Machine, Variable: v.Name, Category: v.Category,
+					Type: v.Type, Value: val,
+				})
+				if err != nil {
+					continue
+				}
+				if err := b.publish(v.Topic, payload); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+func (b *BridgeClient) publish(topic string, payload []byte) error {
+	b.mu.Lock()
+	bc := b.broker
+	b.mu.Unlock()
+	if bc == nil {
+		return fmt.Errorf("stack: broker connection closed")
+	}
+	if err := bc.Publish(topic, payload, false); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.published++
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *BridgeClient) wireService(cm codegen.ClientMachine, m codegen.MethodConfig) error {
+	b.mu.Lock()
+	bc := b.broker
+	b.mu.Unlock()
+	_, ch, err := bc.Subscribe(m.RequestTopic)
+	if err != nil {
+		return fmt.Errorf("stack: client %s: subscribe %s: %w", b.Config.Name, m.RequestTopic, err)
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			select {
+			case <-b.stopCh:
+				return
+			case msg, ok := <-ch:
+				if !ok {
+					return
+				}
+				reply := b.invoke(cm.Server, m, msg.Payload)
+				payload, err := json.Marshal(reply)
+				if err != nil {
+					continue
+				}
+				if err := b.publish(m.ResponseTopic, payload); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// invoke proxies a service call to the OPC UA method node, looking up the
+// current server connection each time (so a reconnected server is used) and
+// retrying once through a fresh connection when the transport failed.
+func (b *BridgeClient) invoke(server string, m codegen.MethodConfig, body []byte) ServiceReply {
+	var req ServicePayload
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return ServiceReply{OK: false, Error: "malformed request: " + err.Error()}
+		}
+	}
+	args := make([]opcua.Variant, len(req.Args))
+	for i, a := range req.Args {
+		args[i] = opcua.V(a)
+	}
+	b.mu.Lock()
+	b.calls++
+	b.mu.Unlock()
+
+	call := func() ([]opcua.Variant, error, *opcua.Client) {
+		client, err := b.clientFor(server)
+		if err != nil {
+			return nil, err, nil
+		}
+		results, err := client.Call(opcua.NodeID(m.NodeID), args...)
+		return results, err, client
+	}
+	results, err, client := call()
+	if err != nil && client != nil {
+		// Transport vs application error: a healthy connection can still
+		// browse; if it cannot, redial once and retry the call.
+		if _, berr := client.Browse(""); berr != nil {
+			b.invalidate(server, client)
+			results, err, _ = call()
+		}
+	}
+	if err != nil {
+		return ServiceReply{OK: false, Error: err.Error(), ID: req.ID}
+	}
+	out := make([]any, len(results))
+	for i, r := range results {
+		var v any
+		_ = json.Unmarshal(r.Value, &v)
+		out[i] = v
+	}
+	return ServiceReply{OK: true, Results: out, ID: req.ID}
+}
+
+// Stats returns lifetime counters (published samples, proxied calls).
+func (b *BridgeClient) Stats() (published, calls uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.calls
+}
+
+// Stop disconnects everything.
+func (b *BridgeClient) Stop() {
+	select {
+	case <-b.stopCh:
+	default:
+		close(b.stopCh)
+	}
+	b.mu.Lock()
+	for name, c := range b.opcua {
+		c.Close()
+		delete(b.opcua, name)
+	}
+	bc := b.broker
+	b.broker = nil
+	b.mu.Unlock()
+	if bc != nil {
+		bc.Close()
+	}
+	b.wg.Wait()
+}
+
+// CallService is a convenience for invoking a machine service through the
+// broker from any client connection (used by the SOM layer and tests).
+func CallService(bc *broker.Client, m codegen.MethodConfig, args []any, timeout time.Duration) (ServiceReply, error) {
+	payload, err := json.Marshal(ServicePayload{Args: args})
+	if err != nil {
+		return ServiceReply{}, err
+	}
+	raw, err := bc.Request(m.RequestTopic, m.ResponseTopic, payload, timeout)
+	if err != nil {
+		return ServiceReply{}, err
+	}
+	var reply ServiceReply
+	if err := json.Unmarshal(raw, &reply); err != nil {
+		return ServiceReply{}, fmt.Errorf("stack: malformed service reply: %w", err)
+	}
+	return reply, nil
+}

@@ -1,0 +1,236 @@
+package stack
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+)
+
+// WorkcellMonitor computes the workcell-level monitoring attributes the
+// model declares (paper Code 1: "variables can be defined to capture
+// operational information relevant to the specific layer"): it subscribes
+// to all machine values of its workcell, maintains the configured
+// aggregations, and periodically publishes them on the workcell's
+// "_monitor" topics.
+type WorkcellMonitor struct {
+	Config codegen.MonitorConfig
+
+	brokerAddr string
+
+	mu        sync.Mutex
+	samples   uint64
+	series    map[string]struct{}
+	means     map[string]*meanAcc // variable name -> accumulator
+	maxes     map[string]float64
+	maxSeen   map[string]bool
+	client    *broker.Client
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	publishes uint64
+}
+
+type meanAcc struct {
+	sum   float64
+	count uint64
+}
+
+// MonitorSample is the JSON payload published for every monitor attribute.
+type MonitorSample struct {
+	Workcell  string  `json:"workcell"`
+	Attribute string  `json:"attribute"`
+	Value     float64 `json:"value"`
+}
+
+// NewWorkcellMonitor builds the component; Start brings it up.
+func NewWorkcellMonitor(cfg codegen.MonitorConfig, brokerAddr string) *WorkcellMonitor {
+	return &WorkcellMonitor{
+		Config:     cfg,
+		brokerAddr: brokerAddr,
+		series:     map[string]struct{}{},
+		means:      map[string]*meanAcc{},
+		maxes:      map[string]float64{},
+		maxSeen:    map[string]bool{},
+		stopCh:     make(chan struct{}),
+	}
+}
+
+// Start connects to the broker, subscribes to the workcell's values and
+// begins the publish ticker.
+func (w *WorkcellMonitor) Start() error {
+	client, err := broker.DialClient(w.brokerAddr)
+	if err != nil {
+		return fmt.Errorf("stack: monitor %s: %w", w.Config.Name, err)
+	}
+	_, ch, err := client.Subscribe(w.Config.SourceFilter)
+	if err != nil {
+		client.Close()
+		return fmt.Errorf("stack: monitor %s: subscribe: %w", w.Config.Name, err)
+	}
+	w.mu.Lock()
+	w.client = client
+	w.mu.Unlock()
+
+	w.wg.Add(2)
+	go w.consume(ch)
+	go w.publishLoop()
+	return nil
+}
+
+func (w *WorkcellMonitor) consume(ch <-chan broker.Message) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case m, ok := <-ch:
+			if !ok {
+				return
+			}
+			w.ingest(m)
+		}
+	}
+}
+
+func (w *WorkcellMonitor) ingest(m broker.Message) {
+	var sample VariableSample
+	if err := json.Unmarshal(m.Payload, &sample); err != nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.samples++
+	w.series[m.Topic] = struct{}{}
+	val, numeric := asFloat(sample.Value)
+	if !numeric {
+		return
+	}
+	for _, attr := range w.Config.Attributes {
+		if attr.Source == "" || attr.Source != sample.Variable {
+			continue
+		}
+		switch attr.Function {
+		case codegen.FnMean:
+			acc := w.means[attr.Source]
+			if acc == nil {
+				acc = &meanAcc{}
+				w.means[attr.Source] = acc
+			}
+			acc.sum += val
+			acc.count++
+		case codegen.FnMax:
+			if !w.maxSeen[attr.Source] || val > w.maxes[attr.Source] {
+				w.maxes[attr.Source] = val
+				w.maxSeen[attr.Source] = true
+			}
+		}
+	}
+}
+
+func asFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+func (w *WorkcellMonitor) publishLoop() {
+	defer w.wg.Done()
+	period := time.Duration(w.Config.PeriodMs) * time.Millisecond
+	if period <= 0 {
+		period = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ticker.C:
+			w.publishOnce()
+		}
+	}
+}
+
+func (w *WorkcellMonitor) publishOnce() {
+	w.mu.Lock()
+	client := w.client
+	type out struct {
+		attr  codegen.MonitorAttr
+		value float64
+		ok    bool
+	}
+	var outs []out
+	for _, attr := range w.Config.Attributes {
+		o := out{attr: attr}
+		switch attr.Function {
+		case codegen.FnSamplesTotal:
+			o.value, o.ok = float64(w.samples), true
+		case codegen.FnVariablesLive:
+			o.value, o.ok = float64(len(w.series)), true
+		case codegen.FnMean:
+			if acc := w.means[attr.Source]; acc != nil && acc.count > 0 {
+				o.value, o.ok = acc.sum/float64(acc.count), true
+			}
+		case codegen.FnMax:
+			if w.maxSeen[attr.Source] {
+				o.value, o.ok = w.maxes[attr.Source], true
+			}
+		}
+		outs = append(outs, o)
+	}
+	w.mu.Unlock()
+	if client == nil {
+		return
+	}
+	for _, o := range outs {
+		if !o.ok {
+			continue
+		}
+		payload, err := json.Marshal(MonitorSample{
+			Workcell: w.Config.Workcell, Attribute: o.attr.Name, Value: o.value,
+		})
+		if err != nil {
+			continue
+		}
+		if err := client.Publish(o.attr.Topic, payload, true); err != nil {
+			return
+		}
+		w.mu.Lock()
+		w.publishes++
+		w.mu.Unlock()
+	}
+}
+
+// Stats returns ingest/publish counters.
+func (w *WorkcellMonitor) Stats() (samples, publishes uint64, liveSeries int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.samples, w.publishes, len(w.series)
+}
+
+// Stop disconnects the monitor.
+func (w *WorkcellMonitor) Stop() {
+	select {
+	case <-w.stopCh:
+	default:
+		close(w.stopCh)
+	}
+	w.mu.Lock()
+	client := w.client
+	w.client = nil
+	w.mu.Unlock()
+	if client != nil {
+		client.Close()
+	}
+	w.wg.Wait()
+}

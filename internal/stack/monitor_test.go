@@ -1,0 +1,181 @@
+package stack
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+)
+
+func monitorConfig() codegen.MonitorConfig {
+	return codegen.MonitorConfig{
+		Name: "monitor-wc02", Workcell: "wc02", Line: "line1",
+		SourceFilter: "factory/line1/wc02/+/values/#",
+		PeriodMs:     20,
+		Attributes: []codegen.MonitorAttr{
+			{Name: "samples_total", Type: "Integer", Function: codegen.FnSamplesTotal,
+				Topic: "factory/line1/wc02/_monitor/samples_total"},
+			{Name: "variables_live", Type: "Integer", Function: codegen.FnVariablesLive,
+				Topic: "factory/line1/wc02/_monitor/variables_live"},
+			{Name: "mean_load", Type: "Double", Function: codegen.FnMean, Source: "load",
+				Topic: "factory/line1/wc02/_monitor/mean_load"},
+			{Name: "max_load", Type: "Double", Function: codegen.FnMax, Source: "load",
+				Topic: "factory/line1/wc02/_monitor/max_load"},
+		},
+	}
+}
+
+func publishSample(t *testing.T, bc *broker.Client, machine, variable string, value any) {
+	t.Helper()
+	payload, err := json.Marshal(VariableSample{Machine: machine, Variable: variable, Value: value})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic := "factory/line1/wc02/" + machine + "/values/Cat/" + variable
+	if err := bc.Publish(topic, payload, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkcellMonitorAggregations(t *testing.T) {
+	brk := broker.New()
+	if err := brk.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	mon := NewWorkcellMonitor(monitorConfig(), brk.Addr())
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+
+	_, monCh, err := brk.Subscribe("factory/line1/wc02/_monitor/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := broker.DialClient(brk.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	publishSample(t, pub, "emco", "load", 10.0)
+	publishSample(t, pub, "emco", "load", 30.0)
+	publishSample(t, pub, "emco", "mode", "running") // non-numeric: counted, not aggregated
+	publishSample(t, pub, "ur5", "speed", 2.0)
+
+	// Await stable values: mean 20, max 30, samples 4, live 3.
+	want := map[string]float64{
+		"samples_total":  4,
+		"variables_live": 3,
+		"mean_load":      20,
+		"max_load":       30,
+	}
+	got := map[string]float64{}
+	deadline := time.After(5 * time.Second)
+	for {
+		allMatch := len(got) == len(want)
+		for k, v := range want {
+			if got[k] != v {
+				allMatch = false
+			}
+		}
+		if allMatch {
+			break
+		}
+		select {
+		case m := <-monCh:
+			var s MonitorSample
+			if err := json.Unmarshal(m.Payload, &s); err != nil {
+				t.Fatal(err)
+			}
+			got[s.Attribute] = s.Value
+		case <-deadline:
+			t.Fatalf("aggregates never converged: got %v, want %v", got, want)
+		}
+	}
+
+	samples, publishes, live := mon.Stats()
+	if samples != 4 || live != 3 || publishes == 0 {
+		t.Errorf("stats = %d/%d/%d", samples, publishes, live)
+	}
+}
+
+func TestWorkcellMonitorRetainsLatest(t *testing.T) {
+	brk := broker.New()
+	if err := brk.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	mon := NewWorkcellMonitor(monitorConfig(), brk.Addr())
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+
+	pub, err := broker.DialClient(brk.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	publishSample(t, pub, "emco", "load", 5.0)
+
+	// Monitor publishes retained: a late subscriber immediately sees the
+	// latest aggregate.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, publishes, _ := mon.Stats()
+		if publishes > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	late, err := broker.DialClient(brk.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	_, ch, err := late.Subscribe("factory/line1/wc02/_monitor/samples_total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-ch:
+		if !m.Retained {
+			t.Error("late subscriber should receive a retained aggregate")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no retained aggregate for late subscriber")
+	}
+}
+
+func TestClassifyViaBuildIntermediate(t *testing.T) {
+	// Unknown monitor attribute shapes must fail generation loudly; this is
+	// covered through the codegen path in codegen tests, here we check the
+	// monitor ignores sources it was not configured for.
+	brk := broker.New()
+	if err := brk.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	mon := NewWorkcellMonitor(monitorConfig(), brk.Addr())
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+	pub, err := broker.DialClient(brk.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	publishSample(t, pub, "emco", "unrelated", 999.0)
+	time.Sleep(100 * time.Millisecond)
+	samples, _, _ := mon.Stats()
+	if samples != 1 {
+		t.Errorf("samples = %d", samples)
+	}
+}

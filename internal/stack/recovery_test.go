@@ -1,0 +1,135 @@
+package stack
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/machinesim"
+)
+
+// TestBridgeSurvivesServerRestart: the OPC UA server is torn down and a
+// replacement comes up at a new address; the bridge client reconnects,
+// resubscribes and keeps publishing, and service calls work again.
+func TestBridgeSurvivesServerRestart(t *testing.T) {
+	mc := machineConfig()
+
+	machine := machinesim.New(machinesim.Spec{
+		Name: "emco",
+		Vars: []machinesim.VarSpec{
+			{Name: "Axes/actualX", Type: "Double", Category: "Axes"},
+			{Name: "Status/mode", Type: "String", Category: "Status"},
+		},
+		Methods: []machinesim.MethodSpec{
+			{Name: "is_ready", Returns: []string{"Boolean"}},
+			{Name: "start_program", Args: []string{"String"}, Returns: []string{"Boolean"}},
+		},
+	})
+	if err := machine.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer machine.Close()
+	machine.StartGenerator(5 * time.Millisecond)
+
+	newServer := func() *MachineServer {
+		srv := NewMachineServer(codegen.ServerConfig{Name: "opcua-server-wc02", Workcell: "wc02"},
+			[]codegen.MachineConfig{mc},
+			MapResolver(map[string]string{"emco": machine.Addr()}), 5*time.Millisecond)
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	srv := newServer()
+
+	var mu sync.Mutex
+	serverAddr := srv.Addr()
+	resolver := func(string) (string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return serverAddr, nil
+	}
+
+	brk := broker.New()
+	if err := brk.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+
+	client := NewBridgeClient(codegen.ClientConfig{
+		Name: "opcua-client-1",
+		Machines: []codegen.ClientMachine{{
+			Machine: "emco", Workcell: "wc02", Server: "opcua-server-wc02",
+			Subscriptions: mc.Variables, Methods: mc.Methods,
+		}},
+	}, resolver, brk.Addr())
+	client.ReconnectBackoff = 10 * time.Millisecond
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer client.Stop()
+
+	_, ch, err := brk.Subscribe("factory/line1/wc02/emco/values/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitSample := func(within time.Duration) bool {
+		deadline := time.After(within)
+		for {
+			select {
+			case <-ch:
+				return true
+			case <-deadline:
+				return false
+			}
+		}
+	}
+	if !awaitSample(5 * time.Second) {
+		t.Fatal("no samples before restart")
+	}
+
+	// Restart the server at a new address.
+	srv.Stop()
+	srv2 := newServer()
+	defer srv2.Stop()
+	mu.Lock()
+	serverAddr = srv2.Addr()
+	mu.Unlock()
+
+	// The bridge reconnects and samples resume.
+	deadline := time.Now().Add(10 * time.Second)
+	for client.Reconnects() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("bridge never reconnected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Drain anything stale, then demand a fresh sample.
+	drain := true
+	for drain {
+		select {
+		case <-ch:
+		default:
+			drain = false
+		}
+	}
+	if !awaitSample(10 * time.Second) {
+		t.Fatal("no samples after server restart")
+	}
+
+	// Service calls work against the new server too.
+	bc, err := broker.DialClient(brk.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	reply, err := CallService(bc, mc.Methods[0], nil, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.OK {
+		t.Errorf("is_ready after restart: %+v", reply)
+	}
+}

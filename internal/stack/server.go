@@ -1,0 +1,296 @@
+// Package stack implements the software components of the factory stack
+// that the generated configuration deploys: the per-workcell OPC UA server
+// (fed by machine drivers), the OPC UA client bridging servers to the
+// message broker, and a thin wrapper around the historian. The simulated
+// Kubernetes cluster in internal/deploy instantiates these components from
+// the generated manifests, closing the loop from SysML model to running
+// software.
+package stack
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/machinesim"
+	"github.com/smartfactory/sysml2conf/internal/opcua"
+)
+
+// EndpointResolver maps a modeled driver endpoint (the ip/ip_port attributes
+// from the SysML model) to an actual dialable address. In production this is
+// the identity; in the simulation it maps modeled plant IPs to the local
+// machine emulators.
+type EndpointResolver func(machine string, driver codegen.DriverConfig) (string, error)
+
+// IdentityResolver dials exactly what the model says.
+func IdentityResolver(_ string, driver codegen.DriverConfig) (string, error) {
+	ip, _ := driver.Parameters["ip"].(string)
+	port, ok := driver.Parameters["ip_port"]
+	if ip == "" || !ok {
+		return "", fmt.Errorf("stack: driver parameters lack ip/ip_port: %v", driver.Parameters)
+	}
+	return fmt.Sprintf("%v:%v", ip, port), nil
+}
+
+// MapResolver resolves machine names through a fixed table.
+func MapResolver(addrs map[string]string) EndpointResolver {
+	return func(machine string, _ codegen.DriverConfig) (string, error) {
+		addr, ok := addrs[machine]
+		if !ok {
+			return "", fmt.Errorf("stack: no endpoint for machine %q", machine)
+		}
+		return addr, nil
+	}
+}
+
+// MachineServer is the per-workcell OPC UA server component: it builds an
+// address space mirroring the workcell's machines (one object per machine,
+// one variable node per modeled variable, one method node per service),
+// connects to each machine through its driver protocol, polls variables
+// into the address space and proxies method calls.
+type MachineServer struct {
+	Config   codegen.ServerConfig
+	Machines []codegen.MachineConfig
+
+	Server *opcua.Server
+	Space  *opcua.AddressSpace
+
+	resolver EndpointResolver
+	poll     time.Duration
+
+	mu         sync.Mutex
+	conns      map[string]*machinesim.Conn
+	connErrs   map[string]int // consecutive poll errors per machine
+	reconnects uint64
+	stopCh     chan struct{}
+	wg         sync.WaitGroup
+	polls      uint64
+	errs       uint64
+}
+
+// reconnectThreshold is the number of consecutive poll errors after which
+// the driver connection is torn down and redialed.
+const reconnectThreshold = 3
+
+// NewMachineServer builds the component; Start brings it up.
+func NewMachineServer(cfg codegen.ServerConfig, machines []codegen.MachineConfig,
+	resolver EndpointResolver, pollPeriod time.Duration) *MachineServer {
+	if pollPeriod <= 0 {
+		pollPeriod = 50 * time.Millisecond
+	}
+	return &MachineServer{
+		Config:   cfg,
+		Machines: machines,
+		resolver: resolver,
+		poll:     pollPeriod,
+		conns:    map[string]*machinesim.Conn{},
+		connErrs: map[string]int{},
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Start connects the drivers, builds the address space and begins listening
+// on addr ("127.0.0.1:0" for an ephemeral port) and polling.
+func (s *MachineServer) Start(addr string) error {
+	s.Space = opcua.NewAddressSpace()
+	for _, mc := range s.Machines {
+		if err := s.addMachine(mc); err != nil {
+			s.Stop()
+			return err
+		}
+	}
+	s.Server = opcua.NewServer(s.Config.Name, s.Space)
+	if err := s.Server.Listen(addr); err != nil {
+		s.Stop()
+		return err
+	}
+	s.wg.Add(1)
+	go s.pollLoop()
+	return nil
+}
+
+// Addr returns the OPC UA endpoint address.
+func (s *MachineServer) Addr() string {
+	if s.Server == nil {
+		return ""
+	}
+	return s.Server.Addr()
+}
+
+// Stats returns poll-loop counters.
+func (s *MachineServer) Stats() (polls, errors uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.polls, s.errs
+}
+
+// Reconnects returns how many driver connections were re-established.
+func (s *MachineServer) Reconnects() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconnects
+}
+
+func (s *MachineServer) addMachine(mc codegen.MachineConfig) error {
+	addr, err := s.resolver(mc.Machine, mc.Driver)
+	if err != nil {
+		return err
+	}
+	conn, err := machinesim.DialMachine(addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("stack: server %s: driver connection to %s (%s): %w",
+			s.Config.Name, mc.Machine, addr, err)
+	}
+	s.mu.Lock()
+	s.conns[mc.Machine] = conn
+	s.mu.Unlock()
+
+	objID := opcua.NewNodeID(1, mc.Machine)
+	if _, err := s.Space.AddObject(s.Space.Root(), objID, mc.Machine, map[string]string{
+		"workcell": mc.Workcell, "driver": mc.Driver.Type, "protocol": mc.Driver.Protocol,
+	}); err != nil {
+		return err
+	}
+	for _, v := range mc.Variables {
+		meta := map[string]string{"category": v.Category, "direction": v.Direction, "topic": v.Topic}
+		if _, err := s.Space.AddVariable(objID, opcua.NodeID(v.NodeID), v.Name, v.Type, opcua.V(nil), meta); err != nil {
+			return err
+		}
+	}
+	for _, m := range mc.Methods {
+		m := m
+		machine := mc.Machine
+		fn := func(args []opcua.Variant) ([]opcua.Variant, error) {
+			return s.callMachine(machine, m, args)
+		}
+		meta := map[string]string{"requestTopic": m.RequestTopic, "responseTopic": m.ResponseTopic}
+		if _, err := s.Space.AddMethod(objID, opcua.NodeID(m.NodeID), m.Name, fn, meta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *MachineServer) callMachine(machine string, m codegen.MethodConfig, args []opcua.Variant) ([]opcua.Variant, error) {
+	s.mu.Lock()
+	conn := s.conns[machine]
+	s.mu.Unlock()
+	if conn == nil {
+		return nil, fmt.Errorf("stack: no driver connection to %s", machine)
+	}
+	goArgs := make([]any, len(args))
+	for i, a := range args {
+		var v any
+		_ = json.Unmarshal(a.Value, &v)
+		goArgs[i] = v
+	}
+	results, err := conn.Call(m.Name, goArgs...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]opcua.Variant, len(results))
+	for i, r := range results {
+		out[i] = opcua.V(r)
+	}
+	return out, nil
+}
+
+func (s *MachineServer) pollLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.pollOnce()
+		}
+	}
+}
+
+func (s *MachineServer) pollOnce() {
+	for i := range s.Machines {
+		mc := &s.Machines[i]
+		s.mu.Lock()
+		conn := s.conns[mc.Machine]
+		s.mu.Unlock()
+		if conn == nil {
+			s.tryReconnect(mc)
+			continue
+		}
+		failed := false
+		for _, v := range mc.Variables {
+			val, err := conn.Get(v.Path)
+			s.mu.Lock()
+			s.polls++
+			if err != nil {
+				s.errs++
+				failed = true
+				s.mu.Unlock()
+				break // the connection is suspect; stop this machine's cycle
+			}
+			s.mu.Unlock()
+			_ = s.Space.Write(opcua.NodeID(v.NodeID), opcua.V(val))
+		}
+		s.mu.Lock()
+		if failed {
+			s.connErrs[mc.Machine]++
+			drop := s.connErrs[mc.Machine] >= reconnectThreshold
+			s.mu.Unlock()
+			if drop {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, mc.Machine)
+				s.mu.Unlock()
+			}
+		} else {
+			s.connErrs[mc.Machine] = 0
+			s.mu.Unlock()
+		}
+	}
+}
+
+// tryReconnect redials a machine whose driver connection was dropped. The
+// poll ticker paces retries; success resumes polling transparently — a
+// machine power-cycle heals without redeploying the server.
+func (s *MachineServer) tryReconnect(mc *codegen.MachineConfig) {
+	addr, err := s.resolver(mc.Machine, mc.Driver)
+	if err != nil {
+		return
+	}
+	conn, err := machinesim.DialMachine(addr, time.Second)
+	if err != nil {
+		return
+	}
+	if err := conn.Ping(); err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	s.conns[mc.Machine] = conn
+	s.connErrs[mc.Machine] = 0
+	s.reconnects++
+	s.mu.Unlock()
+}
+
+// Stop shuts the component down.
+func (s *MachineServer) Stop() {
+	select {
+	case <-s.stopCh:
+	default:
+		close(s.stopCh)
+	}
+	s.wg.Wait()
+	if s.Server != nil {
+		s.Server.Close()
+	}
+	s.mu.Lock()
+	for name, c := range s.conns {
+		c.Close()
+		delete(s.conns, name)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,164 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQualifiedName(t *testing.T) {
+	q := &QualifiedName{Parts: []string{"A", "B", "C"}}
+	if q.String() != "A::B::C" {
+		t.Errorf("String = %q", q.String())
+	}
+	if q.Base() != "C" {
+		t.Errorf("Base = %q", q.Base())
+	}
+	empty := &QualifiedName{}
+	if empty.Base() != "" || empty.String() != "" {
+		t.Error("empty qualified name")
+	}
+}
+
+func TestFeaturePath(t *testing.T) {
+	f := &FeaturePath{Parts: []string{"drv", "params", "ip"}}
+	if f.String() != "drv.params.ip" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestMultiplicityString(t *testing.T) {
+	cases := []struct {
+		m    Multiplicity
+		want string
+	}{
+		{Multiplicity{Lower: 0, Upper: Many}, "[*]"},
+		{Multiplicity{Lower: 2, Upper: Many}, "[2..*]"},
+		{Multiplicity{Lower: 3, Upper: 3}, "[3]"},
+		{Multiplicity{Lower: 1, Upper: 5}, "[1..5]"},
+		{Multiplicity{Lower: 0, Upper: 0}, "[0]"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.m, got, c.want)
+		}
+	}
+}
+
+func TestItoaMatchesStdlibProperty(t *testing.T) {
+	f := func(lo uint16, span uint8) bool {
+		m := Multiplicity{Lower: int(lo), Upper: int(lo) + int(span)}
+		want := "[" + itoaRef(int(lo)) + ".." + itoaRef(int(lo)+int(span)) + "]"
+		if int(lo) == int(lo)+int(span) {
+			want = "[" + itoaRef(int(lo)) + "]"
+		}
+		if int(lo) == 0 && m.Upper == Many {
+			want = "[*]"
+		}
+		return m.String() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoaRef(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := ""
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	if neg {
+		return "-" + digits
+	}
+	return digits
+}
+
+func TestKindStrings(t *testing.T) {
+	if DefPart.String() != "part" || DefPort.String() != "port" || DefInterface.String() != "interface" {
+		t.Error("def kind names wrong")
+	}
+	if UseAttribute.String() != "attribute" || UseEnd.String() != "end" {
+		t.Error("usage kind names wrong")
+	}
+	if DirIn.String() != "in" || DirOut.String() != "out" || DirInOut.String() != "inout" || DirNone.String() != "" {
+		t.Error("direction names wrong")
+	}
+}
+
+func TestInspectSkipsChildrenOnFalse(t *testing.T) {
+	inner := &Usage{Kind: UseAttribute, Name: "x"}
+	outer := &Definition{Kind: DefPart, Name: "P", Members: []Member{inner}}
+	file := &File{Members: []Member{outer}}
+
+	var visited []string
+	Inspect(file, func(n Node) bool {
+		switch x := n.(type) {
+		case *Definition:
+			visited = append(visited, "def:"+x.Name)
+			return false // do not descend
+		case *Usage:
+			visited = append(visited, "use:"+x.Name)
+		}
+		return true
+	})
+	if len(visited) != 1 || visited[0] != "def:P" {
+		t.Errorf("visited = %v", visited)
+	}
+}
+
+func TestInspectPerformBody(t *testing.T) {
+	p := &Perform{
+		Target:  &FeaturePath{Parts: []string{"port", "op"}},
+		Members: []Member{&Usage{Kind: UseAttribute, Name: "ready"}},
+	}
+	count := CountKind(p, func(n Node) bool {
+		_, ok := n.(*Usage)
+		return ok
+	})
+	if count != 1 {
+		t.Errorf("usages under perform = %d", count)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	file := &File{Members: []Member{
+		&Package{Name: "P", Members: []Member{
+			&Definition{Kind: DefPart, Name: "A"},
+			&Definition{Kind: DefPart, Name: "B", Members: []Member{
+				&Usage{Kind: UsePart, Name: "u1"},
+				&Usage{Kind: UseAttribute, Name: "a1"},
+			}},
+		}},
+	}}
+	defs := CountKind(file, func(n Node) bool { _, ok := n.(*Definition); return ok })
+	if defs != 2 {
+		t.Errorf("defs = %d", defs)
+	}
+	usages := CountKind(file, func(n Node) bool { _, ok := n.(*Usage); return ok })
+	if usages != 2 {
+		t.Errorf("usages = %d", usages)
+	}
+}
+
+func TestTypeRefString(t *testing.T) {
+	tr := &TypeRef{Name: &QualifiedName{Parts: []string{"D", "V"}}}
+	if tr.String() != "D::V" {
+		t.Errorf("String = %q", tr.String())
+	}
+	tr.Conjugated = true
+	if tr.String() != "~D::V" {
+		t.Errorf("conjugated String = %q", tr.String())
+	}
+}
+
+func TestInspectNil(t *testing.T) {
+	// Must not panic.
+	Inspect(nil, func(Node) bool { return true })
+}

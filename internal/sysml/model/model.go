@@ -1,0 +1,276 @@
+// Package model provides the instance-level view over a resolved SysML v2
+// element graph: element statistics (the quantities reported in the paper's
+// Table I), literal value evaluation, and resolution of redefined attribute
+// values inside instantiated parts.
+package model
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/ast"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+// Stats aggregates element counts over a model subtree. The fields mirror
+// the columns of the paper's Table I.
+type Stats struct {
+	PartDefs           int // part/port/action/interface/connection/attribute defs
+	PartInstances      int // part usages
+	AttributeInstances int // attribute usages (including redefinition usages)
+	PortInstances      int // port usages (including interface ends)
+	ActionInstances    int // action usages
+	Binds              int
+	Connects           int
+	Performs           int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PartDefs += other.PartDefs
+	s.PartInstances += other.PartInstances
+	s.AttributeInstances += other.AttributeInstances
+	s.PortInstances += other.PortInstances
+	s.ActionInstances += other.ActionInstances
+	s.Binds += other.Binds
+	s.Connects += other.Connects
+	s.Performs += other.Performs
+}
+
+// String renders a compact one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("defs=%d parts=%d attrs=%d ports=%d actions=%d binds=%d connects=%d",
+		s.PartDefs, s.PartInstances, s.AttributeInstances, s.PortInstances,
+		s.ActionInstances, s.Binds, s.Connects)
+}
+
+// Count walks the subtree rooted at e and tallies element statistics.
+// The root element itself is included.
+func Count(e *sema.Element) Stats {
+	var s Stats
+	if e == nil {
+		return s
+	}
+	e.Walk(func(x *sema.Element) bool {
+		switch x.Kind {
+		case sema.KindPartDef, sema.KindPortDef, sema.KindActionDef,
+			sema.KindInterfaceDef, sema.KindConnectionDef, sema.KindAttributeDef:
+			s.PartDefs++
+		case sema.KindPartUsage:
+			s.PartInstances++
+		case sema.KindAttributeUsage:
+			s.AttributeInstances++
+		case sema.KindPortUsage, sema.KindEndUsage:
+			s.PortInstances++
+		case sema.KindActionUsage:
+			s.ActionInstances++
+		case sema.KindBind:
+			s.Binds++
+		case sema.KindConnect:
+			s.Connects++
+		case sema.KindPerform:
+			s.Performs++
+		}
+		return true
+	})
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Values
+
+// ValueKind discriminates evaluated literal values.
+type ValueKind int
+
+const (
+	// Invalid marks the zero Value.
+	Invalid ValueKind = iota
+	// StringVal is a string literal value.
+	StringVal
+	// IntVal is an integer literal value.
+	IntVal
+	// RealVal is a floating-point literal value.
+	RealVal
+	// BoolVal is a boolean literal value.
+	BoolVal
+	// RefVal is an unevaluated feature reference.
+	RefVal
+)
+
+// Value is an evaluated attribute value.
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Int  int64
+	Real float64
+	Bool bool
+	Ref  string // dotted path for RefVal
+}
+
+// IsValid reports whether the value carries data.
+func (v Value) IsValid() bool { return v.Kind != Invalid }
+
+// String renders the value in configuration-file form.
+func (v Value) String() string {
+	switch v.Kind {
+	case StringVal:
+		return v.Str
+	case IntVal:
+		return strconv.FormatInt(v.Int, 10)
+	case RealVal:
+		return strconv.FormatFloat(v.Real, 'g', -1, 64)
+	case BoolVal:
+		return strconv.FormatBool(v.Bool)
+	case RefVal:
+		return v.Ref
+	}
+	return ""
+}
+
+// Interface returns the value as a plain Go value for JSON encoding.
+func (v Value) Interface() any {
+	switch v.Kind {
+	case StringVal:
+		return v.Str
+	case IntVal:
+		return v.Int
+	case RealVal:
+		return v.Real
+	case BoolVal:
+		return v.Bool
+	case RefVal:
+		return v.Ref
+	}
+	return nil
+}
+
+// Eval evaluates a literal expression into a Value.
+func Eval(e ast.Expr) Value {
+	switch x := e.(type) {
+	case *ast.StringLit:
+		return Value{Kind: StringVal, Str: x.Value}
+	case *ast.IntLit:
+		return Value{Kind: IntVal, Int: x.Value}
+	case *ast.RealLit:
+		return Value{Kind: RealVal, Real: x.Value}
+	case *ast.BoolLit:
+		return Value{Kind: BoolVal, Bool: x.Value}
+	case *ast.FeatureRef:
+		return Value{Kind: RefVal, Ref: x.Path.String()}
+	}
+	return Value{}
+}
+
+// ResolvedAttributes collects the attribute values visible on an
+// instantiated part usage: for every attribute feature of the usage's type
+// (including inherited ones), the value is taken from a member redefinition
+// (":>> name = value") if present, else from the attribute's declared
+// default, else omitted.
+//
+// This is how the configuration generator reads driver parameters such as
+// ip and ip_port from "part emcoParameters : EMCOParameters { :>> ip = ... }".
+func ResolvedAttributes(u *sema.Element) map[string]Value {
+	out := map[string]Value{}
+	if u == nil {
+		return out
+	}
+	// Declared defaults from the type.
+	if u.Type != nil {
+		for _, f := range u.Type.EffectiveMembers() {
+			if f.Kind == sema.KindAttributeUsage && f.Value != nil {
+				out[f.Name] = Eval(f.Value)
+			}
+		}
+	}
+	// Direct attribute members with values, and redefinitions.
+	for _, m := range u.Members {
+		if m.Kind != sema.KindAttributeUsage {
+			continue
+		}
+		if m.Value == nil {
+			continue
+		}
+		v := Eval(m.Value)
+		switch {
+		case len(m.Redefines) > 0:
+			for _, rd := range m.Redefines {
+				out[rd.Name] = v
+			}
+		case m.Name != "":
+			out[m.Name] = v
+		}
+	}
+	return out
+}
+
+// AttributesOfType lists the attribute features (name and scalar type name)
+// declared by a definition, including inherited ones.
+func AttributesOfType(def *sema.Element) []Attribute {
+	var out []Attribute
+	if def == nil {
+		return out
+	}
+	for _, f := range def.EffectiveMembers() {
+		if f.Kind != sema.KindAttributeUsage {
+			continue
+		}
+		a := Attribute{Name: f.Name, Direction: f.Direction}
+		if f.Type != nil {
+			a.TypeName = f.Type.Name
+		}
+		if f.Value != nil {
+			a.Default = Eval(f.Value)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Attribute describes one attribute feature of a definition.
+type Attribute struct {
+	Name      string
+	TypeName  string
+	Direction ast.Direction
+	Default   Value
+}
+
+// PartsTyped returns the direct part-usage members of e whose type
+// transitively specializes defName.
+func PartsTyped(e *sema.Element, defName string) []*sema.Element {
+	var out []*sema.Element
+	for _, m := range e.Members {
+		if m.Kind == sema.KindPartUsage && m.Type != nil && m.Type.SpecializesDef(defName) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FindFirst returns the first element in the subtree matching pred,
+// depth-first, or nil.
+func FindFirst(root *sema.Element, pred func(*sema.Element) bool) *sema.Element {
+	var found *sema.Element
+	root.Walk(func(e *sema.Element) bool {
+		if found != nil {
+			return false
+		}
+		if pred(e) {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Collect returns every element in the subtree matching pred, depth-first.
+func Collect(root *sema.Element, pred func(*sema.Element) bool) []*sema.Element {
+	var out []*sema.Element
+	root.Walk(func(e *sema.Element) bool {
+		if pred(e) {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}

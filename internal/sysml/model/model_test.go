@@ -1,0 +1,207 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/ast"
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/sema"
+)
+
+func resolve(t *testing.T, src string) *sema.Model {
+	t.Helper()
+	f, err := parser.ParseFile("t.sysml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sema.Resolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCountStats(t *testing.T) {
+	m := resolve(t, `
+package P {
+	part def D {
+		port def V { in attribute value : Anything; }
+	}
+	part x : D {
+		attribute a : Double;
+		attribute b : String;
+		port p : ~D::V;
+		bind p.value = a;
+		part nested {
+			attribute c : Integer;
+		}
+		action act { out r : Boolean; }
+	}
+}
+`)
+	x := m.FindUsage("x")
+	s := Count(x)
+	if s.PartInstances != 2 { // x + nested
+		t.Errorf("parts = %d", s.PartInstances)
+	}
+	if s.AttributeInstances != 4 { // a, b, c, r (action param)
+		t.Errorf("attrs = %d", s.AttributeInstances)
+	}
+	if s.PortInstances != 1 {
+		t.Errorf("ports = %d", s.PortInstances)
+	}
+	if s.ActionInstances != 1 {
+		t.Errorf("actions = %d", s.ActionInstances)
+	}
+	if s.Binds != 1 {
+		t.Errorf("binds = %d", s.Binds)
+	}
+
+	// Whole-model stats include the definitions.
+	whole := Count(m.Root)
+	if whole.PartDefs < 2 { // D + V (port def)
+		t.Errorf("defs = %d", whole.PartDefs)
+	}
+
+	var sum Stats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.AttributeInstances != 8 {
+		t.Errorf("Add: %d", sum.AttributeInstances)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestEvalLiterals(t *testing.T) {
+	cases := []struct {
+		expr ast.Expr
+		want Value
+	}{
+		{&ast.StringLit{Value: "x"}, Value{Kind: StringVal, Str: "x"}},
+		{&ast.IntLit{Value: 42}, Value{Kind: IntVal, Int: 42}},
+		{&ast.RealLit{Value: 2.5}, Value{Kind: RealVal, Real: 2.5}},
+		{&ast.BoolLit{Value: true}, Value{Kind: BoolVal, Bool: true}},
+	}
+	for _, c := range cases {
+		if got := Eval(c.expr); got != c.want {
+			t.Errorf("Eval(%#v) = %+v, want %+v", c.expr, got, c.want)
+		}
+	}
+	ref := Eval(&ast.FeatureRef{Path: &ast.FeaturePath{Parts: []string{"a", "b"}}})
+	if ref.Kind != RefVal || ref.Ref != "a.b" {
+		t.Errorf("ref = %+v", ref)
+	}
+	if Eval(nil).IsValid() {
+		t.Error("nil expr should be invalid")
+	}
+}
+
+func TestValueStringAndInterface(t *testing.T) {
+	cases := []struct {
+		v    Value
+		str  string
+		ifce any
+	}{
+		{Value{Kind: StringVal, Str: "s"}, "s", "s"},
+		{Value{Kind: IntVal, Int: 7}, "7", int64(7)},
+		{Value{Kind: RealVal, Real: 1.5}, "1.5", 1.5},
+		{Value{Kind: BoolVal, Bool: true}, "true", true},
+		{Value{}, "", nil},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String(%+v) = %q", c.v, got)
+		}
+		if got := c.v.Interface(); got != c.ifce {
+			t.Errorf("Interface(%+v) = %v", c.v, got)
+		}
+	}
+}
+
+func TestResolvedAttributes(t *testing.T) {
+	m := resolve(t, `
+part def Params {
+	attribute ip : String;
+	attribute ip_port : Integer = 4840;
+	attribute mode : String = 'auto';
+}
+part p : Params {
+	:>> ip = '10.0.0.1';
+	:>> mode = 'manual';
+	attribute extra : Integer = 9;
+}
+`)
+	p := m.FindUsage("p")
+	attrs := ResolvedAttributes(p)
+	if attrs["ip"].Str != "10.0.0.1" {
+		t.Errorf("ip = %+v", attrs["ip"])
+	}
+	if attrs["ip_port"].Int != 4840 { // inherited default
+		t.Errorf("ip_port = %+v", attrs["ip_port"])
+	}
+	if attrs["mode"].Str != "manual" { // redefinition wins over default
+		t.Errorf("mode = %+v", attrs["mode"])
+	}
+	if attrs["extra"].Int != 9 { // direct member with value
+		t.Errorf("extra = %+v", attrs["extra"])
+	}
+}
+
+func TestAttributesOfType(t *testing.T) {
+	m := resolve(t, `
+part def Base { attribute a : String; }
+part def Derived :> Base {
+	attribute b : Integer = 3;
+	in attribute c : Double;
+}
+`)
+	d := m.FindDef("Derived")
+	attrs := AttributesOfType(d)
+	if len(attrs) != 3 {
+		t.Fatalf("attrs = %+v", attrs)
+	}
+	byName := map[string]Attribute{}
+	for _, a := range attrs {
+		byName[a.Name] = a
+	}
+	if byName["a"].TypeName != "String" {
+		t.Errorf("a = %+v", byName["a"])
+	}
+	if byName["b"].Default.Int != 3 {
+		t.Errorf("b = %+v", byName["b"])
+	}
+	if byName["c"].Direction != ast.DirIn {
+		t.Errorf("c = %+v", byName["c"])
+	}
+}
+
+func TestPartsTypedAndCollect(t *testing.T) {
+	m := resolve(t, `
+abstract part def Machine;
+part def Robot :> Machine;
+part def Other;
+part wc {
+	part r1 : Robot;
+	part r2 : Robot;
+	part o : Other;
+}
+`)
+	wc := m.FindUsage("wc")
+	robots := PartsTyped(wc, "Machine")
+	if len(robots) != 2 {
+		t.Errorf("robots = %d", len(robots))
+	}
+	all := Collect(m.Root, func(e *sema.Element) bool { return e.Kind == sema.KindPartUsage })
+	if len(all) != 4 {
+		t.Errorf("part usages = %d", len(all))
+	}
+	first := FindFirst(m.Root, func(e *sema.Element) bool { return e.Name == "r2" })
+	if first == nil || first.Name != "r2" {
+		t.Errorf("FindFirst = %v", first)
+	}
+	if FindFirst(m.Root, func(e *sema.Element) bool { return e.Name == "zzz" }) != nil {
+		t.Error("FindFirst found phantom")
+	}
+}

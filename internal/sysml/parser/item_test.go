@@ -1,0 +1,82 @@
+package parser
+
+import (
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/ast"
+	"github.com/smartfactory/sysml2conf/internal/sysml/printer"
+)
+
+func mustPrint(f *ast.File) string { return printer.Print(f) }
+
+// TestParseItems: "item def" models things that flow through the plant
+// (workpieces, pallets); items parse like parts with their own kind.
+func TestParseItems(t *testing.T) {
+	src := `
+package Materials {
+	item def Workpiece {
+		attribute material : String;
+		attribute mass : Double;
+	}
+	item def Pallet;
+	part def Conveyor {
+		ref item carried : Pallet [*];
+	}
+	item blank : Workpiece {
+		:>> material = 'AlMg3';
+	}
+}
+`
+	f, err := ParseFile("items.sysml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var itemDefs, itemUsages int
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Definition:
+			if x.Kind == ast.DefItem {
+				itemDefs++
+			}
+		case *ast.Usage:
+			if x.Kind == ast.UseItem {
+				itemUsages++
+			}
+		}
+		return true
+	})
+	if itemDefs != 2 {
+		t.Errorf("item defs = %d, want 2", itemDefs)
+	}
+	if itemUsages != 2 { // carried + blank
+		t.Errorf("item usages = %d, want 2", itemUsages)
+	}
+}
+
+func TestItemsResolveAndPrint(t *testing.T) {
+	src := `
+item def Workpiece { attribute mass : Double; }
+part def Cell {
+	ref item wp : Workpiece [0..1];
+}
+`
+	f, err := ParseFile("t.sysml", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the printer keeps the item keyword.
+	reparsed, err := ParseFile("t2.sysml", mustPrint(f))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	found := false
+	ast.Inspect(reparsed, func(n ast.Node) bool {
+		if d, ok := n.(*ast.Definition); ok && d.Kind == ast.DefItem && d.Name == "Workpiece" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("item def lost in round trip")
+	}
+}

@@ -1,0 +1,107 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/ast"
+)
+
+// TestParserNeverPanicsProperty: arbitrary input must never panic the
+// parser; it either parses or reports errors.
+func TestParserNeverPanicsProperty(t *testing.T) {
+	f := func(src string) bool {
+		if len(src) > 2048 {
+			src = src[:2048]
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", src, r)
+			}
+		}()
+		_, _ = ParseFile("fuzz.sysml", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanicsOnTokenSoup: sequences assembled from real language
+// fragments stress the grammar paths more than random unicode.
+func TestParserNeverPanicsOnTokenSoup(t *testing.T) {
+	fragments := []string{
+		"part", "def", "X", "{", "}", ";", ":>", ":>>", "::", "~", "[*]",
+		"attribute", "port", "action", "ref", "abstract", "in", "out",
+		"bind", "=", "'str'", "42", "3.14", "connect", "to", "perform",
+		"interface", "end", "import", "package", ".", ",", "(", ")",
+	}
+	f := func(picks []uint8) bool {
+		if len(picks) > 60 {
+			picks = picks[:60]
+		}
+		var b strings.Builder
+		for _, p := range picks {
+			b.WriteString(fragments[int(p)%len(fragments)])
+			b.WriteByte(' ')
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", b.String(), r)
+			}
+		}()
+		_, _ = ParseFile("soup.sysml", b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserAlwaysTerminatesOnUnclosedBodies guards the recovery loop
+// against non-progress hangs.
+func TestParserAlwaysTerminatesOnUnclosedBodies(t *testing.T) {
+	for _, src := range []string{
+		"part def X {",
+		"package P { part def Y { attribute a",
+		"part x : T { bind a.b = ",
+		strings.Repeat("{", 100),
+		strings.Repeat("part def X { ", 50),
+		"} } }",
+		":>> ",
+		"connect a to",
+	} {
+		f, _ := ParseFile("t.sysml", src)
+		if f == nil {
+			t.Errorf("nil file for %q", src)
+		}
+	}
+}
+
+// TestDeepNesting exercises the recursive-descent depth on a hierarchy
+// much deeper than ISA-95's seven levels.
+func TestDeepNesting(t *testing.T) {
+	depth := 200
+	var b strings.Builder
+	for i := 0; i < depth; i++ {
+		b.WriteString("part def L")
+		b.WriteString(strings.Repeat("x", 1)) // distinct names not needed across scopes
+		b.WriteString(" {\n")
+	}
+	b.WriteString("attribute deep : String;\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("}\n")
+	}
+	f, err := ParseFile("deep.sysml", b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := ast.CountKind(f, func(n ast.Node) bool {
+		_, ok := n.(*ast.Definition)
+		return ok
+	})
+	if count != depth {
+		t.Errorf("definitions = %d, want %d", count, depth)
+	}
+}

@@ -1,0 +1,73 @@
+package printer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+)
+
+// TestRoundTripPropertyRandomFactories: for any synthesized factory model,
+// parse -> print -> parse preserves the structural skeleton and the second
+// print is byte-identical (idempotence).
+func TestRoundTripPropertyRandomFactories(t *testing.T) {
+	f := func(nMachines uint8, nVars uint8, nSvcs uint8) bool {
+		spec := icelab.FactorySpec{
+			TopologyName: "T", Enterprise: "E", Site: "S", Area: "A", Line: "l",
+		}
+		machines := int(nMachines%3) + 1
+		for i := 0; i < machines; i++ {
+			m := icelab.MachineSpec{
+				Name:     "m" + string(rune('a'+i)),
+				TypeName: "M" + string(rune('A'+i)),
+				Display:  "Machine",
+				Workcell: "wc1",
+				Driver:   icelab.DriverKind(i % 2),
+				IP:       "10.0.0.1",
+				Port:     5000 + i,
+			}
+			cat := icelab.Category{Name: "Cat"}
+			for v := 0; v < int(nVars%5)+1; v++ {
+				cat.Vars = append(cat.Vars, icelab.VarDef{
+					Name: "v" + string(rune('a'+v)), Type: "Double"})
+			}
+			m.Categories = []icelab.Category{cat}
+			for s := 0; s < int(nSvcs%3)+1; s++ {
+				m.Services = append(m.Services, icelab.ServiceDef{
+					Name:    "svc" + string(rune('a'+s)),
+					Returns: []icelab.ParamDef{{Name: "result", Type: "Boolean"}},
+				})
+			}
+			spec.Machines = append(spec.Machines, m)
+		}
+
+		src := icelab.GenerateModelText(spec)
+		f1, err := parser.ParseFile("a.sysml", src)
+		if err != nil {
+			return false
+		}
+		out1 := Print(f1)
+		f2, err := parser.ParseFile("b.sysml", out1)
+		if err != nil {
+			return false
+		}
+		out2 := Print(f2)
+		if out1 != out2 {
+			return false
+		}
+		s1, s2 := structure(f1), structure(f2)
+		if len(s1) != len(s2) {
+			return false
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

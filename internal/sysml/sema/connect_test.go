@@ -1,0 +1,120 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+)
+
+const channelBase = `
+part def D {
+	port def V { in attribute value : Anything; }
+	port def W { in attribute value : Anything; }
+}
+`
+
+func TestConnectCompatiblePorts(t *testing.T) {
+	m := resolveOK(t, channelBase+`
+part sys {
+	part a { port p : D::V; }
+	part b { port q : ~D::V; }
+	connect a.p to b.q;
+}
+`)
+	for _, d := range m.Diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func TestConnectDifferentPortDefsWarns(t *testing.T) {
+	m := resolveOK(t, channelBase+`
+part sys {
+	part a { port p : D::V; }
+	part b { port q : ~D::W; }
+	connect a.p to b.q;
+}
+`)
+	found := false
+	for _, d := range m.Diags {
+		if d.Severity == Warning && strings.Contains(d.Msg, "different definitions") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no mixed-port-def warning in %v", m.Diags)
+	}
+}
+
+func TestConnectSameConjugationWarns(t *testing.T) {
+	m := resolveOK(t, channelBase+`
+part sys {
+	part a { port p : D::V; }
+	part b { port q : D::V; }
+	connect a.p to b.q;
+}
+`)
+	found := false
+	for _, d := range m.Diags {
+		if d.Severity == Warning && strings.Contains(d.Msg, "conjugated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no conjugation warning in %v", m.Diags)
+	}
+}
+
+func TestRefTransparentFeaturePaths(t *testing.T) {
+	// A connect inside the machine steps through "ref part drv;" into the
+	// referenced driver instance's members — the paper's Code 4/5 linkage.
+	m := resolveOK(t, channelBase+`
+part def MachinePart;
+part machine : MachinePart {
+	ref part drv;
+	port local : ~D::V;
+	connect drv.inner.p to local;
+}
+part drv : D {
+	part inner {
+		port p : D::V;
+	}
+}
+`)
+	for _, d := range m.Diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	ref := m.FindUsage("machine").Member("drv")
+	if ref == nil || ref.RefTarget == nil {
+		t.Fatal("ref target not resolved")
+	}
+	if ref.RefTarget.Name != "drv" || !ref.RefTarget.Kind.IsUsage() || ref.RefTarget.Ref {
+		t.Errorf("ref target = %v", ref.RefTarget)
+	}
+}
+
+func TestInterfaceTypedConnect(t *testing.T) {
+	m := resolveOK(t, channelBase+`
+interface def Channel {
+	end supplier : D::V;
+	end consumer : ~D::V;
+}
+part sys {
+	part a { port p : D::V; }
+	part b { port q : ~D::V; }
+	interface : Channel connect a.p to b.q;
+}
+`)
+	var connects []*Element
+	m.Root.Walk(func(e *Element) bool {
+		if e.Kind == KindConnect {
+			connects = append(connects, e)
+		}
+		return true
+	})
+	if len(connects) != 1 {
+		t.Fatalf("connects = %d", len(connects))
+	}
+	c := connects[0]
+	if c.ConnectFrom == nil || c.ConnectTo == nil {
+		t.Error("typed connect endpoints unresolved")
+	}
+}

@@ -1,0 +1,72 @@
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/token"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Warning diagnostics do not fail resolution.
+	Warning Severity = iota
+	// Err diagnostics make Resolve return an error.
+	Err
+)
+
+func (s Severity) String() string {
+	if s == Err {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one resolution finding bound to a source position.
+type Diagnostic struct {
+	Severity Severity
+	Pos      token.Position
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Severity, d.Msg)
+}
+
+// DiagnosticList aggregates diagnostics and implements error.
+type DiagnosticList []Diagnostic
+
+// Error renders up to ten diagnostics.
+func (l DiagnosticList) Error() string {
+	var b strings.Builder
+	for i, d := range l {
+		if i == 10 {
+			fmt.Fprintf(&b, "\n... and %d more", len(l)-10)
+			break
+		}
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.String())
+	}
+	if b.Len() == 0 {
+		return "no diagnostics"
+	}
+	return b.String()
+}
+
+// Errors returns only the Err-severity diagnostics.
+func (l DiagnosticList) Errors() DiagnosticList {
+	var out DiagnosticList
+	for _, d := range l {
+		if d.Severity == Err {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (l DiagnosticList) HasErrors() bool { return len(l.Errors()) > 0 }

@@ -1,0 +1,164 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubsetsResolves(t *testing.T) {
+	m := resolveOK(t, `
+part def Fleet {
+	ref part vehicles [*];
+}
+part def AGV;
+part plant : Fleet {
+	part agv1 : AGV subsets vehicles;
+	part agv2 : AGV subsets vehicles;
+}
+`)
+	agv1 := m.FindUsage("agv1")
+	if len(agv1.Subsets) != 1 || agv1.Subsets[0].Name != "vehicles" {
+		t.Errorf("subsets = %v", agv1.Subsets)
+	}
+}
+
+func TestUnresolvedSubsetsReported(t *testing.T) {
+	diags := resolveErr(t, `
+part p {
+	part q subsets missing;
+}
+`)
+	if !strings.Contains(diags.Error(), "subsetted") {
+		t.Errorf("diags = %v", diags)
+	}
+}
+
+func TestLongFormSpecializesAndRedefines(t *testing.T) {
+	m := resolveOK(t, `
+part def Base { attribute x : Integer; }
+part def Derived specializes Base;
+part d : Derived {
+	attribute y : Integer redefines x = 5;
+}
+`)
+	derived := m.FindDef("Derived")
+	if len(derived.Supers) != 1 || derived.Supers[0].Name != "Base" {
+		t.Errorf("supers = %v", derived.Supers)
+	}
+	var redef *Element
+	m.Root.Walk(func(e *Element) bool {
+		if e.Name == "y" {
+			redef = e
+		}
+		return true
+	})
+	if redef == nil || len(redef.Redefines) != 1 || redef.Redefines[0].Name != "x" {
+		t.Fatalf("redefines = %+v", redef)
+	}
+}
+
+func TestRecursiveImport(t *testing.T) {
+	m := resolveOK(t, `
+package Deep {
+	package Inner {
+		part def Hidden;
+	}
+}
+package App {
+	import Deep::**;
+	part h : Hidden;
+}
+`)
+	h := m.FindUsage("h")
+	if h.Type == nil || h.Type.Name != "Hidden" {
+		t.Errorf("recursive import failed: type = %v", h.Type)
+	}
+}
+
+func TestNonWildcardImport(t *testing.T) {
+	m := resolveOK(t, `
+package Lib {
+	part def Widget;
+}
+package App {
+	import Lib;
+	part w : Lib::Widget;
+}
+`)
+	w := m.FindUsage("w")
+	if w.Type == nil || w.Type.Name != "Widget" {
+		t.Errorf("type = %v", w.Type)
+	}
+}
+
+func TestMultipleSpecialization(t *testing.T) {
+	m := resolveOK(t, `
+part def Sensing { attribute range : Double; }
+part def Moving { attribute speed : Double; }
+part def Robot :> Sensing, Moving;
+part r : Robot;
+`)
+	robot := m.FindDef("Robot")
+	if len(robot.Supers) != 2 {
+		t.Fatalf("supers = %v", robot.Supers)
+	}
+	if robot.InheritedMember("range") == nil || robot.InheritedMember("speed") == nil {
+		t.Error("diamond members not visible")
+	}
+	// Effective members carry both inherited attributes.
+	names := map[string]bool{}
+	for _, mm := range robot.EffectiveMembers() {
+		names[mm.Name] = true
+	}
+	if !names["range"] || !names["speed"] {
+		t.Errorf("effective members = %v", names)
+	}
+}
+
+func TestDiamondSpecializationNoDoubleVisit(t *testing.T) {
+	m := resolveOK(t, `
+part def Top { attribute t : Integer; }
+part def Left :> Top;
+part def Right :> Top;
+part def Bottom :> Left, Right;
+`)
+	bottom := m.FindDef("Bottom")
+	supers := bottom.AllSupers()
+	if len(supers) != 3 { // Left, Right, Top (once)
+		var names []string
+		for _, s := range supers {
+			names = append(names, s.Name)
+		}
+		t.Errorf("supers = %v", names)
+	}
+	count := 0
+	for _, mm := range bottom.EffectiveMembers() {
+		if mm.Name == "t" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("attribute t appears %d times", count)
+	}
+}
+
+func TestSelfSpecializationCycle(t *testing.T) {
+	diags := resolveErr(t, `part def Ouro :> Ouro;`)
+	if !strings.Contains(diags.Error(), "cycle") {
+		t.Errorf("diags = %v", diags)
+	}
+}
+
+func TestShadowingInnerScopeWins(t *testing.T) {
+	m := resolveOK(t, `
+part def T1;
+package P {
+	part def T1 { attribute marker : String; }
+	part x : T1;
+}
+`)
+	x := m.FindUsage("x")
+	if x.Type == nil || x.Type.Member("marker") == nil {
+		t.Error("inner T1 should shadow the outer one")
+	}
+}

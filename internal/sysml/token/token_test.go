@@ -1,0 +1,101 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	cases := map[string]Kind{
+		"package":     KwPackage,
+		"part":        KwPart,
+		"def":         KwDef,
+		"attribute":   KwAttribute,
+		"port":        KwPort,
+		"action":      KwAction,
+		"interface":   KwInterface,
+		"connection":  KwConnection,
+		"connect":     KwConnect,
+		"bind":        KwBind,
+		"ref":         KwRef,
+		"abstract":    KwAbstract,
+		"in":          KwIn,
+		"out":         KwOut,
+		"inout":       KwInout,
+		"specializes": KwSpecializes,
+		"redefines":   KwRedefines,
+		"subsets":     KwSubsets,
+		"perform":     KwPerform,
+		"end":         KwEnd,
+		"true":        KwTrue,
+		"false":       KwFalse,
+		"import":      KwImport,
+		"private":     KwPrivate,
+		"doc":         KwDoc,
+		"notakeyword": Ident,
+		"Part":        Ident, // keywords are case-sensitive
+		"":            Ident,
+	}
+	for lit, want := range cases {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !IsKeyword(KwPackage) || !IsKeyword(KwNull) {
+		t.Error("keyword kinds not recognized")
+	}
+	for _, k := range []Kind{Ident, Int, String, LBrace, EOF, Illegal, Specializes_} {
+		if IsKeyword(k) {
+			t.Errorf("IsKeyword(%v) = true", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		Specializes_: ":>",
+		Redefines_:   ":>>",
+		ColonColon:   "::",
+		DotDot:       "..",
+		KwPart:       "part",
+		EOF:          "EOF",
+		Ident:        "IDENT",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestPosition(t *testing.T) {
+	p := Position{File: "m.sysml", Line: 3, Column: 7}
+	if p.String() != "m.sysml:3:7" {
+		t.Errorf("String = %q", p.String())
+	}
+	if !p.IsValid() {
+		t.Error("valid position reported invalid")
+	}
+	zero := Position{}
+	if zero.IsValid() || zero.String() != "-" {
+		t.Errorf("zero position: valid=%v str=%q", zero.IsValid(), zero.String())
+	}
+	noFile := Position{Line: 2, Column: 1}
+	if noFile.String() != "2:1" {
+		t.Errorf("no-file position = %q", noFile.String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Lit: "emco"}
+	if tok.String() != `IDENT("emco")` {
+		t.Errorf("String = %q", tok.String())
+	}
+	punct := Token{Kind: LBrace}
+	if punct.String() != "{" {
+		t.Errorf("String = %q", punct.String())
+	}
+}

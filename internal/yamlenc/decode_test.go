@@ -1,0 +1,128 @@
+package yamlenc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDecodeScalarDocuments(t *testing.T) {
+	cases := map[string]any{
+		"{}":      map[string]any{},
+		"[]":      []any{},
+		"hello":   "hello",
+		"42":      int64(42),
+		"2.5":     2.5,
+		"true":    true,
+		"null":    nil,
+		`"x: y"`:  "x: y",
+		"'it''s'": "it's",
+	}
+	for src, want := range cases {
+		got, err := Unmarshal([]byte(src + "\n"))
+		if err != nil {
+			t.Errorf("Unmarshal(%q): %v", src, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Unmarshal(%q) = %#v, want %#v", src, got, want)
+		}
+	}
+}
+
+func TestDecodeNestedSequences(t *testing.T) {
+	src := `
+steps:
+- name: one
+  run: a
+- name: two
+  run: b
+`
+	v, err := Unmarshal([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := v.(map[string]any)["steps"].([]any)
+	if len(steps) != 2 {
+		t.Fatalf("steps = %#v", steps)
+	}
+	if steps[1].(map[string]any)["run"] != "b" {
+		t.Errorf("steps[1] = %#v", steps[1])
+	}
+}
+
+func TestDecodeSequenceOfScalarsUnderDash(t *testing.T) {
+	src := "outer:\n- \n  inner: 1\n"
+	v, err := Unmarshal([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := v.(map[string]any)["outer"].([]any)
+	if len(outer) != 1 {
+		t.Fatalf("outer = %#v", outer)
+	}
+	if outer[0].(map[string]any)["inner"] != int64(1) {
+		t.Errorf("outer[0] = %#v", outer[0])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"a: 1\n  b: 2\n",      // unexpected indentation under scalar value
+		"key: v\n- seqitem\n", // sequence item in mapping context
+	}
+	for _, src := range cases {
+		if _, err := Unmarshal([]byte(src)); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDecodeMultiDocWithEmptyDocs(t *testing.T) {
+	src := "a: 1\n---\n---\nb: 2\n"
+	docs, err := UnmarshalDocs([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty documents between separators are skipped.
+	if len(docs) != 2 {
+		t.Fatalf("docs = %#v", docs)
+	}
+}
+
+func TestUnmarshalRejectsMultipleDocs(t *testing.T) {
+	if _, err := Unmarshal([]byte("a: 1\n---\nb: 2\n")); err == nil {
+		t.Error("Unmarshal should reject multi-doc input")
+	}
+}
+
+func TestDecodeLongEmbeddedJSONScalar(t *testing.T) {
+	// Regression: embedded JSON blobs (ConfigMap data) must round trip and
+	// decode without attempting numeric parsing of huge strings.
+	blob := `{"machine":"conveyor","variables":[` + strings.Repeat(`{"name":"v"},`, 500) + `{"name":"last"}]}`
+	in := map[string]any{"data": map[string]any{"machine.json": blob}}
+	enc, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.(map[string]any)["data"].(map[string]any)["machine.json"]
+	if got != blob {
+		t.Error("long JSON scalar corrupted by YAML round trip")
+	}
+}
+
+func TestDecodeQuotedKeys(t *testing.T) {
+	src := `"weird: key": value` + "\n"
+	v, err := Unmarshal([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(map[string]any)
+	if m["weird: key"] != "value" {
+		t.Errorf("m = %#v", m)
+	}
+}

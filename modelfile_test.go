@@ -1,0 +1,57 @@
+package sysml2conf
+
+import (
+	"os"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/sysml/parser"
+	"github.com/smartfactory/sysml2conf/internal/sysml/printer"
+)
+
+// TestCommittedModelFile pins the committed running-example model
+// (examples/models/millingcell.sysml, the paper's Codes 1-5): it must lint
+// clean, generate a valid bundle, and stay canonically formatted.
+func TestCommittedModelFile(t *testing.T) {
+	const path = "examples/models/millingcell.sysml"
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+
+	findings, err := Lint(path, src)
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("lint: err=%v findings=%v", err, findings)
+	}
+
+	res, err := Run(src, Options{Filename: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := res.Factory.Machines()
+	if len(machines) != 2 {
+		t.Fatalf("machines = %d, want 2 (emco + ur5)", len(machines))
+	}
+	byName := map[string]int{}
+	for _, m := range machines {
+		byName[m.Name] = len(m.Variables)
+	}
+	if byName["emco"] != 4 || byName["ur5"] != 2 {
+		t.Errorf("variables per machine = %v", byName)
+	}
+	if res.Bundle.Summary.Servers != 1 {
+		t.Errorf("servers = %d", res.Bundle.Summary.Servers)
+	}
+	if got := res.Factory.Machines()[0].Driver.Parameters["ip"].String(); got != "10.197.12.11" {
+		t.Errorf("emco ip = %q", got)
+	}
+
+	// Canonical formatting (sysmlfmt -check would pass).
+	f, err := parser.ParseFile(path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if printer.Print(f) != src {
+		t.Error("committed model is not canonically formatted; run sysmlfmt -w")
+	}
+}

@@ -1,0 +1,153 @@
+package sysml2conf
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+func TestRunOnICELab(t *testing.T) {
+	res, err := Run(icelab.GenerateModelText(icelab.ICELab()), Options{Filename: "icelab.sysml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Bundle.Summary
+	if s.Servers != 6 || s.Clients != 4 || s.Machines != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if res.GenerationTime <= 0 {
+		t.Error("generation time not measured")
+	}
+	if res.Factory.TotalVariables() != 498 {
+		t.Errorf("variables = %d", res.Factory.TotalVariables())
+	}
+}
+
+func TestRunParseError(t *testing.T) {
+	_, err := Run("part def {", Options{})
+	if err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunResolveError(t *testing.T) {
+	_, err := Run("part x : Missing;", Options{})
+	if err == nil || !strings.Contains(err.Error(), "resolve") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunNoTopology(t *testing.T) {
+	_, err := Run("part def Lonely;", Options{})
+	if err == nil || !strings.Contains(err.Error(), "Topology") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunPerMachineBaseline(t *testing.T) {
+	src := icelab.GenerateModelText(icelab.ICELab())
+	grouped, err := Run(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Run(src, Options{PerMachineClients: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Bundle.Summary.Clients != 10 {
+		t.Errorf("baseline clients = %d, want 10", baseline.Bundle.Summary.Clients)
+	}
+	if grouped.Bundle.Summary.Clients >= baseline.Bundle.Summary.Clients {
+		t.Errorf("grouping did not reduce clients: %d vs %d",
+			grouped.Bundle.Summary.Clients, baseline.Bundle.Summary.Clients)
+	}
+}
+
+func TestRunCapacityOptionChangesGrouping(t *testing.T) {
+	src := icelab.GenerateModelText(icelab.ICELab())
+	big, err := Run(src, Options{MaxVarsPerClient: 10000, MaxMethodsPerClient: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Bundle.Summary.Clients != 1 {
+		t.Errorf("unbounded capacity should use one client, got %d", big.Bundle.Summary.Clients)
+	}
+}
+
+func TestLintCleanModel(t *testing.T) {
+	findings, err := Lint("icelab.sysml", icelab.GenerateModelText(icelab.ICELab()))
+	if err != nil {
+		t.Fatalf("err = %v, findings = %v", err, findings)
+	}
+	if len(findings) != 0 {
+		t.Errorf("findings = %v", findings)
+	}
+}
+
+func TestLintBrokenModel(t *testing.T) {
+	findings, err := Lint("bad.sysml", `
+abstract part def Machine;
+part m : Machine;
+`)
+	if err == nil {
+		t.Error("want lint failure")
+	}
+	if len(findings) == 0 {
+		t.Error("no findings reported")
+	}
+}
+
+func TestLintSyntaxError(t *testing.T) {
+	findings, err := Lint("syntax.sysml", "part def {")
+	if err == nil || len(findings) == 0 {
+		t.Errorf("err=%v findings=%v", err, findings)
+	}
+}
+
+func TestNamespaceOption(t *testing.T) {
+	res, err := Run(icelab.GenerateModelText(icelab.ICELab()), Options{Namespace: "custom-ns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := res.Bundle.Manifests["manifests/00-namespace.yaml"]
+	if !strings.Contains(string(ns), "custom-ns") {
+		t.Errorf("namespace manifest:\n%s", ns)
+	}
+}
+
+func TestBundleFilesDeterministic(t *testing.T) {
+	src := icelab.GenerateModelText(icelab.ICELab())
+	a, err := Run(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := a.Bundle.AllFiles(), b.Bundle.AllFiles()
+	if len(fa) != len(fb) {
+		t.Fatalf("file counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i].Name != fb[i].Name || string(fa[i].Data) != string(fb[i].Data) {
+			t.Errorf("file %s not deterministic", fa[i].Name)
+		}
+	}
+}
+
+func TestIntermediateAccessible(t *testing.T) {
+	res, err := Run(icelab.GenerateModelText(icelab.ICELab()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := res.Bundle.Intermediate
+	if in.Grouping.Strategy != codegen.GroupFFD.String() {
+		t.Errorf("strategy = %s", in.Grouping.Strategy)
+	}
+	if in.Grouping.TotalVars != 498 || in.Grouping.TotalMethods != 66 {
+		t.Errorf("grouping totals = %+v", in.Grouping)
+	}
+}
