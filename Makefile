@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: what every change must keep green.
+test: build
+	$(GO) test ./...
+
+# Tier-2: vet + the full suite under the race detector (the supervision,
+# chaos and snapshot tests are explicitly concurrency-heavy).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

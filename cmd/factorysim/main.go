@@ -11,24 +11,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
+	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/codegen"
 	"github.com/smartfactory/sysml2conf/internal/deploy"
+	"github.com/smartfactory/sysml2conf/internal/faultinject"
 	"github.com/smartfactory/sysml2conf/internal/icelab"
 	"github.com/smartfactory/sysml2conf/internal/som"
 )
 
 func main() {
 	var (
-		scale    = flag.Int("scale", 1, "replicate the ICE Lab n times")
-		duration = flag.Duration("duration", 3*time.Second, "how long to let data flow")
-		process  = flag.Bool("process", true, "execute a demo SOM production process")
-		browse   = flag.String("browse", "", "print the address space of this OPC UA server (e.g. opcua-server-workcell02)")
-		snapDir  = flag.String("snapshot-dir", "", "write historian snapshots to this directory before exiting")
+		scale     = flag.Int("scale", 1, "replicate the ICE Lab n times")
+		duration  = flag.Duration("duration", 3*time.Second, "how long to let data flow")
+		process   = flag.Bool("process", true, "execute a demo SOM production process")
+		browse    = flag.String("browse", "", "print the address space of this OPC UA server (e.g. opcua-server-workcell02)")
+		snapDir   = flag.String("snapshot-dir", "", "write historian snapshots to this directory before exiting")
+		chaos     = flag.Bool("chaos", false, "inject seeded connection faults (drops, partitions) during the run")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
 	)
 	flag.Parse()
 
@@ -49,7 +57,15 @@ func main() {
 		time.Since(genStart).Round(time.Millisecond), s.Servers, s.Clients,
 		float64(s.ConfigBytes)/1024, s.Files)
 
-	fleet, resolver, err := deploy.StartFleet(bundle.Intermediate.Machines, 50*time.Millisecond)
+	var inj *faultinject.Injector
+	var wrap func(name string, ln net.Listener) net.Listener
+	if *chaos {
+		inj = faultinject.New(*chaosSeed)
+		wrap = func(name string, ln net.Listener) net.Listener {
+			return inj.Wrap("machine:"+name, ln)
+		}
+	}
+	fleet, resolver, err := deploy.StartFleetWrapped(bundle.Intermediate.Machines, 50*time.Millisecond, wrap)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,6 +75,7 @@ func main() {
 	cluster := deploy.NewCluster(3, 32)
 	cluster.MachineEndpoints = resolver
 	cluster.PollPeriod = 50 * time.Millisecond
+	cluster.FaultInjector = inj
 	deployStart := time.Now()
 	if err := cluster.ApplyBundle(bundle); err != nil {
 		fatal(err)
@@ -72,8 +89,48 @@ func main() {
 		fatal(fmt.Errorf("not all pods are running"))
 	}
 
+	// A SIGINT drains the cluster in dependency order instead of dying
+	// mid-flight.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	var chaosStop chan struct{}
+	var chaosWG sync.WaitGroup
+	if *chaos {
+		fmt.Printf("chaos: enabled, seed %d\n", *chaosSeed)
+		chaosStop = make(chan struct{})
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			runChaos(cluster, inj, bundle, *chaosSeed, chaosStop)
+		}()
+	}
+
 	fmt.Printf("letting data flow for %v...\n", *duration)
-	time.Sleep(*duration)
+	interrupted := false
+	select {
+	case <-time.After(*duration):
+	case sig := <-sigCh:
+		fmt.Printf("\nreceived %v, draining cluster...\n", sig)
+		interrupted = true
+	}
+
+	if *chaos {
+		close(chaosStop)
+		chaosWG.Wait()
+		inj.ClearAll()
+		if !interrupted {
+			waitConverged(cluster, 30*time.Second)
+			reportChaos(cluster, inj)
+		}
+	}
+
+	if interrupted {
+		cluster.Shutdown()
+		fleet.Close()
+		fmt.Println("drained cleanly")
+		return
+	}
 
 	totalSeries, totalPoints := 0, uint64(0)
 	for _, name := range cluster.Historians() {
@@ -166,6 +223,83 @@ func runProcess(cluster *deploy.Cluster, bundle *codegen.Bundle) {
 	fmt.Printf("process %q finished in %v:\n", result.Process, result.Elapsed.Round(time.Millisecond))
 	for _, sr := range result.Steps {
 		fmt.Printf("  %-28s ok=%v results=%v\n", sr.Step.Machine+"."+sr.Step.Service, sr.Reply.OK, sr.Reply.Results)
+	}
+}
+
+// runChaos drives a seeded fault schedule until stop closes: every few
+// hundred milliseconds it partitions a random component (machine, OPC UA
+// server or broker) for a short interval, then heals it. The schedule is a
+// pure function of the seed.
+func runChaos(cluster *deploy.Cluster, inj *faultinject.Injector, bundle *codegen.Bundle, seed int64, stop <-chan struct{}) {
+	rng := rand.New(rand.NewSource(seed))
+	var targets []string
+	targets = append(targets, "broker")
+	for _, s := range bundle.Intermediate.Servers {
+		targets = append(targets, "opcua:"+s.Name)
+	}
+	for _, m := range bundle.Intermediate.Machines {
+		targets = append(targets, "machine:"+m.Machine)
+	}
+	sleep := func(d time.Duration) bool {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	for {
+		if !sleep(time.Duration(200+rng.Intn(400)) * time.Millisecond) {
+			return
+		}
+		target := targets[rng.Intn(len(targets))]
+		outage := time.Duration(100+rng.Intn(300)) * time.Millisecond
+		fmt.Printf("chaos: partitioning %s for %v\n", target, outage.Round(time.Millisecond))
+		_ = cluster.PartitionComponent(target, true)
+		if !sleep(outage) {
+			_ = cluster.PartitionComponent(target, false)
+			return
+		}
+		_ = cluster.PartitionComponent(target, false)
+	}
+}
+
+// waitConverged polls until every pod is Running and Ready again.
+func waitConverged(cluster *deploy.Cluster, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cluster.AllReady() {
+			fmt.Println("chaos: cluster converged, all pods Ready")
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Println("chaos: WARNING: cluster did not converge before the deadline")
+}
+
+// reportChaos prints the supervision outcome of a chaos run.
+func reportChaos(cluster *deploy.Cluster, inj *faultinject.Injector) {
+	fmt.Println("chaos: pod supervision summary:")
+	for _, p := range cluster.Pods() {
+		fmt.Printf("  %-28s phase=%-9s ready=%-5v restarts=%d crashloop=%v\n",
+			p.Name, p.Phase, p.Ready, p.Restarts, p.CrashLoop)
+	}
+	restarts, unready := 0, 0
+	for _, e := range cluster.Events() {
+		switch e.Type {
+		case deploy.EventRestarted:
+			restarts++
+		case deploy.EventNotReady:
+			unready++
+		}
+	}
+	fmt.Printf("chaos: %d supervised restarts, %d not-ready transitions\n", restarts, unready)
+	names := inj.Names()
+	stats := inj.Stats()
+	for _, n := range names {
+		s := stats[n]
+		fmt.Printf("  injector %-28s accepts=%d refusals=%d drops=%d\n",
+			n, s.Accepts, s.Refusals, s.Drops)
 	}
 }
 

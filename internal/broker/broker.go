@@ -74,6 +74,11 @@ type subscription struct {
 
 // Broker is the in-process pub/sub core; Serve exposes it over TCP.
 type Broker struct {
+	// ListenWrapper, when set before Serve, decorates the TCP listener —
+	// the hook the fault-injection layer uses to interpose on broker
+	// connections.
+	ListenWrapper func(net.Listener) net.Listener
+
 	mu       sync.RWMutex
 	subs     map[int]*subscription
 	nextSub  int
@@ -188,6 +193,20 @@ func (b *Broker) Stats() (published, delivered uint64, subscriptions int) {
 	return b.published.Load(), b.delivered.Load(), len(b.subs)
 }
 
+// Health reports whether the broker can serve traffic: it must not be
+// closed and, once Serve has run, its listener must still be bound.
+func (b *Broker) Health() error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return errors.New("broker: closed")
+	}
+	if b.ln == nil {
+		return errors.New("broker: not serving")
+	}
+	return nil
+}
+
 // Close shuts the broker down: the TCP listener stops, connections drop,
 // and all subscription channels close.
 func (b *Broker) Close() error {
@@ -281,6 +300,9 @@ func (b *Broker) Serve(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("broker: listen %s: %w", addr, err)
+	}
+	if b.ListenWrapper != nil {
+		ln = b.ListenWrapper(ln)
 	}
 	b.mu.Lock()
 	b.ln = ln

@@ -48,6 +48,21 @@ func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
+// Err reports the connection's terminal state: nil while the connection is
+// usable, otherwise the read error that killed it (or a closed marker).
+// Components use this as their broker-liveness signal.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return fmt.Errorf("broker client: connection lost: %w", c.readErr)
+	}
+	if c.closed {
+		return errors.New("broker client: closed")
+	}
+	return nil
+}
+
 // Close drops the connection; subscription channels close.
 func (c *Client) Close() error {
 	c.mu.Lock()

@@ -161,6 +161,14 @@ spec:
         - name: config
           mountPath: /etc/factory
           readOnly: true
+        livenessProbe:
+          exec:
+            command:
+            - "/bin/healthcheck"
+            - "--mode=live"
+          periodSeconds: 5
+          failureThreshold: 3
+      restartPolicy: Always
       volumes:
       - name: config
         configMap:

@@ -62,10 +62,16 @@ spec:
         ports:
         - containerPort: {{ .BrokerPort }}
           name: mqtt
+        livenessProbe:
+          tcpSocket:
+            port: {{ .BrokerPort }}
+          periodSeconds: 5
+          failureThreshold: 3
         readinessProbe:
           tcpSocket:
             port: {{ .BrokerPort }}
           periodSeconds: 5
+      restartPolicy: Always
 ---
 apiVersion: v1
 kind: Service
@@ -133,10 +139,19 @@ spec:
         - name: config
           mountPath: /etc/factory
           readOnly: true
-        readinessProbe:
+        livenessProbe:
           tcpSocket:
             port: {{ .Server.Port }}
           periodSeconds: 5
+          failureThreshold: 3
+        readinessProbe:
+          exec:
+            command:
+            - "/bin/healthcheck"
+            - "--mode=ready"
+          initialDelaySeconds: 1
+          periodSeconds: 5
+      restartPolicy: Always
       volumes:
       - name: config
         configMap:
@@ -198,6 +213,21 @@ spec:
         - name: config
           mountPath: /etc/factory
           readOnly: true
+        livenessProbe:
+          exec:
+            command:
+            - "/bin/healthcheck"
+            - "--mode=live"
+          periodSeconds: 5
+          failureThreshold: 3
+        readinessProbe:
+          exec:
+            command:
+            - "/bin/healthcheck"
+            - "--mode=ready"
+          initialDelaySeconds: 1
+          periodSeconds: 5
+      restartPolicy: Always
       volumes:
       - name: config
         configMap:
@@ -245,6 +275,14 @@ spec:
         - name: config
           mountPath: /etc/factory
           readOnly: true
+        livenessProbe:
+          exec:
+            command:
+            - "/bin/healthcheck"
+            - "--mode=live"
+          periodSeconds: 5
+          failureThreshold: 3
+      restartPolicy: Always
       volumes:
       - name: config
         configMap:

@@ -1,32 +1,29 @@
 package deploy
 
 import (
+	"fmt"
 	"math/rand"
-	"sync"
+	"net"
 	"testing"
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/broker"
 	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/faultinject"
 	"github.com/smartfactory/sysml2conf/internal/icelab"
-	"github.com/smartfactory/sysml2conf/internal/machinesim"
 	"github.com/smartfactory/sysml2conf/internal/stack"
 )
 
-// TestChaosMachineRestarts repeatedly power-cycles machines while the stack
-// runs, then verifies the plant converges: every machine's data flows again
-// and services answer. Exercises the driver-reconnect path under churn.
-func TestChaosMachineRestarts(t *testing.T) {
-	if testing.Short() {
-		t.Skip("chaos soak skipped in -short mode")
-	}
+// chaosBundle generates the configuration for a three-machine slice of the
+// ICE Lab: small machines only, so polls and restarts are fast.
+func chaosBundle(t *testing.T) *codegen.Bundle {
+	t.Helper()
 	full := icelab.ICELab()
 	spec := icelab.FactorySpec{
 		TopologyName: full.TopologyName, Enterprise: full.Enterprise,
 		Site: full.Site, Area: full.Area, Line: full.Line,
 	}
 	for _, m := range full.Machines {
-		// Small machines only: fast polls, fast restarts.
 		switch m.Name {
 		case "speaATE", "warehouse", "rbKairos1":
 			spec.Machines = append(spec.Machines, m)
@@ -40,85 +37,117 @@ func TestChaosMachineRestarts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return bundle
+}
 
-	var mu sync.Mutex // guards addrs and machines against the poll loops
-	addrs := map[string]string{}
-	machines := map[string]*machinesim.Machine{}
-	configs := map[string]codegen.MachineConfig{}
-	startMachine := func(mc codegen.MachineConfig) {
-		m := machinesim.New(SpecForMachine(mc))
-		if err := m.Serve("127.0.0.1:0"); err != nil {
-			t.Fatal(err)
-		}
-		m.StartGenerator(5 * time.Millisecond)
-		mu.Lock()
-		machines[mc.Machine] = m
-		addrs[mc.Machine] = m.Addr()
-		mu.Unlock()
+// chaosSchedule derives the fault schedule for a soak run: a pure function
+// of the seed, so two runs with the same seed partition the same components
+// in the same order for the same intervals. One broker outage is always
+// included so supervised restarts are exercised.
+type chaosEvent struct {
+	target string
+	outage time.Duration
+}
+
+func chaosSchedule(bundle *codegen.Bundle, seed int64, rounds int) []chaosEvent {
+	rng := rand.New(rand.NewSource(seed))
+	var targets []string
+	for _, s := range bundle.Intermediate.Servers {
+		targets = append(targets, "opcua:"+s.Name)
 	}
-	for _, mc := range bundle.Intermediate.Machines {
-		configs[mc.Machine] = mc
-		startMachine(mc)
+	for _, m := range bundle.Intermediate.Machines {
+		targets = append(targets, "machine:"+m.Machine)
 	}
-	defer func() {
-		mu.Lock()
-		defer mu.Unlock()
-		for _, m := range machines {
-			m.Close()
+	events := make([]chaosEvent, rounds)
+	for i := range events {
+		events[i] = chaosEvent{
+			target: targets[rng.Intn(len(targets))],
+			outage: time.Duration(40+rng.Intn(80)) * time.Millisecond,
 		}
-	}()
+	}
+	// Guarantee one broker partition mid-soak: it is the one fault class
+	// that forces supervised restarts of every dependent pod.
+	events[rounds/2].target = "broker"
+	return events
+}
+
+// runChaosSoak deploys the plant with a seeded fault injector, plays the
+// schedule, heals everything and waits for convergence. It returns the
+// schedule it executed (for determinism checks) and fails the test if the
+// plant does not recover completely.
+func runChaosSoak(t *testing.T, bundle *codegen.Bundle, seed int64) []string {
+	t.Helper()
+	inj := faultinject.New(seed)
+	fleet, resolver, err := StartFleetWrapped(bundle.Intermediate.Machines, 5*time.Millisecond,
+		func(name string, ln net.Listener) net.Listener {
+			return inj.Wrap("machine:"+name, ln)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
 
 	cluster := NewCluster(2, 32)
-	cluster.MachineEndpoints = func(name string, _ codegen.DriverConfig) (string, error) {
-		mu.Lock()
-		defer mu.Unlock()
-		return addrs[name], nil
-	}
-	cluster.PollPeriod = 5 * time.Millisecond
+	cluster.MachineEndpoints = resolver
+	cluster.FaultInjector = inj
+	fastProbes(cluster)
 	if err := cluster.ApplyBundle(bundle); err != nil {
 		t.Fatal(err)
 	}
 	defer cluster.Shutdown()
 
-	// Chaos: random power-cycles for ~1.5s.
-	rng := rand.New(rand.NewSource(7))
-	names := []string{"speaATE", "warehouse", "rbKairos1"}
-	for round := 0; round < 6; round++ {
-		victim := names[rng.Intn(len(names))]
-		mu.Lock()
-		m := machines[victim]
-		mu.Unlock()
-		m.Close()
-		time.Sleep(50 * time.Millisecond)
-		startMachine(configs[victim])
-		time.Sleep(200 * time.Millisecond)
+	var executed []string
+	for _, ev := range chaosSchedule(bundle, seed, 8) {
+		executed = append(executed, fmt.Sprintf("%s/%v", ev.target, ev.outage))
+		if err := cluster.PartitionComponent(ev.target, true); err != nil {
+			t.Fatalf("partition %s: %v", ev.target, err)
+		}
+		time.Sleep(ev.outage)
+		if err := cluster.PartitionComponent(ev.target, false); err != nil {
+			t.Fatalf("heal %s: %v", ev.target, err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	inj.ClearAll()
+
+	// Convergence: every pod Running and Ready again.
+	waitFor(t, 30*time.Second, "convergence after chaos soak", func() bool {
+		return cluster.AllReady()
+	})
+
+	// The forced broker outage must have driven supervised restarts, and
+	// the counters must be reported on pod status.
+	restarts := 0
+	for _, p := range cluster.Pods() {
+		restarts += p.Restarts
+		if p.CrashLoop {
+			t.Errorf("%s stuck in CrashLoopBackOff after heal", p.Name)
+		}
+	}
+	if restarts == 0 {
+		t.Error("no supervised restarts recorded despite broker outage")
 	}
 
-	// Convergence: fresh samples from every machine.
+	// No stale data flow: fresh samples arrive for every machine.
 	series := map[string]string{
 		"speaATE":   "factory/ICEProductionLine/workCell01/speaATE/values/TestStatus/testProgress",
 		"warehouse": "factory/ICEProductionLine/workCell05/warehouse/values/TrayStatus/trayWeight",
 		"rbKairos1": "factory/ICEProductionLine/workCell06/rbKairos1/values/Battery/batteryLevel",
 	}
 	for name, s := range series {
-		before := 0
-		for _, h := range cluster.Historians() {
-			before += cluster.Historian(h).Store.Count(s)
-		}
-		deadline := time.Now().Add(15 * time.Second)
-		for {
-			count := 0
+		count := func() int {
+			total := 0
 			for _, h := range cluster.Historians() {
-				count += cluster.Historian(h).Store.Count(s)
+				if svc := cluster.Historian(h); svc != nil && svc.Store != nil {
+					total += svc.Store.Count(s)
+				}
 			}
-			if count > before {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("%s: no fresh samples after chaos", name)
-			}
-			time.Sleep(10 * time.Millisecond)
+			return total
 		}
+		before := count()
+		waitFor(t, 15*time.Second, name+" fresh samples after chaos", func() bool {
+			return count() > before
+		})
 	}
 
 	// Services answer on every machine.
@@ -136,6 +165,30 @@ func TestChaosMachineRestarts(t *testing.T) {
 			if err != nil || !reply.OK {
 				t.Errorf("%s.is_ready after chaos: err=%v reply=%+v", mc.Machine, err, reply)
 			}
+		}
+	}
+	return executed
+}
+
+// TestChaosSeededSoakConverges plays a seeded declarative fault schedule —
+// partitions of machines, OPC UA servers and the broker — against the full
+// supervised stack, twice with the same seed. Both runs must execute the
+// identical schedule and both must converge: all pods Ready, restart
+// counters reported, data flowing, services answering.
+func TestChaosSeededSoakConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	bundle := chaosBundle(t)
+	const seed = 11
+	first := runChaosSoak(t, bundle, seed)
+	second := runChaosSoak(t, bundle, seed)
+	if len(first) != len(second) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("schedule diverged at round %d: %q vs %q", i, first[i], second[i])
 		}
 	}
 }

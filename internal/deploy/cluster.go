@@ -12,6 +12,7 @@ package deploy
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"github.com/smartfactory/sysml2conf/internal/broker"
 	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/faultinject"
 	"github.com/smartfactory/sysml2conf/internal/historian"
 	"github.com/smartfactory/sysml2conf/internal/k8s"
 	"github.com/smartfactory/sysml2conf/internal/stack"
@@ -36,9 +38,10 @@ type PodPhase string
 
 // Pod phases (subset of the Kubernetes phases).
 const (
-	PodPending PodPhase = "Pending"
-	PodRunning PodPhase = "Running"
-	PodFailed  PodPhase = "Failed"
+	PodPending   PodPhase = "Pending"
+	PodRunning   PodPhase = "Running"
+	PodFailed    PodPhase = "Failed"
+	PodSucceeded PodPhase = "Succeeded" // stopped cleanly by Shutdown
 )
 
 // Pod is one scheduled component instance.
@@ -50,6 +53,13 @@ type Pod struct {
 	Phase     PodPhase
 	Error     string
 	Started   time.Time
+
+	// Supervision state (maintained by the probe loops when the manifest
+	// declares probes).
+	Ready       bool
+	ReadyReason string // last readiness failure ("" when ready)
+	Restarts    int    // successful supervisor restarts
+	CrashLoop   bool   // in CrashLoopBackOff (repeated restart failures)
 }
 
 // Cluster is the simulated cluster.
@@ -66,6 +76,16 @@ type Cluster struct {
 	// PollPeriod is the OPC UA servers' driver poll period (default 50ms).
 	PollPeriod time.Duration
 
+	// ProbeUnit maps one manifest "second" (periodSeconds and friends) to
+	// simulated time (default 20ms), so a periodSeconds:5 probe fires every
+	// 100ms in tests.
+	ProbeUnit time.Duration
+
+	// FaultInjector, when set before Apply, wraps the broker and OPC UA
+	// server listeners so chaos rules and partitions apply to them. The
+	// injector's component names are "broker" and "opcua:<server>".
+	FaultInjector *faultinject.Injector
+
 	broker      *broker.Broker
 	brokerAddr  string
 	servers     map[string]*stack.MachineServer
@@ -73,6 +93,14 @@ type Cluster struct {
 	clients     map[string]*stack.BridgeClient
 	historians  map[string]*historian.Service
 	monitors    map[string]*stack.WorkcellMonitor
+
+	// historianStores survive historian restarts so a supervised bounce
+	// does not lose accumulated time-series data.
+	historianStores map[string]*historian.Store
+
+	runtimes map[string]*podRuntime // pod name -> supervision runtime
+	events   []Event
+	down     bool // Shutdown ran; supervisors must not resurrect pods
 }
 
 // NewCluster creates a cluster with n nodes of the given pod capacity.
@@ -84,12 +112,14 @@ func NewCluster(n, capacity int) *Cluster {
 		capacity = 16
 	}
 	c := &Cluster{
-		pods:        map[string]*Pod{},
-		servers:     map[string]*stack.MachineServer{},
-		serverAddrs: map[string]string{},
-		clients:     map[string]*stack.BridgeClient{},
-		historians:  map[string]*historian.Service{},
-		monitors:    map[string]*stack.WorkcellMonitor{},
+		pods:            map[string]*Pod{},
+		servers:         map[string]*stack.MachineServer{},
+		serverAddrs:     map[string]string{},
+		clients:         map[string]*stack.BridgeClient{},
+		historians:      map[string]*historian.Service{},
+		monitors:        map[string]*stack.WorkcellMonitor{},
+		historianStores: map[string]*historian.Store{},
+		runtimes:        map[string]*podRuntime{},
 	}
 	for i := 0; i < n; i++ {
 		c.nodes = append(c.nodes, &Node{Name: fmt.Sprintf("node-%d", i+1), Capacity: capacity})
@@ -139,6 +169,9 @@ func (c *Cluster) Apply(objs []k8s.Object) error {
 	if err := k8s.Validate(objs); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	c.down = false // a fresh Apply revives a previously drained cluster
+	c.mu.Unlock()
 	configMaps := map[string]k8s.Object{}
 	var deployments []k8s.Object
 	for _, o := range objs {
@@ -209,7 +242,7 @@ func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object
 	c.pods[pod.Name] = pod
 	c.mu.Unlock()
 
-	fail := func(err error) error {
+	if err := c.startComponent(pod.Component, o, configMaps); err != nil {
 		c.mu.Lock()
 		pod.Phase = PodFailed
 		pod.Error = err.Error()
@@ -217,6 +250,24 @@ func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object
 		return err
 	}
 
+	c.mu.Lock()
+	pod.Phase = PodRunning
+	pod.Ready = true
+	pod.Started = time.Now()
+	c.mu.Unlock()
+	c.recordEvent(pod.Name, EventStarted, pod.Component+" started")
+	if pol := o.PodPolicy(); pol.Liveness != nil || pol.Readiness != nil {
+		c.startSupervisor(pod, o, pol, configMaps)
+	}
+	return nil
+}
+
+// startComponent (re)creates and starts the component behind a Deployment,
+// registering it in the cluster's component maps. It is called both on
+// first apply and on every supervised restart — broker address and server
+// endpoints are read fresh each time, so a restarted broker cascades new
+// addresses to the components restarted after it.
+func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[string]k8s.Object) error {
 	cfg := func(key string) ([]byte, error) {
 		cm, ok := configMaps[o.Namespace()+"/"+o.Name()+"-config"]
 		if !ok {
@@ -229,11 +280,16 @@ func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object
 		return []byte(data), nil
 	}
 
-	switch pod.Component {
+	switch component {
 	case "message-broker":
 		b := broker.New()
+		if inj := c.FaultInjector; inj != nil {
+			b.ListenWrapper = func(ln net.Listener) net.Listener {
+				return inj.Wrap("broker", ln)
+			}
+		}
 		if err := b.Serve("127.0.0.1:0"); err != nil {
-			return fail(err)
+			return err
 		}
 		c.mu.Lock()
 		c.broker = b
@@ -243,21 +299,21 @@ func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object
 	case "opcua-server":
 		raw, err := cfg("server.json")
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		var sc codegen.ServerConfig
 		if err := json.Unmarshal(raw, &sc); err != nil {
-			return fail(fmt.Errorf("deploy: bad server.json for %s: %w", o.Name(), err))
+			return fmt.Errorf("deploy: bad server.json for %s: %w", o.Name(), err)
 		}
 		var machines []codegen.MachineConfig
 		for _, name := range sc.Machines {
 			mraw, err := cfg("machine-" + name + ".json")
 			if err != nil {
-				return fail(err)
+				return err
 			}
 			var mc codegen.MachineConfig
 			if err := json.Unmarshal(mraw, &mc); err != nil {
-				return fail(fmt.Errorf("deploy: bad machine config %s: %w", name, err))
+				return fmt.Errorf("deploy: bad machine config %s: %w", name, err)
 			}
 			machines = append(machines, mc)
 		}
@@ -266,8 +322,14 @@ func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object
 			resolver = stack.IdentityResolver
 		}
 		srv := stack.NewMachineServer(sc, machines, resolver, c.PollPeriod)
+		if inj := c.FaultInjector; inj != nil {
+			name := sc.Name
+			srv.ListenWrapper = func(ln net.Listener) net.Listener {
+				return inj.Wrap("opcua:"+name, ln)
+			}
+		}
 		if err := srv.Start("127.0.0.1:0"); err != nil {
-			return fail(err)
+			return err
 		}
 		c.mu.Lock()
 		c.servers[sc.Name] = srv
@@ -277,21 +339,21 @@ func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object
 	case "opcua-client":
 		raw, err := cfg("client.json")
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		var cc codegen.ClientConfig
 		if err := json.Unmarshal(raw, &cc); err != nil {
-			return fail(fmt.Errorf("deploy: bad client.json for %s: %w", o.Name(), err))
+			return fmt.Errorf("deploy: bad client.json for %s: %w", o.Name(), err)
 		}
 		c.mu.Lock()
 		brokerAddr := c.brokerAddr
 		c.mu.Unlock()
 		if brokerAddr == "" {
-			return fail(fmt.Errorf("deploy: client %s started before the broker", cc.Name))
+			return fmt.Errorf("deploy: client %s started before the broker", cc.Name)
 		}
 		client := stack.NewBridgeClient(cc, c.resolveServer, brokerAddr)
 		if err := client.Start(); err != nil {
-			return fail(err)
+			return err
 		}
 		c.mu.Lock()
 		c.clients[cc.Name] = client
@@ -300,58 +362,108 @@ func (c *Cluster) startDeployment(o k8s.Object, configMaps map[string]k8s.Object
 	case "historian":
 		raw, err := cfg("storage.json")
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		var sc codegen.StorageConfig
 		if err := json.Unmarshal(raw, &sc); err != nil {
-			return fail(fmt.Errorf("deploy: bad storage.json for %s: %w", o.Name(), err))
+			return fmt.Errorf("deploy: bad storage.json for %s: %w", o.Name(), err)
 		}
 		c.mu.Lock()
 		brokerAddr := c.brokerAddr
+		store := c.historianStores[sc.Name]
 		c.mu.Unlock()
 		if brokerAddr == "" {
-			return fail(fmt.Errorf("deploy: historian %s started before the broker", sc.Name))
+			return fmt.Errorf("deploy: historian %s started before the broker", sc.Name)
 		}
-		svc, err := historian.NewService(brokerAddr, sc.Topics, sc.Retention)
+		if store == nil {
+			store = historian.NewStore(sc.Retention)
+		}
+		svc, err := historian.NewServiceWithStore(brokerAddr, sc.Topics, store)
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		c.mu.Lock()
 		c.historians[sc.Name] = svc
+		c.historianStores[sc.Name] = store
 		c.mu.Unlock()
 
 	case "monitor":
 		raw, err := cfg("monitor.json")
 		if err != nil {
-			return fail(err)
+			return err
 		}
 		var mc codegen.MonitorConfig
 		if err := json.Unmarshal(raw, &mc); err != nil {
-			return fail(fmt.Errorf("deploy: bad monitor.json for %s: %w", o.Name(), err))
+			return fmt.Errorf("deploy: bad monitor.json for %s: %w", o.Name(), err)
 		}
 		c.mu.Lock()
 		brokerAddr := c.brokerAddr
 		c.mu.Unlock()
 		if brokerAddr == "" {
-			return fail(fmt.Errorf("deploy: monitor %s started before the broker", mc.Name))
+			return fmt.Errorf("deploy: monitor %s started before the broker", mc.Name)
 		}
 		mon := stack.NewWorkcellMonitor(mc, brokerAddr)
 		if err := mon.Start(); err != nil {
-			return fail(err)
+			return err
 		}
 		c.mu.Lock()
 		c.monitors[mc.Name] = mon
 		c.mu.Unlock()
 
 	default:
-		return fail(fmt.Errorf("deploy: deployment %s has no recognized component label", o.Name()))
+		return fmt.Errorf("deploy: deployment %s has no recognized component label", o.Name())
 	}
-
-	c.mu.Lock()
-	pod.Phase = PodRunning
-	pod.Started = time.Now()
-	c.mu.Unlock()
 	return nil
+}
+
+// stopComponent tears down the component behind a Deployment without
+// touching pod bookkeeping (the supervisor uses it mid-restart, KillPod
+// uses it to simulate a crash).
+func (c *Cluster) stopComponent(component, name string) {
+	switch component {
+	case "message-broker":
+		c.mu.Lock()
+		b := c.broker
+		c.broker = nil
+		c.brokerAddr = ""
+		c.mu.Unlock()
+		if b != nil {
+			b.Close()
+		}
+	case "opcua-server":
+		c.mu.Lock()
+		srv := c.servers[name]
+		delete(c.servers, name)
+		delete(c.serverAddrs, name)
+		c.mu.Unlock()
+		if srv != nil {
+			srv.Stop()
+		}
+	case "opcua-client":
+		c.mu.Lock()
+		cl := c.clients[name]
+		delete(c.clients, name)
+		c.mu.Unlock()
+		if cl != nil {
+			cl.Stop()
+		}
+	case "historian":
+		c.mu.Lock()
+		h := c.historians[name]
+		delete(c.historians, name)
+		c.mu.Unlock()
+		if h != nil {
+			h.Close()
+		}
+	case "monitor":
+		c.mu.Lock()
+		mon := c.monitors[name]
+		delete(c.monitors, name)
+		c.mu.Unlock()
+		if mon != nil {
+			mon.Stop()
+		}
+	}
 }
 
 func (c *Cluster) resolveServer(server string) (string, error) {
@@ -449,8 +561,30 @@ func (c *Cluster) NodeLoads() map[string]int {
 	return out
 }
 
-// Shutdown stops every running component.
+// Shutdown drains the cluster: supervisors stop first (so nothing gets
+// resurrected mid-teardown), then components stop in reverse data-flow
+// order — clients, servers, monitors, historians, broker — so no component
+// observes a dependency vanishing while it is still doing work. Shutdown is
+// idempotent; a second call is a no-op.
 func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return
+	}
+	c.down = true
+	runtimes := c.runtimes
+	c.runtimes = map[string]*podRuntime{}
+	c.mu.Unlock()
+
+	// 1. Stop every supervisor and wait for its probe loop to exit.
+	for _, rt := range runtimes {
+		rt.halt()
+	}
+	for _, rt := range runtimes {
+		<-rt.done
+	}
+
 	c.mu.Lock()
 	clients := c.clients
 	servers := c.servers
@@ -465,19 +599,31 @@ func (c *Cluster) Shutdown() {
 	c.brokerAddr = ""
 	c.mu.Unlock()
 
-	for _, mo := range monitors {
-		mo.Stop()
-	}
+	// 2. Components in order: clients → servers → monitors → historians →
+	// broker.
 	for _, cl := range clients {
 		cl.Stop()
-	}
-	for _, h := range historians {
-		h.Close()
 	}
 	for _, s := range servers {
 		s.Stop()
 	}
+	for _, mo := range monitors {
+		mo.Stop()
+	}
+	for _, h := range historians {
+		h.Close()
+	}
 	if b != nil {
 		b.Close()
 	}
+
+	c.mu.Lock()
+	for _, p := range c.pods {
+		if p.Phase == PodRunning || p.Phase == PodPending {
+			p.Phase = PodSucceeded
+		}
+		p.Ready = false
+		p.ReadyReason = "cluster shut down"
+	}
+	c.mu.Unlock()
 }

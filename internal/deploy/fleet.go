@@ -1,6 +1,7 @@
 package deploy
 
 import (
+	"net"
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/codegen"
@@ -35,7 +36,17 @@ func SpecForMachine(mc codegen.MachineConfig) machinesim.Spec {
 // emulator addresses (standing in for the plant network of the modeled
 // ip/ip_port endpoints).
 func StartFleet(machines []codegen.MachineConfig, genPeriod time.Duration) (*machinesim.Fleet, stack.EndpointResolver, error) {
+	return StartFleetWrapped(machines, genPeriod, nil)
+}
+
+// StartFleetWrapped is StartFleet with a listener decorator applied to
+// every machine emulator before it starts serving — the hook through which
+// the fault-injection layer interposes on plant-network connections
+// (conventionally wrapped as "machine:<name>").
+func StartFleetWrapped(machines []codegen.MachineConfig, genPeriod time.Duration,
+	wrap func(name string, ln net.Listener) net.Listener) (*machinesim.Fleet, stack.EndpointResolver, error) {
 	fleet := machinesim.NewFleet()
+	fleet.WrapListener = wrap
 	for _, mc := range machines {
 		if _, err := fleet.Start(SpecForMachine(mc), genPeriod); err != nil {
 			fleet.Close()

@@ -9,6 +9,8 @@ import (
 )
 
 // Remove stops the component behind a Deployment and frees its pod slot.
+// The pod's supervisor (if any) stops first so the removal is not undone by
+// a liveness-probe restart.
 func (c *Cluster) Remove(deploymentName string) error {
 	podName := deploymentName + "-0"
 	c.mu.Lock()
@@ -24,54 +26,17 @@ func (c *Cluster) Remove(deploymentName string) error {
 		}
 	}
 	component := pod.Component
+	if component == "historian" {
+		// An explicit removal discards the retained store; only supervised
+		// restarts keep data across component generations.
+		delete(c.historianStores, deploymentName)
+	}
 	c.mu.Unlock()
 
-	switch component {
-	case "message-broker":
-		c.mu.Lock()
-		b := c.broker
-		c.broker = nil
-		c.brokerAddr = ""
-		c.mu.Unlock()
-		if b != nil {
-			b.Close()
-		}
-	case "opcua-server":
-		// The deployment, the server component and its service share the
-		// same name ("opcua-server-<workcell>").
-		c.mu.Lock()
-		srv := c.servers[deploymentName]
-		delete(c.servers, deploymentName)
-		delete(c.serverAddrs, deploymentName)
-		c.mu.Unlock()
-		if srv != nil {
-			srv.Stop()
-		}
-	case "opcua-client":
-		c.mu.Lock()
-		cl := c.clients[deploymentName]
-		delete(c.clients, deploymentName)
-		c.mu.Unlock()
-		if cl != nil {
-			cl.Stop()
-		}
-	case "historian":
-		c.mu.Lock()
-		h := c.historians[deploymentName]
-		delete(c.historians, deploymentName)
-		c.mu.Unlock()
-		if h != nil {
-			h.Close()
-		}
-	case "monitor":
-		c.mu.Lock()
-		mon := c.monitors[deploymentName]
-		delete(c.monitors, deploymentName)
-		c.mu.Unlock()
-		if mon != nil {
-			mon.Stop()
-		}
-	}
+	c.stopSupervisor(podName)
+	// The deployment, the component and its service share the same name
+	// (e.g. "opcua-server-<workcell>").
+	c.stopComponent(component, deploymentName)
 	return nil
 }
 

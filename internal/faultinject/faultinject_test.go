@@ -1,0 +1,220 @@
+package faultinject
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer runs a line-echo service behind the wrapped listener.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					if _, err := fmt.Fprintln(c, sc.Text()); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+}
+
+func wrappedEcho(t *testing.T, in *Injector, name string) net.Listener {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Wrap(name, raw)
+	echoServer(t, ln)
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func roundTrip(conn net.Conn, line string) (string, error) {
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		return "", err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	return strings.TrimSpace(resp), err
+}
+
+func TestTransparentWithoutRules(t *testing.T) {
+	in := New(1)
+	ln := wrappedEcho(t, in, "svc")
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := roundTrip(conn, "hello")
+	if err != nil || got != "hello" {
+		t.Fatalf("echo = %q err=%v", got, err)
+	}
+	if s := in.Stats()["svc"]; s.Accepts != 1 || s.Drops != 0 || s.Refusals != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRefuseRateOneRejectsAllAccepts(t *testing.T) {
+	in := New(2)
+	ln := wrappedEcho(t, in, "svc")
+	in.Set("svc", Rule{RefuseRate: 1})
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err == nil {
+		// Dial may succeed before the server closes; the round trip must fail.
+		conn.SetDeadline(time.Now().Add(time.Second))
+		if _, err := roundTrip(conn, "hi"); err == nil {
+			t.Fatal("expected refused connection")
+		}
+		conn.Close()
+	}
+	if s := in.Stats()["svc"]; s.Refusals == 0 {
+		t.Errorf("no refusals counted: %+v", s)
+	}
+}
+
+func TestDropRateOneSeversConnection(t *testing.T) {
+	in := New(3)
+	ln := wrappedEcho(t, in, "svc")
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, err := roundTrip(conn, "ok"); err != nil || got != "ok" {
+		t.Fatalf("pre-fault echo failed: %q %v", got, err)
+	}
+	in.Set("svc", Rule{DropRate: 1})
+	conn.SetDeadline(time.Now().Add(time.Second))
+	if _, err := roundTrip(conn, "doomed"); err == nil {
+		t.Fatal("expected dropped connection")
+	}
+	if s := in.Stats()["svc"]; s.Drops == 0 {
+		t.Errorf("no drops counted: %+v", s)
+	}
+}
+
+func TestLatencyDelaysReads(t *testing.T) {
+	in := New(4)
+	ln := wrappedEcho(t, in, "svc")
+	in.Set("svc", Rule{Latency: 30 * time.Millisecond})
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if got, err := roundTrip(conn, "slow"); err != nil || got != "slow" {
+		t.Fatalf("echo = %q err=%v", got, err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("round trip took %v, expected >= 30ms of injected latency", elapsed)
+	}
+	if s := in.Stats()["svc"]; s.Delayed == 0 {
+		t.Errorf("no delayed reads counted: %+v", s)
+	}
+}
+
+func TestTruncationCorruptsWrite(t *testing.T) {
+	in := New(5)
+	ln := wrappedEcho(t, in, "svc")
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "warmup"); err != nil {
+		t.Fatal(err)
+	}
+	in.Set("svc", Rule{TruncateRate: 1})
+	conn.SetDeadline(time.Now().Add(time.Second))
+	resp, _ := roundTrip(conn, "a-full-length-line")
+	if resp == "a-full-length-line" {
+		t.Fatal("expected truncated response")
+	}
+	if s := in.Stats()["svc"]; s.Truncations == 0 {
+		t.Errorf("no truncations counted: %+v", s)
+	}
+}
+
+func TestPartitionKillsLiveConnsAndRefusesNew(t *testing.T) {
+	in := New(6)
+	ln := wrappedEcho(t, in, "svc")
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := roundTrip(conn, "up"); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Partition("svc", true)
+	if !in.Partitioned("svc") {
+		t.Fatal("Partitioned() = false")
+	}
+	conn.SetDeadline(time.Now().Add(time.Second))
+	if _, err := roundTrip(conn, "down"); err == nil {
+		t.Fatal("live connection survived the partition")
+	}
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err == nil {
+		conn2.SetDeadline(time.Now().Add(time.Second))
+		if _, err := roundTrip(conn2, "still down"); err == nil {
+			t.Fatal("new connection crossed the partition")
+		}
+		conn2.Close()
+	}
+
+	// Healing the partition restores service for new connections.
+	in.Partition("svc", false)
+	conn3, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	if got, err := roundTrip(conn3, "healed"); err != nil || got != "healed" {
+		t.Fatalf("post-heal echo = %q err=%v", got, err)
+	}
+}
+
+func TestSeededDecisionsAreDeterministic(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		in := New(seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.roll(0.5)
+		}
+		return out
+	}
+	a, b := sequence(99), sequence(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := sequence(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision sequences")
+	}
+}

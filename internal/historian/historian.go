@@ -194,11 +194,21 @@ type Service struct {
 
 // NewService creates a historian service over its own broker connection.
 func NewService(brokerAddr string, topics []string, maxPerSeries int) (*Service, error) {
+	return NewServiceWithStore(brokerAddr, topics, NewStore(maxPerSeries))
+}
+
+// NewServiceWithStore creates a historian service that ingests into an
+// existing store. The pod supervisor uses this to restart a historian
+// without losing the data it had already accumulated.
+func NewServiceWithStore(brokerAddr string, topics []string, store *Store) (*Service, error) {
 	client, err := broker.DialClient(brokerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("historian: %w", err)
 	}
-	svc := &Service{Store: NewStore(maxPerSeries), client: client, Now: time.Now}
+	if store == nil {
+		store = NewStore(0)
+	}
+	svc := &Service{Store: store, client: client, Now: time.Now}
 	for _, topic := range topics {
 		id, ch, err := client.Subscribe(topic)
 		if err != nil {
@@ -217,6 +227,21 @@ func (s *Service) pump(ch <-chan broker.Message) {
 	for m := range ch {
 		s.Store.Append(m.Topic, s.Now(), m.Payload)
 	}
+}
+
+// Health reports whether the historian is still ingesting: it must not be
+// closed and its broker connection must be alive.
+func (s *Service) Health() error {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return errors.New("historian: closed")
+	}
+	if err := s.client.Err(); err != nil {
+		return fmt.Errorf("historian: %w", err)
+	}
+	return nil
 }
 
 // Close stops ingestion and drops the broker connection.

@@ -3,8 +3,10 @@ package historian
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -90,5 +92,81 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 	s.Append("a", t0.Add(time.Second), []byte("2"))
 	if len(snap.Series["a"]) != 1 {
 		t.Errorf("snapshot mutated: %d points", len(snap.Series["a"]))
+	}
+}
+
+// TestSnapshotUnderConcurrentWrites hammers a store with concurrent
+// appenders while snapshots stream out, then checks that a final quiesced
+// snapshot restores to the exact same contents. Run with -race: this is the
+// guard against snapshot/append data races.
+func TestSnapshotUnderConcurrentWrites(t *testing.T) {
+	store := NewStore(0)
+	const (
+		writers   = 8
+		perWriter = 400
+	)
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := store.Snapshot()
+				// Every concurrently-taken snapshot must itself be
+				// internally consistent: series sorted by time.
+				for name, pts := range snap.Series {
+					for j := 1; j < len(pts); j++ {
+						if pts[j].Time.Before(pts[j-1].Time) {
+							t.Errorf("snapshot series %s out of order", name)
+							return
+						}
+					}
+				}
+				if err := store.WriteSnapshot(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var writeWG sync.WaitGroup
+	base := time.Now()
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			series := fmt.Sprintf("series-%d", w%4) // overlap across writers
+			for i := 0; i < perWriter; i++ {
+				store.Append(series, base.Add(time.Duration(w*perWriter+i)*time.Millisecond),
+					[]byte(fmt.Sprintf("%d", i)))
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	if got, want := store.TotalAppended(), uint64(writers*perWriter); got != want {
+		t.Fatalf("TotalAppended = %d, want %d", got, want)
+	}
+	var buf bytes.Buffer
+	if err := store.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range store.Series() {
+		if restored.Count(name) != store.Count(name) {
+			t.Errorf("series %s: restored %d points, want %d", name, restored.Count(name), store.Count(name))
+		}
 	}
 }

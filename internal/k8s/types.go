@@ -110,16 +110,23 @@ type ResourceRequirements struct {
 	Limits   ResourceList `yaml:"limits,omitempty"`
 }
 
-// Probe is a liveness/readiness probe (TCP socket flavor only).
+// Probe is a liveness/readiness probe (TCP socket and exec flavors).
 type Probe struct {
 	TCPSocket           *TCPSocketAction `yaml:"tcpSocket,omitempty"`
+	Exec                *ExecAction      `yaml:"exec,omitempty"`
 	InitialDelaySeconds int              `yaml:"initialDelaySeconds,omitempty"`
 	PeriodSeconds       int              `yaml:"periodSeconds,omitempty"`
+	FailureThreshold    int              `yaml:"failureThreshold,omitempty"`
 }
 
 // TCPSocketAction probes a TCP port.
 type TCPSocketAction struct {
 	Port int `yaml:"port"`
+}
+
+// ExecAction probes by running a command inside the container.
+type ExecAction struct {
+	Command []string `yaml:"command"`
 }
 
 // Container is one container of a pod.
@@ -131,6 +138,7 @@ type Container struct {
 	Ports          []ContainerPort      `yaml:"ports,omitempty"`
 	VolumeMounts   []VolumeMount        `yaml:"volumeMounts,omitempty"`
 	Resources      ResourceRequirements `yaml:"resources,omitempty"`
+	LivenessProbe  *Probe               `yaml:"livenessProbe,omitempty"`
 	ReadinessProbe *Probe               `yaml:"readinessProbe,omitempty"`
 }
 
@@ -147,8 +155,9 @@ type Volume struct {
 
 // PodSpec describes pod contents.
 type PodSpec struct {
-	Containers []Container `yaml:"containers"`
-	Volumes    []Volume    `yaml:"volumes,omitempty"`
+	Containers    []Container `yaml:"containers"`
+	RestartPolicy string      `yaml:"restartPolicy,omitempty"`
+	Volumes       []Volume    `yaml:"volumes,omitempty"`
 }
 
 // PodTemplateSpec is the pod template of a Deployment.
@@ -257,6 +266,82 @@ func (o Object) Path(path string) any {
 		cur = m[part]
 	}
 	return cur
+}
+
+// ProbeSpec is a probe parsed from a decoded Deployment manifest. Exactly
+// one of TCPPort/Command is set depending on the probe flavor.
+type ProbeSpec struct {
+	TCPPort             int      // tcpSocket probe port (0 when exec flavor)
+	Command             []string // exec probe command (nil when tcpSocket flavor)
+	InitialDelaySeconds int
+	PeriodSeconds       int
+	FailureThreshold    int
+}
+
+// PodPolicy is the supervision-relevant slice of a Deployment's pod spec:
+// the restart policy plus the first container's probes. Zero-valued fields
+// mean the manifest did not specify them.
+type PodPolicy struct {
+	RestartPolicy string
+	Liveness      *ProbeSpec
+	Readiness     *ProbeSpec
+}
+
+// PodPolicy extracts restartPolicy and probes from a Deployment object.
+// Non-Deployment objects yield the zero policy.
+func (o Object) PodPolicy() PodPolicy {
+	var pol PodPolicy
+	if s, ok := o.Path("spec.template.spec.restartPolicy").(string); ok {
+		pol.RestartPolicy = s
+	}
+	containers, _ := o.Path("spec.template.spec.containers").([]any)
+	if len(containers) == 0 {
+		return pol
+	}
+	c, _ := containers[0].(map[string]any)
+	if c == nil {
+		return pol
+	}
+	pol.Liveness = parseProbe(c["livenessProbe"])
+	pol.Readiness = parseProbe(c["readinessProbe"])
+	return pol
+}
+
+func parseProbe(v any) *ProbeSpec {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil
+	}
+	p := &ProbeSpec{
+		InitialDelaySeconds: asInt(m["initialDelaySeconds"]),
+		PeriodSeconds:       asInt(m["periodSeconds"]),
+		FailureThreshold:    asInt(m["failureThreshold"]),
+	}
+	if ts, ok := m["tcpSocket"].(map[string]any); ok {
+		p.TCPPort = asInt(ts["port"])
+	}
+	if ex, ok := m["exec"].(map[string]any); ok {
+		cmd, _ := ex["command"].([]any)
+		for _, c := range cmd {
+			if s, ok := c.(string); ok {
+				p.Command = append(p.Command, s)
+			}
+		}
+	}
+	return p
+}
+
+// asInt coerces the decoder's scalar representations to int.
+func asInt(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case int64:
+		return int(x)
+	case float64:
+		return int(x)
+	}
+	return 0
 }
 
 // ConfigData returns data for ConfigMap objects.

@@ -140,3 +140,57 @@ func TestDecodeRejectsNonMapping(t *testing.T) {
 		t.Error("want error for sequence document")
 	}
 }
+
+func TestPodPolicyRoundTrip(t *testing.T) {
+	c := Container{
+		Name: "c", Image: "img",
+		LivenessProbe: &Probe{
+			TCPSocket:        &TCPSocketAction{Port: 1883},
+			PeriodSeconds:    5,
+			FailureThreshold: 3,
+		},
+		ReadinessProbe: &Probe{
+			Exec:                &ExecAction{Command: []string{"/bin/healthcheck", "--mode=ready"}},
+			InitialDelaySeconds: 1,
+			PeriodSeconds:       5,
+		},
+	}
+	d := NewDeployment("pod", "ns", c)
+	d.Spec.Template.Spec.RestartPolicy = "Always"
+	data, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := objs[0].PodPolicy()
+	if pol.RestartPolicy != "Always" {
+		t.Errorf("RestartPolicy = %q", pol.RestartPolicy)
+	}
+	if pol.Liveness == nil || pol.Liveness.TCPPort != 1883 ||
+		pol.Liveness.PeriodSeconds != 5 || pol.Liveness.FailureThreshold != 3 {
+		t.Errorf("Liveness = %+v", pol.Liveness)
+	}
+	if pol.Readiness == nil || len(pol.Readiness.Command) != 2 ||
+		pol.Readiness.Command[1] != "--mode=ready" || pol.Readiness.InitialDelaySeconds != 1 {
+		t.Errorf("Readiness = %+v", pol.Readiness)
+	}
+}
+
+func TestPodPolicyAbsent(t *testing.T) {
+	d := NewDeployment("bare", "ns", Container{Name: "c", Image: "img"})
+	data, err := Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := objs[0].PodPolicy()
+	if pol.RestartPolicy != "" || pol.Liveness != nil || pol.Readiness != nil {
+		t.Errorf("want zero policy, got %+v", pol)
+	}
+}

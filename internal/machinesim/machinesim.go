@@ -43,6 +43,11 @@ type Spec struct {
 
 // Machine is a running emulator.
 type Machine struct {
+	// ListenWrapper, when set before Serve, decorates the TCP listener —
+	// the hook the fault-injection layer uses to interpose on driver
+	// connections.
+	ListenWrapper func(net.Listener) net.Listener
+
 	spec Spec
 
 	mu        sync.RWMutex
@@ -218,6 +223,9 @@ func (m *Machine) Serve(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("machinesim %s: listen: %w", m.spec.Name, err)
+	}
+	if m.ListenWrapper != nil {
+		ln = m.ListenWrapper(ln)
 	}
 	m.mu.Lock()
 	m.ln = ln
@@ -463,6 +471,10 @@ func (c *Conn) Call(name string, args ...any) ([]any, error) {
 
 // Fleet runs a set of machines and tracks their endpoints by name.
 type Fleet struct {
+	// WrapListener, when set before Start, decorates each machine's TCP
+	// listener keyed by machine name (fault-injection hook).
+	WrapListener func(name string, ln net.Listener) net.Listener
+
 	mu       sync.Mutex
 	machines map[string]*Machine
 }
@@ -473,6 +485,12 @@ func NewFleet() *Fleet { return &Fleet{machines: map[string]*Machine{}} }
 // Start launches a machine on a free port with a value generator.
 func (f *Fleet) Start(spec Spec, genPeriod time.Duration) (*Machine, error) {
 	m := New(spec)
+	if f.WrapListener != nil {
+		name := spec.Name
+		m.ListenWrapper = func(ln net.Listener) net.Listener {
+			return f.WrapListener(name, ln)
+		}
+	}
 	if err := m.Serve("127.0.0.1:0"); err != nil {
 		return nil, err
 	}

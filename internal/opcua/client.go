@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/resilience"
 )
 
 // Client is a connection to an OPC UA server. It multiplexes concurrent
@@ -51,6 +53,40 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 		return nil, fmt.Errorf("opcua client: handshake with %s: %w", addr, err)
 	}
 	return c, nil
+}
+
+// DialRetry redials addr until a connection (including the protocol
+// handshake) succeeds, pacing attempts with the backoff policy. It returns
+// resilience.ErrStopped when stop closes first. This is the shared redial
+// primitive behind the stack's reconnect paths.
+func DialRetry(addr string, timeout time.Duration, stop <-chan struct{}, policy resilience.Backoff) (*Client, error) {
+	var client *Client
+	err := resilience.Retry(stop, policy, func() error {
+		c, err := DialTimeout(addr, timeout)
+		if err != nil {
+			return err
+		}
+		client = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return client, nil
+}
+
+// Err reports the connection's terminal state: nil while usable, otherwise
+// the read error that killed it (or a closed marker).
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return fmt.Errorf("opcua client: connection lost: %w", c.readErr)
+	}
+	if c.closed {
+		return errors.New("opcua client: closed")
+	}
+	return nil
 }
 
 // Close terminates the connection; pending requests fail.

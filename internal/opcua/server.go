@@ -17,6 +17,11 @@ type Server struct {
 	// Logf, when set, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
 
+	// ListenWrapper, when set before Listen, decorates the TCP listener —
+	// the hook the fault-injection layer uses to interpose on OPC UA
+	// connections.
+	ListenWrapper func(net.Listener) net.Listener
+
 	ln     net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -36,6 +41,9 @@ func (s *Server) Listen(addr string) error {
 	if err != nil {
 		return fmt.Errorf("opcua server %s: %w", s.Name, err)
 	}
+	if s.ListenWrapper != nil {
+		ln = s.ListenWrapper(ln)
+	}
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -52,6 +60,19 @@ func (s *Server) Addr() string {
 		return ""
 	}
 	return s.ln.Addr().String()
+}
+
+// Health reports whether the server is accepting connections.
+func (s *Server) Health() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("opcua server %s: closed", s.Name)
+	}
+	if s.ln == nil {
+		return fmt.Errorf("opcua server %s: not listening", s.Name)
+	}
+	return nil
 }
 
 // Close stops accepting and closes every live connection.

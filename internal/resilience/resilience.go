@@ -1,0 +1,271 @@
+// Package resilience collects the small fault-tolerance primitives shared
+// by the factory stack: an exponential backoff policy with optional
+// deterministic jitter, a retry helper that paces attempts until success or
+// cancellation, and a circuit breaker guarding repeatedly-failing
+// dependencies. The reconnect/redial paths of the OPC UA bridge, the
+// per-workcell machine servers and the pod supervisor in internal/deploy
+// are all built on these primitives so that recovery behaviour is uniform
+// and tunable in one place.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is an exponential backoff policy. The zero value is usable and
+// yields the defaults noted on each field. Delay for attempt n (0-based) is
+// min(Initial*Factor^n, Max), stretched by up to Jitter fraction when a
+// seeded jitter source is attached.
+type Backoff struct {
+	// Initial is the first delay (default 100ms).
+	Initial time.Duration
+	// Max caps the delay growth (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt multiplier (default 2; values < 1 are
+	// treated as 1, i.e. constant backoff).
+	Factor float64
+	// Jitter in [0,1] stretches each delay by a random fraction of itself.
+	// Zero (the default) keeps delays fully deterministic.
+	Jitter float64
+
+	// rng drives jitter; nil means no jitter regardless of the fraction,
+	// keeping the zero value deterministic.
+	rng *rand.Rand
+	mu  *sync.Mutex
+}
+
+// WithSeed returns a copy of the policy with a seeded jitter source, so
+// jittered delays are reproducible run-to-run.
+func (b Backoff) WithSeed(seed int64) Backoff {
+	b.rng = rand.New(rand.NewSource(seed))
+	b.mu = &sync.Mutex{}
+	return b
+}
+
+func (b Backoff) initial() time.Duration {
+	if b.Initial > 0 {
+		return b.Initial
+	}
+	return 100 * time.Millisecond
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 5 * time.Second
+}
+
+func (b Backoff) factor() float64 {
+	if b.Factor >= 1 {
+		return b.Factor
+	}
+	if b.Factor > 0 {
+		return 1
+	}
+	return 2
+}
+
+// Delay returns the pause before retry attempt n (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.initial())
+	f := b.factor()
+	max := b.max()
+	for i := 0; i < attempt; i++ {
+		d *= f
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if b.Jitter > 0 && b.rng != nil {
+		b.mu.Lock()
+		d += d * b.Jitter * b.rng.Float64()
+		b.mu.Unlock()
+		if d > float64(max) {
+			d = float64(max)
+		}
+	}
+	return time.Duration(d)
+}
+
+// ErrStopped reports that a retry loop was cancelled via its stop channel.
+var ErrStopped = errors.New("resilience: stopped")
+
+// Retry runs fn until it succeeds, pacing attempts by the backoff policy.
+// It returns nil on success, or ErrStopped (wrapping the last attempt
+// error, if any) when stop closes first. A nil stop channel retries
+// forever.
+func Retry(stop <-chan struct{}, b Backoff, fn func() error) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-stop:
+			return stoppedErr(last)
+		default:
+		}
+		if last = fn(); last == nil {
+			return nil
+		}
+		timer := time.NewTimer(b.Delay(attempt))
+		select {
+		case <-stop:
+			timer.Stop()
+			return stoppedErr(last)
+		case <-timer.C:
+		}
+	}
+}
+
+func stoppedErr(last error) error {
+	if last == nil {
+		return ErrStopped
+	}
+	return fmt.Errorf("%w (last attempt: %v)", ErrStopped, last)
+}
+
+// RetryN runs fn up to attempts times, pacing retries by the policy. It
+// returns the first success, or the last error after the budget is spent.
+func RetryN(attempts int, b Backoff, fn func() error) error {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var last error
+	for i := 0; i < attempts; i++ {
+		if last = fn(); last == nil {
+			return nil
+		}
+		if i < attempts-1 {
+			time.Sleep(b.Delay(i))
+		}
+	}
+	return last
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+
+// BreakerState is the circuit breaker's current state.
+type BreakerState string
+
+// Breaker states.
+const (
+	// Closed: calls flow; failures count toward the threshold.
+	Closed BreakerState = "closed"
+	// Open: calls are refused until the cooldown elapses.
+	Open BreakerState = "open"
+	// HalfOpen: one probe call is allowed; success closes the breaker,
+	// failure re-opens it.
+	HalfOpen BreakerState = "half-open"
+)
+
+// ErrOpen reports that the breaker refused the call.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold
+// consecutive failures it opens; after Cooldown it half-opens, admitting a
+// single probe whose outcome decides the next state.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	state     BreakerState
+	openedAt  time.Time
+	trips     uint64
+
+	// now is the clock; overridable in tests.
+	now func() time.Time
+}
+
+// NewBreaker builds a closed breaker (threshold <= 0 means 3; cooldown
+// <= 0 means 1s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, state: Closed, now: time.Now}
+}
+
+// Allow reports whether a call may proceed, transitioning Open -> HalfOpen
+// once the cooldown has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		// One probe at a time: further callers wait for its verdict.
+		return false
+	default: // Open
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a successful call, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = Closed
+}
+
+// Failure records a failed call; the threshold or a failed half-open probe
+// opens the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == HalfOpen || b.failures >= b.threshold {
+		if b.state != Open {
+			b.trips++
+		}
+		b.state = Open
+		b.openedAt = b.now()
+		b.failures = b.threshold // saturate
+	}
+}
+
+// State returns the breaker's current state (Open may lazily read as Open
+// even when a cooldown has elapsed; Allow performs the transition).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Do guards fn with the breaker: refused calls return ErrOpen without
+// invoking fn; outcomes are recorded.
+func (b *Breaker) Do(fn func() error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	if err := fn(); err != nil {
+		b.Failure()
+		return err
+	}
+	b.Success()
+	return nil
+}

@@ -1,0 +1,145 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDefaultsAndGrowth(t *testing.T) {
+	var b Backoff // zero value: 100ms, x2, cap 5s
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := b.Delay(20); got != 5*time.Second {
+		t.Errorf("Delay(20) = %v, want cap 5s", got)
+	}
+}
+
+func TestBackoffConstantFactor(t *testing.T) {
+	b := Backoff{Initial: 50 * time.Millisecond, Factor: 1, Max: time.Second}
+	for i := 0; i < 5; i++ {
+		if got := b.Delay(i); got != 50*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want constant 50ms", i, got)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicWithSeed(t *testing.T) {
+	mk := func() Backoff {
+		return Backoff{Initial: 100 * time.Millisecond, Jitter: 0.5, Max: time.Minute}.WithSeed(42)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("seeded jitter diverged at attempt %d: %v vs %v", i, da, db)
+		}
+		base := Backoff{Initial: 100 * time.Millisecond, Max: time.Minute}.Delay(i)
+		if da < base || da > base+base/2 {
+			t.Errorf("jittered delay %v outside [%v, %v]", da, base, base+base/2)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Retry(nil, Backoff{Initial: time.Millisecond}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("not yet")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryStops(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	err := Retry(stop, Backoff{Initial: time.Millisecond}, func() error {
+		return errors.New("always fails")
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestRetryNExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := RetryN(3, Backoff{Initial: time.Microsecond}, func() error {
+		calls++
+		return errors.New("boom")
+	})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBreakerOpensHalfOpensCloses(t *testing.T) {
+	br := NewBreaker(3, 50*time.Millisecond)
+	now := time.Unix(0, 0)
+	br.now = func() time.Time { return now }
+
+	if br.State() != Closed || !br.Allow() {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	for i := 0; i < 3; i++ {
+		br.Failure()
+	}
+	if br.State() != Open {
+		t.Fatalf("state after threshold failures = %v", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("open breaker must refuse before cooldown")
+	}
+	if br.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", br.Trips())
+	}
+
+	// Cooldown elapses: one half-open probe is admitted, a second is not.
+	now = now.Add(60 * time.Millisecond)
+	if !br.Allow() {
+		t.Fatal("cooldown elapsed: probe should be admitted")
+	}
+	if br.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", br.State())
+	}
+	if br.Allow() {
+		t.Fatal("only one half-open probe at a time")
+	}
+
+	// Probe fails: re-open. Next cooldown + successful probe closes.
+	br.Failure()
+	if br.State() != Open || br.Trips() != 2 {
+		t.Fatalf("state=%v trips=%d after failed probe", br.State(), br.Trips())
+	}
+	now = now.Add(60 * time.Millisecond)
+	if !br.Allow() {
+		t.Fatal("second probe should be admitted")
+	}
+	br.Success()
+	if br.State() != Closed || !br.Allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	br := NewBreaker(1, time.Hour)
+	if err := br.Do(func() error { return errors.New("x") }); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := br.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+}

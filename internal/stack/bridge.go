@@ -3,12 +3,14 @@ package stack
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/broker"
 	"github.com/smartfactory/sysml2conf/internal/codegen"
 	"github.com/smartfactory/sysml2conf/internal/opcua"
+	"github.com/smartfactory/sysml2conf/internal/resilience"
 )
 
 // ServerResolver maps an OPC UA server name (e.g. "opcua-server-workcell02")
@@ -114,6 +116,13 @@ func (b *BridgeClient) backoff() time.Duration {
 	return 100 * time.Millisecond
 }
 
+// reconnectPolicy is the redial pacing: starts at ReconnectBackoff and
+// grows gently so a long outage does not hammer the resolver.
+func (b *BridgeClient) reconnectPolicy() resilience.Backoff {
+	initial := b.backoff()
+	return resilience.Backoff{Initial: initial, Factor: 1.5, Max: 16 * initial}
+}
+
 func (b *BridgeClient) stopped() bool {
 	select {
 	case <-b.stopCh:
@@ -134,24 +143,68 @@ func (b *BridgeClient) invalidate(server string, broken *opcua.Client) {
 	broken.Close()
 }
 
-// reconnect redials a server after invalidation, pacing retries until the
-// bridge stops. Returns nil when stopping.
+// reconnect redials a server after invalidation, pacing retries with the
+// shared resilience policy until the bridge stops. Returns nil when stopping.
 func (b *BridgeClient) reconnect(server string) *opcua.Client {
-	for !b.stopped() {
-		client, err := b.clientFor(server)
-		if err == nil {
-			b.mu.Lock()
-			b.reconnects++
-			b.mu.Unlock()
-			return client
+	var client *opcua.Client
+	err := resilience.Retry(b.stopCh, b.reconnectPolicy(), func() error {
+		c, err := b.clientFor(server)
+		if err != nil {
+			return err
 		}
-		timer := time.NewTimer(b.backoff())
-		select {
-		case <-b.stopCh:
-			timer.Stop()
-			return nil
-		case <-timer.C:
+		client = c
+		return nil
+	})
+	if err != nil {
+		return nil // stopping
+	}
+	b.mu.Lock()
+	b.reconnects++
+	b.mu.Unlock()
+	return client
+}
+
+// Health reports liveness: the bridge must not be stopped and its broker
+// connection must be alive. Loss of an OPC UA server connection is NOT a
+// liveness failure — the bridge heals that itself by redialing.
+func (b *BridgeClient) Health() error {
+	if b.stopped() {
+		return fmt.Errorf("stack: client %s: stopped", b.Config.Name)
+	}
+	b.mu.Lock()
+	bc := b.broker
+	b.mu.Unlock()
+	if bc == nil {
+		return fmt.Errorf("stack: client %s: no broker connection", b.Config.Name)
+	}
+	if err := bc.Err(); err != nil {
+		return fmt.Errorf("stack: client %s: %w", b.Config.Name, err)
+	}
+	return nil
+}
+
+// Ready reports readiness: Health plus a live connection to every OPC UA
+// server this bridge is configured against. A bridge mid-redial is alive
+// but not ready.
+func (b *BridgeClient) Ready() error {
+	if err := b.Health(); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, cm := range b.Config.Machines {
+		want[cm.Server] = true
+	}
+	b.mu.Lock()
+	var missing []string
+	for server := range want {
+		if b.opcua[server] == nil {
+			missing = append(missing, server)
 		}
+	}
+	b.mu.Unlock()
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("stack: client %s: no connection to %v", b.Config.Name, missing)
 	}
 	return nil
 }

@@ -211,6 +211,26 @@ func (w *WorkcellMonitor) publishOnce() {
 	}
 }
 
+// Health reports liveness: the monitor must not be stopped and its broker
+// connection must be alive.
+func (w *WorkcellMonitor) Health() error {
+	select {
+	case <-w.stopCh:
+		return fmt.Errorf("stack: monitor %s: stopped", w.Config.Name)
+	default:
+	}
+	w.mu.Lock()
+	client := w.client
+	w.mu.Unlock()
+	if client == nil {
+		return fmt.Errorf("stack: monitor %s: no broker connection", w.Config.Name)
+	}
+	if err := client.Err(); err != nil {
+		return fmt.Errorf("stack: monitor %s: %w", w.Config.Name, err)
+	}
+	return nil
+}
+
 // Stats returns ingest/publish counters.
 func (w *WorkcellMonitor) Stats() (samples, publishes uint64, liveSeries int) {
 	w.mu.Lock()

@@ -10,12 +10,14 @@ package stack
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/codegen"
 	"github.com/smartfactory/sysml2conf/internal/machinesim"
 	"github.com/smartfactory/sysml2conf/internal/opcua"
+	"github.com/smartfactory/sysml2conf/internal/resilience"
 )
 
 // EndpointResolver maps a modeled driver endpoint (the ip/ip_port attributes
@@ -57,12 +59,16 @@ type MachineServer struct {
 	Server *opcua.Server
 	Space  *opcua.AddressSpace
 
+	// ListenWrapper, when set before Start, decorates the OPC UA endpoint's
+	// TCP listener (the fault-injection layer's interposition hook).
+	ListenWrapper func(ln net.Listener) net.Listener
+
 	resolver EndpointResolver
 	poll     time.Duration
 
 	mu         sync.Mutex
 	conns      map[string]*machinesim.Conn
-	connErrs   map[string]int // consecutive poll errors per machine
+	breakers   map[string]*resilience.Breaker // per-machine driver circuit
 	reconnects uint64
 	stopCh     chan struct{}
 	wg         sync.WaitGroup
@@ -71,7 +77,7 @@ type MachineServer struct {
 }
 
 // reconnectThreshold is the number of consecutive poll errors after which
-// the driver connection is torn down and redialed.
+// the driver circuit opens and the connection is torn down and redialed.
 const reconnectThreshold = 3
 
 // NewMachineServer builds the component; Start brings it up.
@@ -86,9 +92,23 @@ func NewMachineServer(cfg codegen.ServerConfig, machines []codegen.MachineConfig
 		resolver: resolver,
 		poll:     pollPeriod,
 		conns:    map[string]*machinesim.Conn{},
-		connErrs: map[string]int{},
+		breakers: map[string]*resilience.Breaker{},
 		stopCh:   make(chan struct{}),
 	}
+}
+
+// breaker returns the per-machine driver circuit breaker, creating it on
+// first use: it opens after reconnectThreshold consecutive failed poll
+// cycles and allows a redial probe every few poll periods.
+func (s *MachineServer) breaker(machine string) *resilience.Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.breakers[machine]
+	if br == nil {
+		br = resilience.NewBreaker(reconnectThreshold, 4*s.poll)
+		s.breakers[machine] = br
+	}
+	return br
 }
 
 // Start connects the drivers, builds the address space and begins listening
@@ -102,6 +122,7 @@ func (s *MachineServer) Start(addr string) error {
 		}
 	}
 	s.Server = opcua.NewServer(s.Config.Name, s.Space)
+	s.Server.ListenWrapper = s.ListenWrapper
 	if err := s.Server.Listen(addr); err != nil {
 		s.Stop()
 		return err
@@ -235,45 +256,102 @@ func (s *MachineServer) pollOnce() {
 			s.mu.Unlock()
 			_ = s.Space.Write(opcua.NodeID(v.NodeID), opcua.V(val))
 		}
-		s.mu.Lock()
+		br := s.breaker(mc.Machine)
 		if failed {
-			s.connErrs[mc.Machine]++
-			drop := s.connErrs[mc.Machine] >= reconnectThreshold
-			s.mu.Unlock()
-			if drop {
+			br.Failure()
+			if br.State() == resilience.Open {
+				// The circuit tripped: the connection is beyond suspicion.
+				// Drop it; tryReconnect probes once the cooldown elapses.
 				conn.Close()
 				s.mu.Lock()
-				delete(s.conns, mc.Machine)
+				if s.conns[mc.Machine] == conn {
+					delete(s.conns, mc.Machine)
+				}
 				s.mu.Unlock()
 			}
 		} else {
-			s.connErrs[mc.Machine] = 0
-			s.mu.Unlock()
+			br.Success()
 		}
 	}
 }
 
 // tryReconnect redials a machine whose driver connection was dropped. The
-// poll ticker paces retries; success resumes polling transparently — a
+// circuit breaker paces probes (one per cooldown while the machine stays
+// down); success closes the circuit and resumes polling transparently — a
 // machine power-cycle heals without redeploying the server.
 func (s *MachineServer) tryReconnect(mc *codegen.MachineConfig) {
+	br := s.breaker(mc.Machine)
+	if !br.Allow() {
+		return
+	}
 	addr, err := s.resolver(mc.Machine, mc.Driver)
 	if err != nil {
+		br.Failure()
 		return
 	}
 	conn, err := machinesim.DialMachine(addr, time.Second)
 	if err != nil {
+		br.Failure()
 		return
 	}
 	if err := conn.Ping(); err != nil {
 		conn.Close()
+		br.Failure()
 		return
 	}
+	br.Success()
 	s.mu.Lock()
 	s.conns[mc.Machine] = conn
-	s.connErrs[mc.Machine] = 0
 	s.reconnects++
 	s.mu.Unlock()
+}
+
+// Health reports liveness: the component must not be stopped and its OPC UA
+// endpoint must be accepting connections. A dead machine does NOT fail
+// liveness — the server heals driver connections itself.
+func (s *MachineServer) Health() error {
+	select {
+	case <-s.stopCh:
+		return fmt.Errorf("stack: server %s: stopped", s.Config.Name)
+	default:
+	}
+	if s.Server == nil {
+		return fmt.Errorf("stack: server %s: not started", s.Config.Name)
+	}
+	return s.Server.Health()
+}
+
+// Ready reports readiness: Health plus a live driver connection to every
+// configured machine. A server mid-redial serves stale values and is
+// therefore alive but not ready.
+func (s *MachineServer) Ready() error {
+	if err := s.Health(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	var missing []string
+	for i := range s.Machines {
+		if s.conns[s.Machines[i].Machine] == nil {
+			missing = append(missing, s.Machines[i].Machine)
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) > 0 {
+		return fmt.Errorf("stack: server %s: no driver connection to %v", s.Config.Name, missing)
+	}
+	return nil
+}
+
+// BreakerTrips returns how many times a machine's driver circuit opened
+// (restart counters for the supervision layer's reporting).
+func (s *MachineServer) BreakerTrips(machine string) uint64 {
+	s.mu.Lock()
+	br := s.breakers[machine]
+	s.mu.Unlock()
+	if br == nil {
+		return 0
+	}
+	return br.Trips()
 }
 
 // Stop shuts the component down.
