@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test check bench
+# Tier-1 benchmark set tracked by the regression harness (full model
+# analysis + generation, the 1x-8x scale sweep, and the language front end).
+BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput
+BENCH_DATE ?= $(shell date +%Y-%m-%d)
+
+.PHONY: build test check bench benchdiff bench-full
 
 build:
 	$(GO) build ./...
@@ -10,10 +15,25 @@ test: build
 	$(GO) test ./...
 
 # Tier-2: vet + the full suite under the race detector (the supervision,
-# chaos and snapshot tests are explicitly concurrency-heavy).
+# chaos, snapshot and codegen worker-pool layers are concurrency-heavy).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Tier-3: run the tier-1 benchmarks, snapshot them to BENCH_<date>.json,
+# and fail on a >15% ns/op regression against the latest committed snapshot.
 bench:
+	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=1s . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	@cat bench.out
+	$(GO) run ./cmd/benchdiff -write BENCH_$(BENCH_DATE).json -compare-latest . < bench.out
+	@rm -f bench.out
+
+# Compare the two most recent snapshots without re-running benchmarks.
+benchdiff:
+	$(GO) run ./cmd/benchdiff \
+		-prev $$(ls BENCH_*.json | sort | tail -n 2 | head -n 1) \
+		-cur  $$(ls BENCH_*.json | sort | tail -n 1)
+
+# Every benchmark in the repo, including the slow end-to-end deploy loops.
+bench-full:
 	$(GO) test -bench=. -benchmem ./...

@@ -333,4 +333,28 @@ func BenchmarkAblationReconfigure(b *testing.B) {
 			cluster.Shutdown()
 		}
 	})
+
+	// Generation-side counterpart: regenerating the grown model from
+	// scratch vs. incrementally against the previous run's artifact cache
+	// (only the dirty machine/server/client units re-render).
+	newSrc := icelab.GenerateModelText(grown)
+	b.Run("full-generate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(newSrc, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental-generate", func(b *testing.B) {
+		base, err := Run(icelab.GenerateModelText(icelab.ICELab()), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunIncremental(base, newSrc, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,209 @@
+// Command benchdiff is the benchmark-regression harness: it parses `go test
+// -bench` output into a dated JSON snapshot (ns/op, B/op, allocs/op plus
+// custom metrics like configKB) and compares snapshots, failing when a
+// benchmark's ns/op regressed beyond a threshold. `make bench` wires it up:
+//
+//	go test -bench=... -benchmem . | benchdiff -write BENCH_2026-08-06.json -compare-latest .
+//	benchdiff -prev BENCH_old.json -cur BENCH_new.json   # explicit compare
+//
+// Snapshots seed the repo's perf trajectory: each run is committed, and the
+// next run fails the build on a >15% wall-clock regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is one dated benchmark run.
+type Snapshot struct {
+	Date       string                        `json:"date"`
+	Go         string                        `json:"go,omitempty"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		write     = flag.String("write", "", "parse `go test -bench` output on stdin and write a snapshot JSON")
+		prev      = flag.String("prev", "", "previous snapshot to compare against")
+		cur       = flag.String("cur", "", "current snapshot (defaults to the one just written)")
+		latestDir = flag.String("compare-latest", "", "compare against the most recent BENCH_*.json in this directory")
+		threshold = flag.Float64("threshold", 15, "max allowed ns/op regression in percent")
+	)
+	flag.Parse()
+
+	var curSnap *Snapshot
+	if *write != "" {
+		snap, err := parseBenchOutput(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		if len(snap.Benchmarks) == 0 {
+			fatal(fmt.Errorf("no benchmark results found on stdin"))
+		}
+		snap.Date = time.Now().Format("2006-01-02")
+		var prevPath string
+		if *latestDir != "" {
+			// Pick the comparison baseline before writing, so the snapshot
+			// being written never compares against itself.
+			prevPath = latestSnapshot(*latestDir, *write)
+		}
+		if err := writeSnapshot(*write, snap); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %s (%d benchmarks)\n", *write, len(snap.Benchmarks))
+		curSnap = snap
+		if prevPath != "" && *prev == "" {
+			*prev = prevPath
+		}
+	}
+
+	if *prev == "" {
+		return // nothing to compare against (first run)
+	}
+	prevSnap, err := readSnapshot(*prev)
+	if err != nil {
+		fatal(err)
+	}
+	if curSnap == nil {
+		if *cur == "" {
+			fatal(fmt.Errorf("-prev given without -cur or -write"))
+		}
+		if curSnap, err = readSnapshot(*cur); err != nil {
+			fatal(err)
+		}
+	}
+	if regressed := compare(os.Stdout, prevSnap, curSnap, *threshold); regressed {
+		os.Exit(1)
+	}
+}
+
+// parseBenchOutput reads standard `go test -bench` output. A result line is
+//
+//	BenchmarkName-8   100   11428476 ns/op   524288 B/op   123 allocs/op   4.000 clients
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+func parseBenchOutput(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") || strings.HasPrefix(line, "pkg:"):
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			snap.Benchmarks[name] = metrics
+		}
+	}
+	return snap, sc.Err()
+}
+
+// latestSnapshot returns the lexically greatest BENCH_*.json in dir other
+// than exclude (the date-stamped naming makes lexical order chronological).
+func latestSnapshot(dir, exclude string) string {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	sort.Strings(matches)
+	excl, _ := filepath.Abs(exclude)
+	for i := len(matches) - 1; i >= 0; i-- {
+		abs, _ := filepath.Abs(matches[i])
+		if abs != excl {
+			return matches[i]
+		}
+	}
+	return ""
+}
+
+func writeSnapshot(path string, s *Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compare prints a per-benchmark delta table and reports whether any shared
+// benchmark regressed more than threshold percent in ns/op. New or removed
+// benchmarks are informational only.
+func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed bool) {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "benchdiff: comparing against %s (threshold %.0f%%)\n", prev.Date, threshold)
+	for _, name := range names {
+		curNs, ok := cur.Benchmarks[name]["ns/op"]
+		if !ok {
+			continue
+		}
+		prevMetrics, ok := prev.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-50s %12.0f ns/op  (new)\n", name, curNs)
+			continue
+		}
+		prevNs := prevMetrics["ns/op"]
+		if prevNs <= 0 {
+			continue
+		}
+		delta := (curNs - prevNs) / prevNs * 100
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "  %-50s %12.0f ns/op  %+7.1f%%%s\n", name, curNs, delta, mark)
+	}
+	if regressed {
+		fmt.Fprintf(w, "benchdiff: FAIL — ns/op regression beyond %.0f%%\n", threshold)
+	} else {
+		fmt.Fprintf(w, "benchdiff: ok\n")
+	}
+	return regressed
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

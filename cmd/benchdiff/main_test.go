@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/smartfactory/sysml2conf
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1Generation 	      46	  25254934 ns/op	         4.000 clients	       748.0 configKB	        46.00 files	         6.000 servers	12668900 B/op	   83185 allocs/op
+BenchmarkParserThroughput/lexer         	     100	  11014431 ns/op	  33.48 MB/s	13473576 B/op	    2904 allocs/op
+PASS
+ok  	github.com/smartfactory/sysml2conf	6.929s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	snap, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(snap.Benchmarks))
+	}
+	gen := snap.Benchmarks["BenchmarkTable1Generation"]
+	if gen["ns/op"] != 25254934 {
+		t.Errorf("ns/op = %v", gen["ns/op"])
+	}
+	if gen["configKB"] != 748 {
+		t.Errorf("configKB = %v", gen["configKB"])
+	}
+	if gen["B/op"] != 12668900 || gen["allocs/op"] != 83185 {
+		t.Errorf("mem metrics = %v / %v", gen["B/op"], gen["allocs/op"])
+	}
+	if snap.CPU == "" {
+		t.Error("cpu line not captured")
+	}
+	lex := snap.Benchmarks["BenchmarkParserThroughput/lexer"]
+	if lex["ns/op"] != 11014431 {
+		t.Errorf("lexer ns/op = %v", lex["ns/op"])
+	}
+}
+
+func snapWith(ns float64) *Snapshot {
+	return &Snapshot{
+		Date:       "2026-01-01",
+		Benchmarks: map[string]map[string]float64{"BenchmarkX": {"ns/op": ns}},
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	var buf bytes.Buffer
+	if regressed := compare(&buf, snapWith(100), snapWith(120), 15); !regressed {
+		t.Errorf("+20%% not flagged as regression:\n%s", buf.String())
+	}
+	buf.Reset()
+	if regressed := compare(&buf, snapWith(100), snapWith(110), 15); regressed {
+		t.Errorf("+10%% flagged as regression:\n%s", buf.String())
+	}
+	buf.Reset()
+	if regressed := compare(&buf, snapWith(100), snapWith(50), 15); regressed {
+		t.Errorf("improvement flagged as regression:\n%s", buf.String())
+	}
+}
+
+func TestCompareIgnoresNewAndRemoved(t *testing.T) {
+	prev := snapWith(100)
+	cur := &Snapshot{Benchmarks: map[string]map[string]float64{
+		"BenchmarkY": {"ns/op": 999999},
+	}}
+	var buf bytes.Buffer
+	if regressed := compare(&buf, prev, cur, 15); regressed {
+		t.Errorf("disjoint benchmark sets flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "(new)") {
+		t.Errorf("new benchmark not reported:\n%s", buf.String())
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	sysml2cfg -icelab -out ./gen            # generate from the ICE Lab model
 //	sysml2cfg -model factory.sysml -out ./gen
+//	sysml2cfg -model factory.sysml -out ./gen -watch   # regenerate on change
 //	sysml2cfg -icelab -stats                # print the Table I statistics
 //	sysml2cfg -icelab -emit-model           # dump the ICE Lab SysML source
 package main
@@ -15,8 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"github.com/smartfactory/sysml2conf"
 	"github.com/smartfactory/sysml2conf/internal/codegen"
@@ -37,8 +41,30 @@ func main() {
 		perMach   = flag.Bool("per-machine-clients", false, "disable grouping: one client per machine")
 		reportTo  = flag.String("report", "", "write a Markdown factory report to this file ('-' for stdout)")
 		sweep     = flag.Bool("sweep", false, "print a client-grouping capacity sweep (FFD vs baselines)")
+		workers   = flag.Int("workers", 0, "generation worker pool size (0: GOMAXPROCS, 1: sequential)")
+		verbose   = flag.Bool("v", false, "print per-stage timings")
+		watch     = flag.Bool("watch", false, "watch -model for changes and regenerate incrementally")
+		watchIvl  = flag.Duration("watch-interval", 300*time.Millisecond, "poll interval for -watch")
 	)
 	flag.Parse()
+
+	opts := sysml2conf.Options{
+		Namespace:           *namespace,
+		MaxVarsPerClient:    *maxVars,
+		MaxMethodsPerClient: *maxMeths,
+		PerMachineClients:   *perMach,
+		Workers:             *workers,
+	}
+
+	if *watch {
+		if *modelPath == "" {
+			fatal(fmt.Errorf("-watch requires -model <file>"))
+		}
+		if err := watchLoop(*modelPath, *outDir, opts, *watchIvl, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	src, name, err := loadModel(*modelPath, *useICELab)
 	if err != nil {
@@ -49,13 +75,8 @@ func main() {
 		return
 	}
 
-	res, err := sysml2conf.Run(src, sysml2conf.Options{
-		Filename:            name,
-		Namespace:           *namespace,
-		MaxVarsPerClient:    *maxVars,
-		MaxMethodsPerClient: *maxMeths,
-		PerMachineClients:   *perMach,
-	})
+	opts.Filename = name
+	res, err := sysml2conf.Run(src, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,26 +99,126 @@ func main() {
 	}
 
 	if *outDir != "" {
-		count := 0
-		for _, f := range res.Bundle.AllFiles() {
-			path := filepath.Join(*outDir, f.Name)
-			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-				fatal(err)
-			}
-			if err := os.WriteFile(path, f.Data, 0o644); err != nil {
-				fatal(err)
-			}
-			count++
+		count, err := writeBundle(*outDir, res.Bundle, nil)
+		if err != nil {
+			fatal(err)
 		}
 		fmt.Printf("wrote %d files to %s\n", count, *outDir)
 	}
 
 	s := res.Bundle.Summary
 	fmt.Printf("generation time: %v\n", res.GenerationTime)
+	if *verbose {
+		printTimings(res)
+	}
 	fmt.Printf("# OPC UA servers: %d\n", s.Servers)
 	fmt.Printf("# OPC UA clients: %d\n", s.Clients)
 	fmt.Printf("config size: %.1f KB (%d files: %d JSON bytes, %d YAML bytes)\n",
 		float64(s.ConfigBytes)/1024, s.Files, s.JSONBytes, s.YAMLBytes)
+}
+
+// printTimings breaks the generation time down by pipeline stage.
+func printTimings(res *sysml2conf.Result) {
+	fmt.Printf("  parse:    %v\n", res.ParseTime)
+	fmt.Printf("  resolve:  %v\n", res.ResolveTime)
+	fmt.Printf("  extract:  %v\n", res.ExtractTime)
+	fmt.Printf("  generate: %v\n", res.GenerateTime)
+}
+
+// writeBundle writes every generated file under dir. When prev is non-nil
+// only files whose bytes differ from prev are rewritten (watch mode), and
+// files that disappeared are removed.
+func writeBundle(dir string, b *codegen.Bundle, prev *codegen.Bundle) (written int, err error) {
+	var old map[string][]byte
+	if prev != nil {
+		old = make(map[string][]byte, len(prev.JSON)+len(prev.Manifests))
+		for _, f := range prev.AllFiles() {
+			old[f.Name] = f.Data
+		}
+	}
+	for _, f := range b.AllFiles() {
+		if prevData, ok := old[f.Name]; ok {
+			delete(old, f.Name)
+			if string(prevData) == string(f.Data) {
+				continue
+			}
+		}
+		path := filepath.Join(dir, f.Name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return written, err
+		}
+		if err := os.WriteFile(path, f.Data, 0o644); err != nil {
+			return written, err
+		}
+		written++
+	}
+	// Anything left in old was generated last round but not this one.
+	for name := range old {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// watchLoop polls the model file and regenerates incrementally on change:
+// unchanged machines/groups are served from the previous run's artifact
+// cache, so only dirty files are re-rendered and rewritten.
+func watchLoop(path, outDir string, opts sysml2conf.Options, interval time.Duration, verbose bool) error {
+	opts.Filename = path
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("watching %s (poll %v, Ctrl-C to stop)\n", path, interval)
+
+	var (
+		prev      *sysml2conf.Result
+		lastMod   time.Time
+		lastSize  int64
+		firstSeen = true
+	)
+	for {
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		if firstSeen || !st.ModTime().Equal(lastMod) || st.Size() != lastSize {
+			lastMod, lastSize = st.ModTime(), st.Size()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			res, err := sysml2conf.RunIncremental(prev, string(data), opts)
+			if err != nil {
+				// Keep watching: a transient syntax error mid-edit should
+				// not kill the loop.
+				fmt.Fprintf(os.Stderr, "sysml2cfg: %v\n", err)
+			} else {
+				written := 0
+				if outDir != "" {
+					var prevBundle *codegen.Bundle
+					if prev != nil {
+						prevBundle = prev.Bundle
+					}
+					if written, err = writeBundle(outDir, res.Bundle, prevBundle); err != nil {
+						return err
+					}
+				}
+				cs := res.Cache.Stats()
+				fmt.Printf("regenerated in %v (%d files changed, cache: %d hits / %d misses)\n",
+					res.GenerationTime, written, cs.Hits, cs.Misses)
+				if verbose {
+					printTimings(res)
+				}
+				prev = res
+			}
+			firstSeen = false
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(interval):
+		}
+	}
 }
 
 func loadModel(path string, useICELab bool) (src, name string, err error) {

@@ -1,0 +1,92 @@
+package codegen
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"sync"
+)
+
+// Cache memoizes generated artifacts across pipeline runs. Generation is
+// split into independent units (one per machine JSON, per OPC UA server,
+// per client group, per historian, per monitor, plus the namespace/broker
+// boilerplate); each unit is keyed by a content hash of its extracted core
+// description plus the options that influence its rendering. When a model
+// is regenerated after a partial edit, only dirty units are re-rendered and
+// re-validated — the rest are served from the cache byte-identically.
+//
+// A Cache is safe for concurrent use by the generation worker pool. Reusing
+// one Cache across Generate calls (see GenerateWithCache and the top-level
+// RunIncremental) is what makes watch-mode regeneration incremental.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	hash  uint64
+	files []NamedFile
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]cacheEntry{}}
+}
+
+// CacheStats reports cache effectiveness counters since creation.
+type CacheStats struct {
+	Hits    int // units served from cache
+	Misses  int // units rendered (and validated) from scratch
+	Entries int // units currently stored
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// lookup returns the cached artifacts for key if the content hash matches.
+func (c *Cache) lookup(key string, hash uint64) ([]NamedFile, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.hash == hash {
+		c.hits++
+		return e.files, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// store records freshly rendered (and validated) artifacts for key.
+func (c *Cache) store(key string, hash uint64, files []NamedFile) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cacheEntry{hash: hash, files: files}
+}
+
+// hashUnit fingerprints a generation unit's inputs: each part is JSON
+// encoded straight into an FNV-64a hasher. The configs being hashed are
+// plain data derived deterministically from the extracted core description,
+// so equal hashes mean byte-identical rendered artifacts.
+func hashUnit(parts ...any) uint64 {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		// Encoding these config structs cannot fail (no channels, funcs,
+		// or cyclic values); a failure would surface as a changed hash.
+		_ = enc.Encode(p)
+	}
+	return h.Sum64()
+}

@@ -309,17 +309,27 @@ func BuildIntermediate(f *core.Factory, opts Options) (*Intermediate, error) {
 	return out, nil
 }
 
+// marshalJSONArtifact encodes one step-1 artifact in the on-disk format
+// (indented JSON with a trailing newline).
+func marshalJSONArtifact(name string, v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("codegen: encode %s: %w", name, err)
+	}
+	return append(data, '\n'), nil
+}
+
 // JSONFiles renders the intermediate configs to their file map
 // ("machines/<name>.json", "clients/<name>.json", ...). This is the
 // artifact set the paper's step 1 writes to disk.
 func (in *Intermediate) JSONFiles() (map[string][]byte, error) {
 	files := map[string][]byte{}
 	put := func(name string, v any) error {
-		data, err := json.MarshalIndent(v, "", "  ")
+		data, err := marshalJSONArtifact(name, v)
 		if err != nil {
-			return fmt.Errorf("codegen: encode %s: %w", name, err)
+			return err
 		}
-		files[name] = append(data, '\n')
+		files[name] = data
 		return nil
 	}
 	for _, mc := range in.Machines {

@@ -1,0 +1,79 @@
+package codegen
+
+import (
+	"runtime"
+	"sync"
+)
+
+// runParallel executes fn(0..n-1) on a bounded worker pool and returns the
+// first error encountered (errgroup-style semantics: a failing task stops
+// the remaining queue; in-flight tasks finish their current item).
+//
+// Callers keep output deterministic by writing each task's result into a
+// pre-allocated slot indexed by i, so goroutine scheduling never influences
+// the merged artifact set.
+func runParallel(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, no channel traffic. This is
+		// also the reference ordering the determinism tests compare against.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+		next    int
+	)
+	// Work-stealing by shared counter: cheaper than a channel for small n
+	// and keeps cancellation trivial (a recorded error drains the queue).
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstEr != nil || next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstEr == nil {
+			firstEr = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -1,0 +1,214 @@
+package codegen
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+)
+
+func TestRunParallelCoversAllTasks(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 50
+		var done [50]int32
+		err := runParallel(workers, n, func(i int) error {
+			atomic.AddInt32(&done[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range done {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunParallelFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := runParallel(4, 1000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The error must drain the queue: far fewer than all 1000 tasks run
+	// (the bound is loose — in-flight workers finish their current task).
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Errorf("all %d tasks ran despite early error", n)
+	}
+}
+
+func TestRunParallelZeroTasks(t *testing.T) {
+	if err := runParallel(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bundleFiles flattens a bundle for byte comparison.
+func bundleFiles(b *Bundle) map[string]string {
+	out := map[string]string{}
+	for _, f := range b.AllFiles() {
+		out[f.Name] = string(f.Data)
+	}
+	return out
+}
+
+// TestGenerateParallelDeterminism asserts the tentpole's core contract:
+// parallel generation is byte-identical to the sequential reference path,
+// run to run, for any worker count.
+func TestGenerateParallelDeterminism(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	ref, err := Generate(factory, GenOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFiles := bundleFiles(ref)
+	if len(refFiles) == 0 {
+		t.Fatal("no files generated")
+	}
+	for run := 0; run < 10; run++ {
+		for _, workers := range []int{0, 2, 8} {
+			b, err := Generate(factory, GenOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := bundleFiles(b)
+			if len(got) != len(refFiles) {
+				t.Fatalf("run %d workers=%d: %d files, want %d", run, workers, len(got), len(refFiles))
+			}
+			for name, data := range refFiles {
+				if got[name] != data {
+					t.Fatalf("run %d workers=%d: %s differs from sequential output", run, workers, name)
+				}
+			}
+			if b.Summary != ref.Summary {
+				t.Fatalf("run %d workers=%d: summary %+v != %+v", run, workers, b.Summary, ref.Summary)
+			}
+		}
+	}
+}
+
+// TestGenerateWithCacheIncremental mutates one machine and asserts that
+// exactly that machine's artifacts change — and that everything else is
+// served from the cache.
+func TestGenerateWithCacheIncremental(t *testing.T) {
+	spec := icelab.ICELab()
+	cache := NewCache()
+	before, err := GenerateWithCache(icelab.MustBuild(spec), GenOptions{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	misses0 := cache.Stats().Misses
+	if cache.Stats().Hits != 0 {
+		t.Fatalf("cold cache reported hits: %+v", cache.Stats())
+	}
+
+	// Mutate one machine's driver connection parameter.
+	mutated := ""
+	for i := range spec.Machines {
+		if spec.Machines[i].Name == "emco" {
+			spec.Machines[i].IP = "10.99.99.99"
+			mutated = spec.Machines[i].Workcell
+		}
+	}
+	if mutated == "" {
+		t.Fatal("emco not found in ICE Lab spec")
+	}
+	after, err := GenerateWithCache(icelab.MustBuild(spec), GenOptions{}, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	beforeFiles, afterFiles := bundleFiles(before), bundleFiles(after)
+	var changed []string
+	for name, data := range afterFiles {
+		if beforeFiles[name] != data {
+			changed = append(changed, name)
+		}
+	}
+	// The machine's own JSON and its workcell server's manifest (which
+	// embeds the machine config) are the only dirty artifacts.
+	wantChanged := map[string]bool{
+		"machines/emco.json": true,
+		fmt.Sprintf("manifests/10-%s.yaml", ServerNameFor(mutated)): true,
+	}
+	if len(changed) != len(wantChanged) {
+		t.Fatalf("changed files = %v, want %v", changed, wantChanged)
+	}
+	for _, name := range changed {
+		if !wantChanged[name] {
+			t.Fatalf("unexpected changed file %s (changed set %v)", name, changed)
+		}
+	}
+
+	// Only the two dirty units missed; every other unit was a cache hit.
+	st := cache.Stats()
+	if st.Misses != misses0+2 {
+		t.Errorf("misses = %d, want %d (+2 dirty units)", st.Misses, misses0+2)
+	}
+	if st.Hits != misses0-2 {
+		t.Errorf("hits = %d, want %d (all clean units)", st.Hits, misses0-2)
+	}
+}
+
+func TestAllFilesCachedAndSorted(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	b, err := Generate(factory, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := b.AllFiles()
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Name >= first[i].Name {
+			t.Fatalf("AllFiles not sorted: %s >= %s", first[i-1].Name, first[i].Name)
+		}
+	}
+	second := b.AllFiles()
+	if len(first) != len(second) {
+		t.Fatalf("AllFiles length changed between calls: %d vs %d", len(first), len(second))
+	}
+	// Cached: same backing array, not a re-sort.
+	if &first[0] != &second[0] {
+		t.Error("AllFiles re-built the slice on second call")
+	}
+	// The summary's byte accounting must agree with the cached file list.
+	total := 0
+	for _, f := range first {
+		total += len(f.Data)
+	}
+	if b.Summary.ConfigBytes != total || b.Summary.Files != len(first) {
+		t.Errorf("summary bytes/files (%d/%d) disagree with AllFiles (%d/%d)",
+			b.Summary.ConfigBytes, b.Summary.Files, total, len(first))
+	}
+}
+
+func TestGenerateMatchesLegacyJSONFiles(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	b, err := Generate(factory, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := b.Intermediate.JSONFiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy) != len(b.JSON) {
+		t.Fatalf("JSON file count %d != legacy %d", len(b.JSON), len(legacy))
+	}
+	for name, data := range legacy {
+		if !bytes.Equal(b.JSON[name], data) {
+			t.Errorf("%s differs between unit pipeline and JSONFiles", name)
+		}
+	}
+}

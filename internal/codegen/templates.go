@@ -1,10 +1,11 @@
 package codegen
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"strconv"
-	"strings"
+	"sync"
 	"text/template"
 )
 
@@ -307,10 +308,23 @@ var DefaultImages = Images{
 	Monitor:   "factory/workcell-monitor:1.0",
 }
 
+// renderBufs pools the scratch buffers behind render so that the worker
+// pool's concurrent template executions do not allocate a fresh buffer per
+// manifest; only the final copy into the returned slice allocates.
+var renderBufs = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
 func render(t *template.Template, data any) ([]byte, error) {
-	var b strings.Builder
-	if err := t.Execute(&b, data); err != nil {
+	b := renderBufs.Get().(*bytes.Buffer)
+	defer func() {
+		b.Reset()
+		renderBufs.Put(b)
+	}()
+	if err := t.Execute(b, data); err != nil {
 		return nil, fmt.Errorf("codegen: render %s: %w", t.Name(), err)
 	}
-	return []byte(b.String()), nil
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out, nil
 }

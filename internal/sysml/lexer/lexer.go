@@ -91,11 +91,26 @@ func (l *Lexer) pos() token.Position {
 }
 
 func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
+	// ASCII fast path: model text is overwhelmingly ASCII, and the unicode
+	// table lookups dominate the scan otherwise.
+	if r < utf8.RuneSelf {
+		return r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z')
+	}
+	return unicode.IsLetter(r)
 }
 
 func isIdentPart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+	if r < utf8.RuneSelf {
+		return r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9')
+	}
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(r rune) bool {
+	if r < utf8.RuneSelf {
+		return '0' <= r && r <= '9'
+	}
+	return unicode.IsDigit(r)
 }
 
 // Next scans and returns the next token.
@@ -110,7 +125,7 @@ func (l *Lexer) Next() token.Token {
 			lit := l.scanIdent()
 			kind := token.Lookup(lit)
 			return token.Token{Kind: kind, Lit: lit, Pos: pos}
-		case unicode.IsDigit(l.ch):
+		case isDigit(l.ch):
 			kind, lit := l.scanNumber()
 			return token.Token{Kind: kind, Lit: lit, Pos: pos}
 		case l.ch == '\'' || l.ch == '"':
@@ -163,15 +178,15 @@ func (l *Lexer) scanIdent() string {
 func (l *Lexer) scanNumber() (token.Kind, string) {
 	start := l.offset
 	kind := token.Int
-	for unicode.IsDigit(l.ch) {
+	for isDigit(l.ch) {
 		l.next()
 	}
 	// A real literal has a fractional part: "3.14". Do not consume ".." of
 	// a multiplicity range "0..5".
-	if l.ch == '.' && l.peek() != '.' && unicode.IsDigit(l.peek()) {
+	if l.ch == '.' && l.peek() != '.' && isDigit(l.peek()) {
 		kind = token.Real
 		l.next()
-		for unicode.IsDigit(l.ch) {
+		for isDigit(l.ch) {
 			l.next()
 		}
 	}
@@ -181,9 +196,9 @@ func (l *Lexer) scanNumber() (token.Kind, string) {
 		if l.ch == '+' || l.ch == '-' {
 			l.next()
 		}
-		if unicode.IsDigit(l.ch) {
+		if isDigit(l.ch) {
 			kind = token.Real
-			for unicode.IsDigit(l.ch) {
+			for isDigit(l.ch) {
 				l.next()
 			}
 		} else {
@@ -325,7 +340,11 @@ func (l *Lexer) scanOperator(pos token.Position) token.Token {
 // ScanAll lexes the whole input, excluding the trailing EOF token.
 func ScanAll(file, src string) ([]token.Token, []*Error) {
 	l := New(file, src)
-	var toks []token.Token
+	// Pre-size on the observed token density of factory models (~5 source
+	// bytes per token): repeated append-regrowth of the token slice used to
+	// dominate whole-file scans (tokens are large values, so every regrowth
+	// copies the entire backing array).
+	toks := make([]token.Token, 0, len(src)/5+16)
 	for {
 		t := l.Next()
 		if t.Kind == token.EOF {

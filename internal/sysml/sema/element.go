@@ -114,6 +114,12 @@ type Element struct {
 
 	// Imports owned by this element (packages mostly).
 	imports []*importRec
+
+	// allSupers memoizes the transitive specialization closure. It is
+	// frozen by the resolver once every ":>" target is linked (Supers
+	// never changes afterwards); until then AllSupers computes fresh.
+	allSupers    []*Element
+	supersFrozen bool
 }
 
 type importRec struct {
@@ -182,8 +188,25 @@ func (e *Element) addMember(m *Element) (dup bool) {
 }
 
 // AllSupers returns the transitive specialization closure in BFS order,
-// excluding e itself. Safe on cyclic input (visits each def once).
+// excluding e itself. Safe on cyclic input (visits each def once). The
+// closure is served from a per-element cache once resolution has linked
+// all specializations — the walk is on the hot path of every inherited
+// member lookup during extraction.
 func (e *Element) AllSupers() []*Element {
+	if e.supersFrozen {
+		return e.allSupers
+	}
+	return e.computeAllSupers()
+}
+
+// freezeSupers caches the closure; the resolver calls it on every element
+// after the header pass, when Supers is final.
+func (e *Element) freezeSupers() {
+	e.allSupers = e.computeAllSupers()
+	e.supersFrozen = true
+}
+
+func (e *Element) computeAllSupers() []*Element {
 	var out []*Element
 	seen := map[*Element]bool{e: true}
 	queue := append([]*Element(nil), e.Supers...)

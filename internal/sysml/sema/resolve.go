@@ -338,6 +338,13 @@ func (r *resolver) resolveAll(e *Element) {
 		r.resolveHeader(x)
 		return true
 	})
+	// Specializations are final now; freeze the per-element closure cache
+	// so the feature-path pass and later extraction queries stop re-walking
+	// specialization chains.
+	e.Walk(func(x *Element) bool {
+		x.freezeSupers()
+		return true
+	})
 	e.Walk(func(x *Element) bool {
 		r.resolveRefs(x)
 		return true

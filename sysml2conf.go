@@ -43,6 +43,9 @@ type Options struct {
 	MaxMethodsPerClient int
 	// PerMachineClients disables grouping (the naive baseline).
 	PerMachineClients bool
+	// Workers bounds the generation worker pool (0: GOMAXPROCS, 1:
+	// sequential). Output is byte-identical for every worker count.
+	Workers int
 }
 
 // Result is the full pipeline output.
@@ -57,12 +60,38 @@ type Result struct {
 	// machine-service performs, ready for the SOM orchestrator.
 	Processes []core.ProcessDef
 	// GenerationTime is the wall-clock time of the whole run
-	// (parse + resolve + extract + generate).
+	// (parse + resolve + extract + generate). The individual stage
+	// timings break it down (sysml2cfg -v prints them).
 	GenerationTime time.Duration
+	ParseTime      time.Duration
+	ResolveTime    time.Duration
+	ExtractTime    time.Duration
+	GenerateTime   time.Duration
+
+	// Cache memoizes per-unit generated artifacts; RunIncremental reuses
+	// it so regeneration after a partial model edit only re-renders dirty
+	// machines/groups.
+	Cache *codegen.Cache
 }
 
 // Run executes Parse + Extract + Generate on SysML v2 source text.
 func Run(src string, opts Options) (*Result, error) {
+	return run(src, opts, codegen.NewCache())
+}
+
+// RunIncremental re-runs the pipeline reusing prev's artifact cache: only
+// machines, client groups, and manifests whose extracted description
+// changed are re-rendered and re-validated; everything else is served from
+// the cache byte-identically. A nil prev degrades to a full Run.
+func RunIncremental(prev *Result, src string, opts Options) (*Result, error) {
+	cache := codegen.NewCache()
+	if prev != nil && prev.Cache != nil {
+		cache = prev.Cache
+	}
+	return run(src, opts, cache)
+}
+
+func run(src string, opts Options, cache *codegen.Cache) (*Result, error) {
 	start := time.Now()
 	if opts.Filename == "" {
 		opts.Filename = "model.sysml"
@@ -71,30 +100,39 @@ func Run(src string, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sysml2conf: parse: %w", err)
 	}
+	parsed := time.Now()
 	model, err := sema.Resolve(file)
 	if err != nil {
 		return nil, fmt.Errorf("sysml2conf: resolve: %w", err)
 	}
+	resolved := time.Now()
 	factory, err := core.ExtractFactory(model)
 	if err != nil {
 		return nil, fmt.Errorf("sysml2conf: %w", err)
 	}
-	genOpts := codegen.GenOptions{Namespace: opts.Namespace}
+	extracted := time.Now()
+	genOpts := codegen.GenOptions{Namespace: opts.Namespace, Workers: opts.Workers}
 	genOpts.MaxVarsPerClient = opts.MaxVarsPerClient
 	genOpts.MaxMethodsPerClient = opts.MaxMethodsPerClient
 	if opts.PerMachineClients {
 		genOpts.Strategy = codegen.GroupPerMachine
 	}
-	bundle, err := codegen.Generate(factory, genOpts)
+	bundle, err := codegen.GenerateWithCache(factory, genOpts, cache)
 	if err != nil {
 		return nil, fmt.Errorf("sysml2conf: generate: %w", err)
 	}
+	end := time.Now()
 	return &Result{
 		Model:          model,
 		Factory:        factory,
 		Bundle:         bundle,
 		Processes:      core.ExtractProcesses(model),
-		GenerationTime: time.Since(start),
+		GenerationTime: end.Sub(start),
+		ParseTime:      parsed.Sub(start),
+		ResolveTime:    resolved.Sub(parsed),
+		ExtractTime:    extracted.Sub(resolved),
+		GenerateTime:   end.Sub(extracted),
+		Cache:          cache,
 	}, nil
 }
 
@@ -108,7 +146,14 @@ func Lint(filename, src string) ([]string, error) {
 		findings = append(findings, parseErr.Error())
 		return findings, fmt.Errorf("sysml2conf: model does not parse")
 	}
-	model, _ := sema.Resolve(file)
+	// Resolve reports its errors through model.Diags (the model is usable
+	// even when err != nil — partial resolution); keep the error so a
+	// hypothetical nil model cannot panic below.
+	model, resolveErr := sema.Resolve(file)
+	if model == nil {
+		findings = append(findings, resolveErr.Error())
+		return findings, fmt.Errorf("sysml2conf: model does not resolve")
+	}
 	for _, d := range model.Diags {
 		findings = append(findings, d.String())
 	}
