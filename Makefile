@@ -1,11 +1,14 @@
 GO ?= go
 
-# Tier-1 benchmark set tracked by the regression harness (full model
-# analysis + generation, the 1x-8x scale sweep, and the language front end).
-BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput
+# Tier-1 benchmark set tracked by the regression harness: the build side
+# (full model analysis + generation, the 1x-8x scale sweep, the language
+# front end) and the data plane (broker fan-out, framed wire, historian
+# ingest).
+BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput|BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest
+DATAPLANE_PATTERN = BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test check bench benchdiff bench-full
+.PHONY: build test check bench benchdiff bench-full bench-dataplane
 
 build:
 	$(GO) build ./...
@@ -33,6 +36,11 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff \
 		-prev $$(ls BENCH_*.json | sort | tail -n 2 | head -n 1) \
 		-cur  $$(ls BENCH_*.json | sort | tail -n 1)
+
+# Only the runtime data-plane benchmarks (broker, wire, historian) — quick
+# feedback when iterating on the message path.
+bench-dataplane:
+	$(GO) test -run='^$$' -bench='$(DATAPLANE_PATTERN)' -benchmem -benchtime=1s .
 
 # Every benchmark in the repo, including the slow end-to-end deploy loops.
 bench-full:

@@ -1,0 +1,149 @@
+// Data-plane benchmarks: the runtime message path from publisher to
+// subscriber. Where bench_test.go measures the *build* side (model ->
+// configuration), these measure the *run* side the configuration deploys:
+// broker subscription matching and fan-out, the framed TCP wire, and
+// historian ingestion. They are part of the tier-1 regression set
+// (`make bench`); `make bench-dataplane` runs only this file.
+//
+//	BenchmarkBrokerFanout    — in-process publish across a subscribers x
+//	                           topics matrix (selective and broadcast)
+//	BenchmarkBrokerWire      — end-to-end TCP publish -> deliver
+//	BenchmarkHistorianIngest — store append path, single vs batched
+package sysml2conf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/historian"
+)
+
+var fanoutPayload = []byte(`{"machine":"emco","variable":"actualX","value":12.25}`)
+
+// BenchmarkBrokerFanout measures the in-process publish path across a
+// subscribers x topics matrix.
+//
+//   - selective: every subscriber filters its own exact topic, publishes
+//     round-robin — one match per publish. This is the bridge-per-variable
+//     shape the generated configuration produces, and the case where a flat
+//     O(subscriptions) filter scan hurts most.
+//   - broadcast: every subscriber filters "bench/#" against one topic — all
+//     match, so the cost is delivery-bound in any implementation.
+func BenchmarkBrokerFanout(b *testing.B) {
+	for _, subs := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("subs=%d/selective", subs), func(b *testing.B) {
+			bk := broker.New()
+			defer bk.Close()
+			topics := make([]string, subs)
+			for i := 0; i < subs; i++ {
+				topics[i] = fmt.Sprintf("bench/wc%02d/m%03d/values/actualX", i%8, i)
+				if _, _, err := bk.Subscribe(topics[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(fanoutPayload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bk.Publish(topics[i%subs], fanoutPayload, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("subs=%d/broadcast", subs), func(b *testing.B) {
+			bk := broker.New()
+			defer bk.Close()
+			for i := 0; i < subs; i++ {
+				if _, _, err := bk.Subscribe("bench/#"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(fanoutPayload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := bk.Publish("bench/wc02/emco/values/actualX", fanoutPayload, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBrokerWire measures one end-to-end hop over the framed TCP
+// transport: an acked publish from one client and delivery to a subscribed
+// second client, the exact path every bridge sample takes to the historian.
+func BenchmarkBrokerWire(b *testing.B) {
+	bk := broker.New()
+	if err := bk.Serve("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer bk.Close()
+
+	sub, err := broker.DialClient(bk.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sub.Close()
+	_, ch, err := sub.Subscribe("wire/#")
+	if err != nil {
+		b.Fatal(err)
+	}
+	received := make(chan struct{}, 1024)
+	go func() {
+		for range ch {
+			received <- struct{}{}
+		}
+	}()
+
+	pub, err := broker.DialClient(bk.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+
+	b.SetBytes(int64(len(fanoutPayload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Publish("wire/wc02/emco/values/actualX", fanoutPayload, false); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-received:
+		case <-time.After(5 * time.Second):
+			b.Fatal("delivery timed out")
+		}
+	}
+}
+
+// BenchmarkHistorianIngest measures the store's append path over 64 series
+// with monotonic timestamps — the shape of broker-fed ingestion.
+func BenchmarkHistorianIngest(b *testing.B) {
+	const series = 64
+	names := make([]string, series)
+	for i := range names {
+		names[i] = fmt.Sprintf("factory/line1/wc%02d/m%02d/values/actualX", i%8, i)
+	}
+	base := time.Unix(0, 0)
+	b.Run("append", func(b *testing.B) {
+		st := historian.NewStore(4096)
+		b.SetBytes(int64(len(fanoutPayload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Append(names[i%series], base.Add(time.Duration(i)*time.Microsecond), fanoutPayload)
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		st := historian.NewStore(4096)
+		const batch = 64
+		samples := make([]historian.Sample, batch)
+		for i := range samples {
+			samples[i] = historian.Sample{Series: names[i%series], Payload: fanoutPayload}
+		}
+		b.SetBytes(int64(len(fanoutPayload) * batch))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.AppendBatch(base.Add(time.Duration(i)*time.Microsecond), samples)
+		}
+	})
+}

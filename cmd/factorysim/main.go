@@ -132,6 +132,10 @@ func main() {
 		return
 	}
 
+	published, delivered, dropped, subscriptions := cluster.BrokerStats()
+	fmt.Printf("broker: %d published, %d delivered, %d dropped, %d subscriptions\n",
+		published, delivered, dropped, subscriptions)
+
 	totalSeries, totalPoints := 0, uint64(0)
 	for _, name := range cluster.Historians() {
 		h := cluster.Historian(name)
@@ -294,6 +298,8 @@ func reportChaos(cluster *deploy.Cluster, inj *faultinject.Injector) {
 		}
 	}
 	fmt.Printf("chaos: %d supervised restarts, %d not-ready transitions\n", restarts, unready)
+	published, delivered, dropped, _ := cluster.BrokerStats()
+	fmt.Printf("chaos: broker published=%d delivered=%d dropped=%d\n", published, delivered, dropped)
 	names := inj.Names()
 	stats := inj.Stats()
 	for _, n := range names {

@@ -7,19 +7,26 @@
 // machine variables to "factory/<area>/<workcell>/<machine>/<variable>"
 // topics, the historian subscribes to store them, and machine services are
 // invoked over request/reply topic pairs.
+//
+// The data plane is built for fan-out throughput: subscriptions are indexed
+// in topic-segment tries so a publish costs O(topic depth + matches), the
+// index and retained state are sharded by the topic's first segment to avoid
+// a broker-wide mutex convoy, and each subscriber owns a drop-oldest ring
+// buffer so slow consumers shed load (counted in Stats) without stalling
+// publishers. DESIGN.md §9 covers the architecture.
 package broker
 
 import (
 	"bufio"
-	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
+	"hash/fnv"
 	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"github.com/smartfactory/sysml2conf/internal/wire"
 )
 
 // Message is one published datum. Payload is opaque bytes (most components
@@ -32,6 +39,10 @@ type Message struct {
 
 // MatchTopic reports whether an MQTT-style filter matches a topic.
 // "+" matches one level, "#" (final level only) matches the rest.
+//
+// The broker itself matches through the trie index in trie.go; MatchTopic
+// remains the executable specification the trie is property-tested against,
+// and serves one-off checks like retained-message replay.
 func MatchTopic(filter, topic string) bool {
 	f := strings.Split(filter, "/")
 	t := strings.Split(topic, "/")
@@ -66,10 +77,15 @@ func ValidateFilter(filter string) error {
 	return nil
 }
 
-type subscription struct {
-	id     int
-	filter string
-	ch     chan Message
+// numShards partitions the subscription index and retained state by the
+// topic's first segment; one extra shard (index numShards) holds filters
+// whose first level is a wildcard, since those can match any topic.
+const numShards = 16
+
+type shard struct {
+	mu       sync.RWMutex
+	root     trieNode
+	retained map[string]Message
 }
 
 // Broker is the in-process pub/sub core; Serve exposes it over TCP.
@@ -79,78 +95,119 @@ type Broker struct {
 	// connections.
 	ListenWrapper func(net.Listener) net.Listener
 
-	mu       sync.RWMutex
-	subs     map[int]*subscription
-	nextSub  int
-	retained map[string]Message
-	closed   bool
+	shards [numShards + 1]shard
 
-	ln    net.Listener
-	wg    sync.WaitGroup
-	conns map[net.Conn]struct{}
+	// subMu guards the id registry and close transitions; it is ordered
+	// before shard locks (Subscribe/Unsubscribe/Close take subMu, then
+	// shard.mu). Publish takes only shard locks.
+	subMu   sync.Mutex
+	subs    map[int]*subscription
+	nextSub int
+	closed  atomic.Bool
+
+	connMu sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 
 	// stats
 	published atomic.Uint64
 	delivered atomic.Uint64
+	dropped   atomic.Uint64
 }
 
 // New creates a broker.
 func New() *Broker {
-	return &Broker{
-		subs:     map[int]*subscription{},
-		retained: map[string]Message{},
-		conns:    map[net.Conn]struct{}{},
+	b := &Broker{
+		subs:  map[int]*subscription{},
+		conns: map[net.Conn]struct{}{},
 	}
+	for i := range b.shards {
+		b.shards[i].retained = map[string]Message{}
+	}
+	return b
+}
+
+// firstSegment returns the first topic level.
+func firstSegment(topic string) string {
+	if i := strings.IndexByte(topic, '/'); i >= 0 {
+		return topic[:i]
+	}
+	return topic
+}
+
+// shardForTopic picks the shard owning a concrete topic.
+func (b *Broker) shardForTopic(topic string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(firstSegment(topic)))
+	return &b.shards[h.Sum32()%numShards]
+}
+
+// shardForFilter picks the shard a filter is indexed in: the wildcard shard
+// when the first level is "+" or "#", otherwise the first segment's shard.
+func (b *Broker) shardForFilter(filter string) *shard {
+	switch firstSegment(filter) {
+	case "+", "#":
+		return &b.shards[numShards]
+	}
+	return b.shardForTopic(filter)
 }
 
 // Publish delivers payload to every matching subscriber. When retain is
 // true the message is stored and replayed to future subscribers.
+//
+// The payload is copied only when the message is actually stored or
+// delivered: subscriptions are matched through the trie first, so a publish
+// nobody listens to costs a trie walk and nothing else.
 func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 	if topic == "" || strings.ContainsAny(topic, "+#") {
 		return fmt.Errorf("broker: invalid publish topic %q", topic)
 	}
-	msg := Message{Topic: topic, Payload: append([]byte(nil), payload...), Retained: retain}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return errors.New("broker: closed")
 	}
-	if retain {
-		if len(payload) == 0 {
-			delete(b.retained, topic) // empty retained payload clears
-		} else {
-			b.retained[topic] = msg
-		}
-	}
 	b.published.Add(1)
-	// Delivery happens under the lock (sends are non-blocking) so that
-	// Unsubscribe cannot close a channel mid-send.
-	for _, s := range b.subs {
-		if MatchTopic(s.filter, topic) {
-			b.deliver(s, msg)
-		}
-	}
-	b.mu.Unlock()
-	return nil
-}
 
-// deliver performs a non-blocking drop-oldest send; callers hold b.mu.
-func (b *Broker) deliver(s *subscription, msg Message) {
-	select {
-	case s.ch <- msg:
-		b.delivered.Add(1)
-	default:
-		// Drop-oldest for slow consumers.
-		select {
-		case <-s.ch:
-		default:
+	matched := matchPool.Get().(*[]*subscription)
+	defer func() {
+		*matched = (*matched)[:0]
+		matchPool.Put(matched)
+	}()
+
+	var msg Message
+	copied := false
+	sh := b.shardForTopic(topic)
+	if retain {
+		msg = Message{Topic: topic, Payload: append([]byte(nil), payload...), Retained: true}
+		copied = true
+		sh.mu.Lock()
+		if len(payload) == 0 {
+			delete(sh.retained, topic) // empty retained payload clears
+		} else {
+			sh.retained[topic] = msg
 		}
-		select {
-		case s.ch <- msg:
-			b.delivered.Add(1)
-		default:
-		}
+		sh.root.match(topic, matched)
+		sh.mu.Unlock()
+	} else {
+		sh.mu.RLock()
+		sh.root.match(topic, matched)
+		sh.mu.RUnlock()
 	}
+	wild := &b.shards[numShards]
+	wild.mu.RLock()
+	wild.root.match(topic, matched)
+	wild.mu.RUnlock()
+
+	if len(*matched) == 0 {
+		return nil
+	}
+	if !copied {
+		msg = Message{Topic: topic, Payload: append([]byte(nil), payload...), Retained: retain}
+	}
+	for _, s := range *matched {
+		s.enqueue(msg)
+	}
+	return nil
 }
 
 // Subscribe registers a filter; matching messages (and any retained
@@ -159,48 +216,79 @@ func (b *Broker) Subscribe(filter string) (int, <-chan Message, error) {
 	if err := ValidateFilter(filter); err != nil {
 		return 0, nil, err
 	}
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	b.subMu.Lock()
+	defer b.subMu.Unlock()
+	if b.closed.Load() {
 		return 0, nil, errors.New("broker: closed")
 	}
 	b.nextSub++
-	s := &subscription{id: b.nextSub, filter: filter, ch: make(chan Message, 256)}
+	s := newSubscription(b.nextSub, filter, b)
 	b.subs[s.id] = s
-	for topic, msg := range b.retained {
-		if MatchTopic(filter, topic) {
-			b.deliver(s, msg)
+
+	sh := b.shardForFilter(filter)
+	sh.mu.Lock()
+	sh.root.add(filter, s)
+	b.replayRetained(sh, s)
+	sh.mu.Unlock()
+	if sh == &b.shards[numShards] {
+		// Wildcard-first filters can match retained topics in any shard.
+		for i := 0; i < numShards; i++ {
+			lit := &b.shards[i]
+			lit.mu.RLock()
+			b.replayRetained(lit, s)
+			lit.mu.RUnlock()
 		}
 	}
-	b.mu.Unlock()
-	return s.id, s.ch, nil
+	go s.pump()
+	return s.id, s.out, nil
+}
+
+// replayRetained enqueues a shard's matching retained messages; callers
+// hold sh.mu.
+func (b *Broker) replayRetained(sh *shard, s *subscription) {
+	for topic, msg := range sh.retained {
+		if MatchTopic(s.filter, topic) {
+			s.enqueue(msg)
+		}
+	}
 }
 
 // Unsubscribe cancels a subscription and closes its channel.
 func (b *Broker) Unsubscribe(id int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if s, ok := b.subs[id]; ok {
+	b.subMu.Lock()
+	s, ok := b.subs[id]
+	if ok {
 		delete(b.subs, id)
-		close(s.ch)
+		sh := b.shardForFilter(s.filter)
+		sh.mu.Lock()
+		sh.root.remove(s.filter, id)
+		sh.mu.Unlock()
+	}
+	b.subMu.Unlock()
+	if ok {
+		s.close()
 	}
 }
 
-// Stats returns lifetime counters.
-func (b *Broker) Stats() (published, delivered uint64, subscriptions int) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.published.Load(), b.delivered.Load(), len(b.subs)
+// Stats returns lifetime counters: messages published, accepted for
+// delivery, and dropped because a subscriber's ring buffer overflowed,
+// plus the live subscription count. delivered counts ring accepts, so
+// delivered - dropped is a lower bound on messages consumers received.
+func (b *Broker) Stats() (published, delivered, dropped uint64, subscriptions int) {
+	b.subMu.Lock()
+	subscriptions = len(b.subs)
+	b.subMu.Unlock()
+	return b.published.Load(), b.delivered.Load(), b.dropped.Load(), subscriptions
 }
 
 // Health reports whether the broker can serve traffic: it must not be
 // closed and, once Serve has run, its listener must still be bound.
 func (b *Broker) Health() error {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	if b.closed {
+	if b.closed.Load() {
 		return errors.New("broker: closed")
 	}
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
 	if b.ln == nil {
 		return errors.New("broker: not serving")
 	}
@@ -210,21 +298,34 @@ func (b *Broker) Health() error {
 // Close shuts the broker down: the TCP listener stops, connections drop,
 // and all subscription channels close.
 func (b *Broker) Close() error {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	b.subMu.Lock()
+	if b.closed.Swap(true) {
+		b.subMu.Unlock()
 		return nil
 	}
-	b.closed = true
+	subs := make([]*subscription, 0, len(b.subs))
 	for id, s := range b.subs {
 		delete(b.subs, id)
-		close(s.ch)
+		subs = append(subs, s)
 	}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		sh.root = trieNode{}
+		sh.retained = map[string]Message{}
+		sh.mu.Unlock()
+	}
+	b.subMu.Unlock()
+	for _, s := range subs {
+		s.close()
+	}
+
+	b.connMu.Lock()
 	ln := b.ln
 	for c := range b.conns {
 		c.Close()
 	}
-	b.mu.Unlock()
+	b.connMu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -246,6 +347,8 @@ const (
 	opErr   = "err"
 )
 
+// frame is the broker's wire message, carried by the shared length-prefixed
+// JSON framing in internal/wire.
 type frame struct {
 	ID      uint64 `json:"id,omitempty"`
 	Op      string `json:"op"`
@@ -254,45 +357,6 @@ type frame struct {
 	Retain  bool   `json:"retain,omitempty"`
 	SubID   int    `json:"subId,omitempty"`
 	Error   string `json:"error,omitempty"`
-}
-
-const maxFrame = 4 << 20
-
-func writeBrokerFrame(w io.Writer, f *frame) error {
-	data, err := json.Marshal(f)
-	if err != nil {
-		return err
-	}
-	if len(data) > maxFrame {
-		return fmt.Errorf("broker: frame too large (%d)", len(data))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(data)
-	return err
-}
-
-func readBrokerFrame(r *bufio.Reader) (*frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("broker: oversized frame (%d)", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	var f frame
-	if err := json.Unmarshal(buf, &f); err != nil {
-		return nil, err
-	}
-	return &f, nil
 }
 
 // Serve starts the TCP listener at addr (port 0 picks a free port).
@@ -304,9 +368,9 @@ func (b *Broker) Serve(addr string) error {
 	if b.ListenWrapper != nil {
 		ln = b.ListenWrapper(ln)
 	}
-	b.mu.Lock()
+	b.connMu.Lock()
 	b.ln = ln
-	b.mu.Unlock()
+	b.connMu.Unlock()
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
@@ -315,14 +379,14 @@ func (b *Broker) Serve(addr string) error {
 			if err != nil {
 				return
 			}
-			b.mu.Lock()
-			if b.closed {
-				b.mu.Unlock()
+			b.connMu.Lock()
+			if b.closed.Load() {
+				b.connMu.Unlock()
 				conn.Close()
 				return
 			}
 			b.conns[conn] = struct{}{}
-			b.mu.Unlock()
+			b.connMu.Unlock()
 			b.wg.Add(1)
 			go b.handleConn(conn)
 		}
@@ -332,8 +396,8 @@ func (b *Broker) Serve(addr string) error {
 
 // Addr returns the TCP listen address ("" before Serve).
 func (b *Broker) Addr() string {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.connMu.Lock()
+	defer b.connMu.Unlock()
 	if b.ln == nil {
 		return ""
 	}
@@ -343,19 +407,17 @@ func (b *Broker) Addr() string {
 func (b *Broker) handleConn(conn net.Conn) {
 	defer b.wg.Done()
 	defer func() {
-		b.mu.Lock()
+		b.connMu.Lock()
 		delete(b.conns, conn)
-		b.mu.Unlock()
+		b.connMu.Unlock()
 		conn.Close()
 	}()
 
 	r := bufio.NewReader(conn)
-	var writeMu sync.Mutex
-	send := func(f *frame) error {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		return writeBrokerFrame(conn, f)
-	}
+	// One coalescing writer per connection: acks and subscription pushes
+	// from every pump goroutine batch into shared flushes.
+	w := wire.NewWriter(conn)
+	send := func(f *frame) error { return w.WriteFrame(f) }
 
 	mySubs := map[int]struct{}{}
 	var pumpWG sync.WaitGroup
@@ -367,8 +429,8 @@ func (b *Broker) handleConn(conn net.Conn) {
 	}()
 
 	for {
-		f, err := readBrokerFrame(r)
-		if err != nil {
+		var f frame
+		if err := wire.ReadFrame(r, &f); err != nil {
 			return
 		}
 		switch f.Op {

@@ -290,7 +290,7 @@ func TestConcurrentPublishers(t *testing.T) {
 	if received == 0 || received > publishers*each {
 		t.Errorf("received %d, want 1..%d", received, publishers*each)
 	}
-	pub, delivered, _ := b.Stats()
+	pub, delivered, _, _ := b.Stats()
 	if pub != publishers*each {
 		t.Errorf("published counter = %d, want %d", pub, publishers*each)
 	}
@@ -363,7 +363,7 @@ func TestSubscribeUnsubscribeChurn(t *testing.T) {
 	wg.Wait()
 	close(stop)
 	pubWG.Wait()
-	if _, _, subs := b.Stats(); subs != 0 {
+	if _, _, _, subs := b.Stats(); subs != 0 {
 		t.Errorf("leaked %d subscriptions", subs)
 	}
 }

@@ -7,11 +7,14 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/wire"
 )
 
 // Client is a TCP connection to a Broker.
 type Client struct {
 	conn net.Conn
+	w    *wire.Writer
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -20,7 +23,6 @@ type Client struct {
 	closed  bool
 	readErr error
 
-	writeMu sync.Mutex
 	timeout time.Duration
 	done    chan struct{}
 }
@@ -39,6 +41,7 @@ func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
+		w:       wire.NewWriter(conn),
 		pending: map[uint64]chan *frame{},
 		subs:    map[int]chan Message{},
 		timeout: timeout,
@@ -81,8 +84,8 @@ func (c *Client) readLoop() {
 	defer close(c.done)
 	r := bufio.NewReader(c.conn)
 	for {
-		f, err := readBrokerFrame(r)
-		if err != nil {
+		f := new(frame)
+		if err := wire.ReadFrame(r, f); err != nil {
 			c.mu.Lock()
 			c.readErr = err
 			for id, ch := range c.pending {
@@ -141,10 +144,7 @@ func (c *Client) roundTrip(f *frame) (*frame, error) {
 	c.pending[f.ID] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeBrokerFrame(c.conn, f)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.w.WriteFrame(f); err != nil {
 		c.mu.Lock()
 		delete(c.pending, f.ID)
 		c.mu.Unlock()

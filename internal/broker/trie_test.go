@@ -1,0 +1,245 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildTrie indexes one filter and returns whether topic matches it.
+func trieMatches(filter, topic string) bool {
+	var root trieNode
+	s := &subscription{id: 1, filter: filter}
+	root.add(filter, s)
+	var out []*subscription
+	root.match(topic, &out)
+	return len(out) > 0
+}
+
+// TestTrieMatchesMatchTopic is the hand-written edge-case table of
+// TestMatchTopic replayed against the trie, plus empty-segment cases.
+func TestTrieMatchesMatchTopic(t *testing.T) {
+	cases := []struct{ filter, topic string }{
+		{"a/b/c", "a/b/c"},
+		{"a/b/c", "a/b"},
+		{"a/b", "a/b/c"},
+		{"a/+/c", "a/b/c"},
+		{"a/+/c", "a/x/c"},
+		{"a/+/c", "a/b/d"},
+		{"a/#", "a/b/c"},
+		{"a/#", "a"},
+		{"a/#", "b"},
+		{"#", "anything/at/all"},
+		{"+", "one"},
+		{"+", "one/two"},
+		{"a//b", "a//b"},
+		{"a/+/b", "a//b"},
+		{"a/#", "a//"},
+		{"+/+", "/x"},
+		{"factory/+/+/+/values/#", "factory/line1/wc02/emco/values/AxesPositions/actualX"},
+		{"factory/+/+/+/values/#", "factory/line1/wc02/emco/services/is_ready"},
+	}
+	for _, c := range cases {
+		want := MatchTopic(c.filter, c.topic)
+		if got := trieMatches(c.filter, c.topic); got != want {
+			t.Errorf("trie(%q, %q) = %v, MatchTopic = %v", c.filter, c.topic, got, want)
+		}
+	}
+}
+
+// randTopicLevels builds a random filter or topic out of a tiny segment
+// alphabet so collisions (and therefore matches) are frequent.
+func randLevels(rng *rand.Rand, wildcards bool) string {
+	alphabet := []string{"a", "b", "c", "factory", ""}
+	n := 1 + rng.Intn(5)
+	segs := make([]string, n)
+	for i := range segs {
+		switch {
+		case wildcards && rng.Intn(4) == 0:
+			segs[i] = "+"
+		case wildcards && i == n-1 && rng.Intn(4) == 0:
+			segs[i] = "#"
+		default:
+			segs[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+// TestTrieMatchTopicEquivalence property-checks that the trie matcher is
+// exactly MatchTopic over randomized filters and topics, including "+",
+// trailing "#" and empty segments. The seed is logged so any failure is
+// reproducible.
+func TestTrieMatchTopicEquivalence(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 5000; i++ {
+		filter := randLevels(rng, true)
+		topic := randLevels(rng, false)
+		if ValidateFilter(filter) != nil {
+			continue // trie only ever sees validated filters
+		}
+		want := MatchTopic(filter, topic)
+		if got := trieMatches(filter, topic); got != want {
+			t.Fatalf("filter=%q topic=%q: trie=%v MatchTopic=%v", filter, topic, got, want)
+		}
+	}
+}
+
+// TestTrieManyFilters cross-checks a whole population of filters at once:
+// the trie's matched set for a topic must equal the MatchTopic filter scan.
+func TestTrieManyFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var root trieNode
+	subs := map[int]*subscription{}
+	for i := 0; i < 300; i++ {
+		filter := randLevels(rng, true)
+		if ValidateFilter(filter) != nil {
+			continue
+		}
+		s := &subscription{id: i, filter: filter}
+		subs[i] = s
+		root.add(filter, s)
+	}
+	for i := 0; i < 1000; i++ {
+		topic := randLevels(rng, false)
+		var matched []*subscription
+		root.match(topic, &matched)
+		got := map[int]bool{}
+		for _, s := range matched {
+			if got[s.id] {
+				t.Fatalf("topic %q: subscription %d matched twice", topic, s.id)
+			}
+			got[s.id] = true
+		}
+		for id, s := range subs {
+			if want := MatchTopic(s.filter, topic); want != got[id] {
+				t.Errorf("topic %q filter %q: trie=%v MatchTopic=%v", topic, s.filter, got[id], want)
+			}
+		}
+	}
+}
+
+// TestTrieRemovePrunes: removing every filter must leave an empty trie.
+func TestTrieRemovePrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var root trieNode
+	type entry struct {
+		id     int
+		filter string
+	}
+	var entries []entry
+	for i := 0; i < 200; i++ {
+		filter := randLevels(rng, true)
+		if ValidateFilter(filter) != nil {
+			continue
+		}
+		root.add(filter, &subscription{id: i, filter: filter})
+		entries = append(entries, entry{i, filter})
+	}
+	rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	for _, e := range entries {
+		root.remove(e.filter, e.id)
+	}
+	if !root.empty() {
+		t.Errorf("trie not empty after removing all filters: %+v", root)
+	}
+}
+
+// TestSubscriberDropCounting: a subscriber that never consumes must shed
+// load into the dropped counter instead of stalling the publisher, and the
+// counters must reconcile.
+func TestSubscriberDropCounting(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if _, _, err := b.Subscribe("drops/#"); err != nil {
+		t.Fatal(err)
+	}
+	const total = ringCap * 4
+	for i := 0; i < total; i++ {
+		if err := b.Publish("drops/x", []byte(`1`), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	published, delivered, dropped, _ := b.Stats()
+	if published != total {
+		t.Errorf("published = %d, want %d", published, total)
+	}
+	if delivered != total {
+		t.Errorf("delivered = %d, want %d (every message was accepted)", delivered, total)
+	}
+	// The consumer never reads: at most ringCap + the out-channel buffer +
+	// one in-flight message can still be queued; the rest must be counted
+	// as dropped.
+	if dropped == 0 {
+		t.Error("no drops recorded for a stuck consumer")
+	}
+	if min := uint64(total - ringCap - 64); dropped < min {
+		t.Errorf("dropped = %d, want >= %d", dropped, min)
+	}
+}
+
+// TestShardedConcurrentChurn hammers Subscribe/Publish/Unsubscribe across
+// topics that land in different shards (and the wildcard shard) — the
+// race-detector test for the sharded index.
+func TestShardedConcurrentChurn(t *testing.T) {
+	b := New()
+	defer b.Close()
+
+	stop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					topic := fmt.Sprintf("root%d/wc%d/value", i%8, p)
+					_ = b.Publish(topic, []byte(`1`), i%16 == 0)
+					i++
+				}
+			}
+		}(p)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			filters := []string{
+				fmt.Sprintf("root%d/#", c%8),
+				"+/+/value",
+				"#",
+				fmt.Sprintf("root%d/+/value", (c+3)%8),
+			}
+			for i := 0; i < 150; i++ {
+				filter := filters[i%len(filters)]
+				id, ch, err := b.Subscribe(filter)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				select {
+				case <-ch:
+				default:
+				}
+				b.Unsubscribe(id)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	pubWG.Wait()
+	if _, _, _, subs := b.Stats(); subs != 0 {
+		t.Errorf("leaked %d subscriptions", subs)
+	}
+}

@@ -150,6 +150,17 @@ func runChaosSoak(t *testing.T, bundle *codegen.Bundle, seed int64) []string {
 		})
 	}
 
+	// The broker's loss accounting must be live and consistent: data flowed
+	// after the heal, so the (possibly restarted) broker has published and
+	// delivered messages, and drops can never exceed deliveries.
+	published, delivered, dropped, _ := cluster.BrokerStats()
+	if published == 0 || delivered == 0 {
+		t.Errorf("broker stats flat after chaos: published=%d delivered=%d", published, delivered)
+	}
+	if dropped > delivered {
+		t.Errorf("broker dropped %d > delivered %d", dropped, delivered)
+	}
+
 	// Services answer on every machine.
 	bc, err := broker.DialClient(cluster.BrokerAddr())
 	if err != nil {

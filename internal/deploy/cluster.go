@@ -510,6 +510,19 @@ func (c *Cluster) BrokerAddr() string {
 	return c.brokerAddr
 }
 
+// BrokerStats returns the running broker's lifetime counters (all zero if
+// no broker pod is up). dropped counts messages shed by subscriber ring
+// buffers — the loss signal chaos soaks and the factorysim monitor report.
+func (c *Cluster) BrokerStats() (published, delivered, dropped uint64, subscriptions int) {
+	c.mu.Lock()
+	b := c.broker
+	c.mu.Unlock()
+	if b == nil {
+		return 0, 0, 0, 0
+	}
+	return b.Stats()
+}
+
 // Historian returns a running historian service by name, or nil.
 func (c *Cluster) Historian(name string) *historian.Service {
 	c.mu.Lock()

@@ -65,9 +65,35 @@ func NewStore(maxPerSeries int) *Store {
 // Append stores a sample. Samples are expected in non-decreasing time
 // order per series; out-of-order samples are inserted by time.
 func (s *Store) Append(series string, t time.Time, payload []byte) {
-	p := Point{Time: t, Payload: append([]byte(nil), payload...)}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.appendLocked(series, t, payload)
+}
+
+// Sample is one ingestible datum for AppendBatch.
+type Sample struct {
+	Series  string
+	Payload []byte
+}
+
+// AppendBatch stores many samples with the timestamp t under a single lock
+// acquisition — the broker-fed ingest path drains its subscription channel
+// into batches so ingestion cost is amortized instead of paying one
+// lock/unlock per message. Payloads are copied, as in Append.
+func (s *Store) AppendBatch(t time.Time, samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sm := range samples {
+		s.appendLocked(sm.Series, t, sm.Payload)
+	}
+}
+
+// appendLocked inserts one sample; callers hold s.mu.
+func (s *Store) appendLocked(series string, t time.Time, payload []byte) {
+	p := Point{Time: t, Payload: append([]byte(nil), payload...)}
 	pts := s.series[series]
 	if n := len(pts); n > 0 && pts[n-1].Time.After(t) {
 		i := sort.Search(n, func(i int) bool { return pts[i].Time.After(t) })
@@ -222,10 +248,28 @@ func NewServiceWithStore(brokerAddr string, topics []string, store *Store) (*Ser
 	return svc, nil
 }
 
+// ingestBatch bounds how many queued messages one pump iteration drains
+// into a single AppendBatch call.
+const ingestBatch = 256
+
 func (s *Service) pump(ch <-chan broker.Message) {
 	defer s.wg.Done()
+	samples := make([]Sample, 0, ingestBatch)
 	for m := range ch {
-		s.Store.Append(m.Topic, s.Now(), m.Payload)
+		samples = append(samples[:0], Sample{Series: m.Topic, Payload: m.Payload})
+	drain:
+		for len(samples) < ingestBatch {
+			select {
+			case m, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				samples = append(samples, Sample{Series: m.Topic, Payload: m.Payload})
+			default:
+				break drain
+			}
+		}
+		s.Store.AppendBatch(s.Now(), samples)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/resilience"
+	"github.com/smartfactory/sysml2conf/internal/wire"
 )
 
 // Client is a connection to an OPC UA server. It multiplexes concurrent
@@ -16,6 +17,7 @@ import (
 // notifications to per-subscription channels.
 type Client struct {
 	conn net.Conn
+	w    *wire.Writer
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -24,7 +26,6 @@ type Client struct {
 	closed  bool
 	readErr error
 
-	writeMu sync.Mutex
 	timeout time.Duration
 	done    chan struct{}
 }
@@ -42,6 +43,7 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
+		w:       wire.NewWriter(conn),
 		pending: map[uint64]chan *Message{},
 		subs:    map[int]chan DataChange{},
 		timeout: timeout,
@@ -162,10 +164,7 @@ func (c *Client) roundTrip(req *Message) (*Message, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeFrame(c.conn, req)
-	c.writeMu.Unlock()
-	if err != nil {
+	if err := c.w.WriteFrame(req); err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()

@@ -7,6 +7,8 @@ import (
 	"log"
 	"net"
 	"sync"
+
+	"github.com/smartfactory/sysml2conf/internal/wire"
 )
 
 // Server exposes an AddressSpace over the framed TCP protocol.
@@ -135,12 +137,10 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	r := bufio.NewReader(conn)
-	var writeMu sync.Mutex
-	send := func(m *Message) error {
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		return writeFrame(conn, m)
-	}
+	// One coalescing writer per connection: responses and notification
+	// pushes from every subscription goroutine batch into shared flushes.
+	w := wire.NewWriter(conn)
+	send := func(m *Message) error { return w.WriteFrame(m) }
 
 	// Per-connection subscriptions, cleaned up on disconnect.
 	subs := map[int]struct{}{}

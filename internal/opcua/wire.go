@@ -2,16 +2,16 @@ package opcua
 
 import (
 	"bufio"
-	"encoding/binary"
-	"encoding/json"
-	"fmt"
 	"io"
+
+	"github.com/smartfactory/sysml2conf/internal/wire"
 )
 
 // The wire protocol frames JSON messages with a 4-byte big-endian length
-// prefix. Requests carry an operation and a correlation id; the server
-// answers with the same id. Subscription notifications are pushed with
-// id 0 and op "notify".
+// prefix — the shared framing of internal/wire, which owns the pooled
+// encode/read buffers and the frame-size bound. Requests carry an operation
+// and a correlation id; the server answers with the same id. Subscription
+// notifications are pushed with id 0 and op "notify".
 
 // Op names of the protocol.
 const (
@@ -24,10 +24,6 @@ const (
 	OpUnsubscribe = "unsubscribe"
 	OpNotify      = "notify"
 )
-
-// maxFrame bounds a single message (4 MiB) to protect against corrupt
-// length prefixes.
-const maxFrame = 4 << 20
 
 // Message is both request and response envelope.
 type Message struct {
@@ -48,39 +44,14 @@ type Message struct {
 
 // writeFrame writes one length-prefixed JSON message.
 func writeFrame(w io.Writer, m *Message) error {
-	data, err := json.Marshal(m)
-	if err != nil {
-		return fmt.Errorf("opcua: encode frame: %w", err)
-	}
-	if len(data) > maxFrame {
-		return fmt.Errorf("opcua: frame too large (%d bytes)", len(data))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(data)
-	return err
+	return wire.WriteFrame(w, m)
 }
 
 // readFrame reads one length-prefixed JSON message.
 func readFrame(r *bufio.Reader) (*Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	m := new(Message)
+	if err := wire.ReadFrame(r, m); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("opcua: oversized frame (%d bytes)", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	var m Message
-	if err := json.Unmarshal(buf, &m); err != nil {
-		return nil, fmt.Errorf("opcua: decode frame: %w", err)
-	}
-	return &m, nil
+	return m, nil
 }

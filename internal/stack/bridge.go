@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -268,20 +269,48 @@ func (b *BridgeClient) wireVariable(client *opcua.Client, cm codegen.ClientMachi
 				}
 				var val any
 				_ = json.Unmarshal(change.Value.Value, &val)
-				payload, err := json.Marshal(VariableSample{
+				if err := b.publishJSON(v.Topic, VariableSample{
 					Machine: cm.Machine, Variable: v.Name, Category: v.Category,
 					Type: v.Type, Value: val,
-				})
-				if err != nil {
-					continue
-				}
-				if err := b.publish(v.Topic, payload); err != nil {
+				}); err != nil {
 					return
 				}
 			}
 		}
 	}()
 	return nil
+}
+
+// payloadBuf is a pooled encode buffer for publish payloads: the bridge
+// publishes one JSON body per variable change, and broker.Client frames the
+// payload before Publish returns, so the buffer can be recycled immediately
+// afterwards instead of allocating per sample.
+type payloadBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var payloadPool = sync.Pool{New: func() any {
+	p := &payloadBuf{}
+	p.enc = json.NewEncoder(&p.buf)
+	return p
+}}
+
+// publishJSON encodes v into a pooled buffer and publishes it to topic.
+// An encode failure drops the sample (nil, matching the old skip-on-marshal
+// behavior); a publish failure is returned so callers stop their loops.
+func (b *BridgeClient) publishJSON(topic string, v any) error {
+	p := payloadPool.Get().(*payloadBuf)
+	p.buf.Reset()
+	if err := p.enc.Encode(v); err != nil {
+		payloadPool.Put(p)
+		return nil
+	}
+	payload := p.buf.Bytes()
+	payload = payload[:len(payload)-1] // drop the encoder's trailing newline
+	err := b.publish(topic, payload)
+	payloadPool.Put(p)
+	return err
 }
 
 func (b *BridgeClient) publish(topic string, payload []byte) error {
@@ -320,11 +349,7 @@ func (b *BridgeClient) wireService(cm codegen.ClientMachine, m codegen.MethodCon
 					return
 				}
 				reply := b.invoke(cm.Server, m, msg.Payload)
-				payload, err := json.Marshal(reply)
-				if err != nil {
-					continue
-				}
-				if err := b.publish(m.ResponseTopic, payload); err != nil {
+				if err := b.publishJSON(m.ResponseTopic, reply); err != nil {
 					return
 				}
 			}

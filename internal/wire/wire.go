@@ -1,0 +1,118 @@
+// Package wire implements the length-prefixed JSON framing shared by the
+// broker and OPC UA transports: every message is a 4-byte big-endian length
+// followed by a JSON body. The package owns the hot-path mechanics both
+// transports used to duplicate — pooled encode buffers, a single Write per
+// frame (header and body in one syscall on unbuffered writers), pooled read
+// buffers — and a flush-coalescing Writer for connection fan-out paths.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MaxFrame bounds a single message (4 MiB) to protect against corrupt
+// length prefixes.
+const MaxFrame = 4 << 20
+
+// headerLen is the size of the length prefix.
+const headerLen = 4
+
+// encBuf is a pooled encode buffer: the JSON encoder writes the body
+// directly after the reserved header, so a frame is encoded into one
+// contiguous slice without an intermediate json.Marshal copy.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	b := &encBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// maxPooledBuf caps the capacity of buffers returned to the pools so one
+// jumbo frame does not pin megabytes for the connection's lifetime.
+const maxPooledBuf = 1 << 16
+
+func putEncBuf(b *encBuf) {
+	if b.buf.Cap() <= maxPooledBuf {
+		encPool.Put(b)
+	}
+}
+
+// appendFrame encodes v as one framed message into b and returns the
+// complete header+body slice (valid until b is reused).
+func appendFrame(b *encBuf, v any) ([]byte, error) {
+	b.buf.Reset()
+	b.buf.Write([]byte{0, 0, 0, 0})
+	if err := b.enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encode frame: %w", err)
+	}
+	// Encoder terminates the body with '\n'; the frame is length-delimited,
+	// so drop it.
+	out := b.buf.Bytes()
+	n := len(out) - headerLen - 1
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame too large (%d bytes)", n)
+	}
+	binary.BigEndian.PutUint32(out[:headerLen], uint32(n))
+	return out[:headerLen+n], nil
+}
+
+// WriteFrame writes one framed message with a single w.Write call. Callers
+// that need concurrency or batching should prefer Writer.
+func WriteFrame(w io.Writer, v any) error {
+	b := encPool.Get().(*encBuf)
+	frame, err := appendFrame(b, v)
+	if err != nil {
+		putEncBuf(b)
+		return err
+	}
+	_, err = w.Write(frame)
+	putEncBuf(b)
+	return err
+}
+
+var readPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// ReadFrame reads one framed message and unmarshals it into v. The body
+// buffer is pooled: json.Unmarshal copies everything it keeps (strings,
+// []byte, RawMessage), so v holds no reference to it afterwards.
+func ReadFrame(r *bufio.Reader, v any) error {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > MaxFrame {
+		return fmt.Errorf("wire: oversized frame (%d bytes)", n)
+	}
+	bp := readPool.Get().(*[]byte)
+	buf := *bp
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	_, err := io.ReadFull(r, buf)
+	if err == nil {
+		if uerr := json.Unmarshal(buf, v); uerr != nil {
+			err = fmt.Errorf("wire: decode frame: %w", uerr)
+		}
+	}
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		readPool.Put(bp)
+	}
+	return err
+}

@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type testMsg struct {
+	Op      string `json:"op"`
+	Topic   string `json:"topic,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := testMsg{Op: "pub", Topic: "factory/wc02/emco/actualX", Payload: []byte(`12.25`)}
+	if err := WriteFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	// Header must carry the exact body length.
+	n := binary.BigEndian.Uint32(buf.Bytes()[:4])
+	if int(n) != buf.Len()-4 {
+		t.Fatalf("header length %d, body length %d", n, buf.Len()-4)
+	}
+	var out testMsg
+	if err := ReadFrame(bufio.NewReader(&buf), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Topic != in.Topic || string(out.Payload) != string(in.Payload) {
+		t.Errorf("round trip mangled message: %+v", out)
+	}
+}
+
+// TestFrameSingleWrite: header and body must arrive in one Write call so
+// unbuffered writers issue one syscall per frame.
+func TestFrameSingleWrite(t *testing.T) {
+	cw := &countingWriter{}
+	if err := WriteFrame(cw, &testMsg{Op: "pub", Topic: "a/b"}); err != nil {
+		t.Fatal(err)
+	}
+	if cw.calls != 1 {
+		t.Errorf("frame used %d Write calls, want 1", cw.calls)
+	}
+}
+
+type countingWriter struct {
+	calls int
+	bytes.Buffer
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.calls++
+	return c.Buffer.Write(p)
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	big := testMsg{Op: "pub", Payload: make([]byte, MaxFrame)}
+	if err := WriteFrame(io.Discard, &big); err == nil || !strings.Contains(err.Error(), "too large") {
+		t.Errorf("oversized frame error = %v", err)
+	}
+}
+
+func TestReadFrameOversizedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	var out testMsg
+	if err := ReadFrame(bufio.NewReader(&buf), &out); err == nil || !strings.Contains(err.Error(), "oversized") {
+		t.Errorf("oversized header error = %v", err)
+	}
+}
+
+func TestReadFrameBadJSON(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+	var out testMsg
+	if err := ReadFrame(bufio.NewReader(&buf), &out); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("bad JSON error = %v", err)
+	}
+}
+
+// TestReadFramePooledBufferIsolation: a decoded message must not alias the
+// pooled read buffer — decoding a second frame must not mutate the first.
+func TestReadFramePooledBufferIsolation(t *testing.T) {
+	var buf bytes.Buffer
+	first := testMsg{Op: "pub", Topic: "a/b", Payload: []byte("payload-one")}
+	second := testMsg{Op: "pub", Topic: "c/d", Payload: []byte("payload-TWO")}
+	if err := WriteFrame(&buf, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, &second); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	var got1, got2 testMsg
+	if err := ReadFrame(r, &got1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadFrame(r, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if string(got1.Payload) != "payload-one" || got1.Topic != "a/b" {
+		t.Errorf("first frame corrupted by second decode: %+v", got1)
+	}
+}
+
+// TestWriterCoalesces: frames written while a flush is in flight must batch
+// into later Write calls — total Write calls well under frame count.
+func TestWriterCoalesces(t *testing.T) {
+	slow := &slowWriter{release: make(chan struct{})}
+	slow.started.L = &slow.mu
+	w := NewWriter(slow)
+
+	// First frame becomes the flusher and blocks in Write.
+	errCh := make(chan error, 1)
+	go func() { errCh <- w.WriteFrame(&testMsg{Op: "pub", Topic: "t/0"}) }()
+	slow.started.L.Lock()
+	for slow.inWrite == 0 {
+		slow.started.Wait()
+	}
+	slow.started.L.Unlock()
+
+	// These stage while the first Write is blocked.
+	const queued = 50
+	for i := 1; i <= queued; i++ {
+		if err := w.WriteFrame(&testMsg{Op: "pub", Topic: fmt.Sprintf("t/%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(slow.release)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	calls, frames := slow.stats()
+	if frames != queued+1 {
+		t.Fatalf("wrote %d frames, want %d", frames, queued+1)
+	}
+	if calls > 3 {
+		t.Errorf("%d frames used %d Write calls, want coalescing (<=3)", frames, calls)
+	}
+}
+
+type slowWriter struct {
+	mu      sync.Mutex
+	started sync.Cond
+	inWrite int
+	calls   int
+	buf     bytes.Buffer
+	release chan struct{}
+}
+
+func (s *slowWriter) stats() (calls, frames int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data := s.buf.Bytes()
+	for len(data) >= 4 {
+		n := int(binary.BigEndian.Uint32(data[:4]))
+		data = data[4+n:]
+		frames++
+	}
+	return s.calls, frames
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	s.calls++
+	s.inWrite++
+	s.started.Broadcast()
+	s.mu.Unlock()
+	if s.release != nil {
+		<-s.release
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+// TestWriterStickyError: the first write failure must surface on every
+// subsequent WriteFrame.
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(&failWriter{})
+	if err := w.WriteFrame(&testMsg{Op: "pub"}); err == nil {
+		t.Fatal("want error from failing writer")
+	}
+	if err := w.WriteFrame(&testMsg{Op: "pub"}); err == nil {
+		t.Fatal("error must be sticky")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+// TestWriterConcurrent: many producers against one coalescing writer must
+// deliver every frame intact (race detector covers the locking).
+func TestWriterConcurrent(t *testing.T) {
+	cw := &countingWriter{}
+	safe := &lockedWriter{w: cw}
+	w := NewWriter(safe)
+	const producers, each = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := w.WriteFrame(&testMsg{Op: "pub", Topic: fmt.Sprintf("p%d/%d", p, i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(bytes.NewReader(cw.Buffer.Bytes()))
+	frames := 0
+	for {
+		var m testMsg
+		if err := ReadFrame(r, &m); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		frames++
+	}
+	if frames != producers*each {
+		t.Errorf("decoded %d frames, want %d", frames, producers*each)
+	}
+}
+
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"io"
+	"sync"
+)
+
+// Writer is a concurrency-safe framed writer with flush coalescing: frames
+// are staged in a pending buffer, and whichever goroutine finds no flush in
+// flight becomes the flusher, repeatedly swapping the pending buffer out
+// and writing it with one Write (= one Flush) per batch. Frames queued by
+// other goroutines while a Write syscall is in flight ride the next batch,
+// so under fan-out load the batch window adapts to the downstream write
+// latency without adding any latency when the connection is idle.
+//
+// Write errors are sticky: the first failure is returned to the flushing
+// goroutine and every subsequent WriteFrame, which is the signal the
+// connection pumps use to stop.
+type Writer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	w       io.Writer
+	pending []byte
+	spare   []byte
+	flushing bool
+	err     error
+}
+
+// maxPending is the soft cap on staged bytes: producers block (waiting on
+// the in-flight flush) once the backlog passes it, restoring the
+// backpressure an unbatched writer gets from the socket for free.
+const maxPending = 1 << 20
+
+// NewWriter wraps w (typically a net.Conn) in a coalescing framed writer.
+func NewWriter(w io.Writer) *Writer {
+	cw := &Writer{w: w}
+	cw.cond = sync.NewCond(&cw.mu)
+	return cw
+}
+
+// WriteFrame encodes v as one framed message and queues it for writing.
+// It returns once the frame is staged and a flusher is responsible for it;
+// a sticky write error from a previous batch fails the call.
+func (w *Writer) WriteFrame(v any) error {
+	b := encPool.Get().(*encBuf)
+	frame, err := appendFrame(b, v)
+	if err != nil {
+		putEncBuf(b)
+		return err
+	}
+
+	w.mu.Lock()
+	for w.err == nil && w.flushing && len(w.pending) >= maxPending {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		w.mu.Unlock()
+		putEncBuf(b)
+		return w.err
+	}
+	w.pending = append(w.pending, frame...)
+	putEncBuf(b)
+	if w.flushing {
+		// The in-flight flusher will pick this frame up in its next batch.
+		w.mu.Unlock()
+		return nil
+	}
+	w.flushing = true
+	err = w.flushLocked()
+	w.flushing = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return err
+}
+
+// Flush writes any staged frames. WriteFrame flushes on its own; Flush only
+// matters for graceful teardown paths that must not leave frames staged.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && w.flushing {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	w.flushing = true
+	err := w.flushLocked()
+	w.flushing = false
+	w.cond.Broadcast()
+	return err
+}
+
+// flushLocked drains the pending buffer, one Write per batch, releasing the
+// lock around each syscall so producers stage the next batch concurrently.
+// Callers hold w.mu and have set w.flushing.
+func (w *Writer) flushLocked() error {
+	for len(w.pending) > 0 && w.err == nil {
+		batch := w.pending
+		w.pending = w.spare[:0]
+		w.spare = nil
+		w.mu.Unlock()
+		_, err := w.w.Write(batch)
+		w.mu.Lock()
+		if err != nil {
+			w.err = err
+			break
+		}
+		if cap(batch) <= maxPending {
+			w.spare = batch[:0]
+		}
+		// Wake producers blocked on the backlog cap before the next batch.
+		w.cond.Broadcast()
+	}
+	return w.err
+}
