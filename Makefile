@@ -2,13 +2,13 @@ GO ?= go
 
 # Tier-1 benchmark set tracked by the regression harness: the build side
 # (full model analysis + generation, the 1x-8x scale sweep, the language
-# front end) and the data plane (broker fan-out, framed wire, historian
-# ingest).
-BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput|BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest
-DATAPLANE_PATTERN = BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest
+# front end), the data plane (broker fan-out, framed wire, historian
+# ingest) and the durability tier (WAL append, crash recovery).
+BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput|BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkWALAppend|BenchmarkHistorianRecovery
+DATAPLANE_PATTERN = BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkWALAppend|BenchmarkHistorianRecovery
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test check bench benchdiff bench-full bench-dataplane
+.PHONY: build test check soak bench benchdiff bench-full bench-dataplane
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ test: build
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Durability soak: the seeded chaos suites under the race detector — the
+# zero-loss audit (historian crashes + broker partition, every sequence
+# exactly once), the convergence soak and the partition-overlapped
+# reconfigure. Longer than tier-1; run before touching the broker, the WAL
+# or the supervision layers.
+soak:
+	$(GO) test -race -count=1 -v \
+		-run 'TestChaosAuditZeroLoss|TestChaosSeededSoakConverges|TestReconfigureUnderPartitionConverges' \
+		./internal/deploy/
 
 # Tier-3: run the tier-1 benchmarks, snapshot them to BENCH_<date>.json,
 # and fail on a >15% ns/op regression against the latest committed snapshot.

@@ -1,0 +1,105 @@
+// Durability benchmarks: the write-ahead-log append path and historian
+// crash recovery. These complete the data-plane set in
+// bench_dataplane_test.go with the persistence tier the acked pipeline
+// rides on. Both are part of the tier-1 regression set (`make bench`).
+//
+//	BenchmarkWALAppend           — segmented log append, with and without
+//	                               fsync (group commit amortises the sync)
+//	BenchmarkHistorianRecovery   — Open() replaying snapshot + WAL back
+//	                               into a queryable store
+package sysml2conf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/historian"
+	"github.com/smartfactory/sysml2conf/internal/wal"
+)
+
+var walPayload = []byte(`{"t":"2026-08-06T12:00:00Z","samples":[{"s":"factory/line/wc02/emco/values/actualX","p":"12.25"}]}`)
+
+// BenchmarkWALAppend measures the raw log append path. The nosync variant
+// isolates CPU + buffer cost; the fsync variant pays real disk latency and
+// shows what group commit amortises under the parallel case.
+func BenchmarkWALAppend(b *testing.B) {
+	run := func(b *testing.B, opts wal.Options, parallel bool) {
+		l, err := wal.Open(b.TempDir(), opts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		b.SetBytes(int64(len(walPayload)))
+		b.ResetTimer()
+		if parallel {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.Append(walPayload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Append(walPayload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("nosync", func(b *testing.B) {
+		run(b, wal.Options{NoSync: true}, false)
+	})
+	b.Run("fsync", func(b *testing.B) {
+		run(b, wal.Options{}, false)
+	})
+	b.Run("fsync-parallel", func(b *testing.B) {
+		run(b, wal.Options{}, true)
+	})
+}
+
+// BenchmarkHistorianRecovery measures historian.Open replaying persisted
+// state — the restart path a supervised historian pod takes after a crash.
+// The records=N axis sets how many batches are on disk; snapshots are
+// disabled so every record replays from the WAL (the worst case).
+func BenchmarkHistorianRecovery(b *testing.B) {
+	for _, records := range []int{256, 2048} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := historian.Open(dir, historian.DurableOptions{
+				NoSync: true, SnapshotEvery: 1 << 30,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := time.Unix(0, 0)
+			for i := 0; i < records; i++ {
+				series := fmt.Sprintf("factory/line/wc%02d/m/values/v", i%8)
+				err := st.AppendAcked("bench", uint64(i+1), base.Add(time.Duration(i)*time.Millisecond),
+					[]historian.Sample{{Series: series, Payload: walPayload}})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := historian.Open(dir, historian.DurableOptions{NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.TotalAppended() != uint64(records) {
+					b.Fatalf("recovered %d records, want %d", st.TotalAppended(), records)
+				}
+				b.StopTimer()
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}

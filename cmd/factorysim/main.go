@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -17,10 +18,12 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"github.com/smartfactory/sysml2conf/internal/broker"
 	"github.com/smartfactory/sysml2conf/internal/codegen"
 	"github.com/smartfactory/sysml2conf/internal/deploy"
 	"github.com/smartfactory/sysml2conf/internal/faultinject"
@@ -30,13 +33,16 @@ import (
 
 func main() {
 	var (
-		scale     = flag.Int("scale", 1, "replicate the ICE Lab n times")
-		duration  = flag.Duration("duration", 3*time.Second, "how long to let data flow")
-		process   = flag.Bool("process", true, "execute a demo SOM production process")
-		browse    = flag.String("browse", "", "print the address space of this OPC UA server (e.g. opcua-server-workcell02)")
-		snapDir   = flag.String("snapshot-dir", "", "write historian snapshots to this directory before exiting")
-		chaos     = flag.Bool("chaos", false, "inject seeded connection faults (drops, partitions) during the run")
-		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
+		scale      = flag.Int("scale", 1, "replicate the ICE Lab n times")
+		duration   = flag.Duration("duration", 3*time.Second, "how long to let data flow")
+		process    = flag.Bool("process", true, "execute a demo SOM production process")
+		browse     = flag.String("browse", "", "print the address space of this OPC UA server (e.g. opcua-server-workcell02)")
+		snapDir    = flag.String("snapshot-dir", "", "write historian snapshots to this directory before exiting")
+		chaos      = flag.Bool("chaos", false, "inject seeded connection faults (drops, partitions) during the run")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed for the deterministic fault injector")
+		audit      = flag.Bool("audit", false, "publish numbered samples through the acked pipeline and verify exactly-once ingestion (exit 1 on loss or duplication)")
+		auditCount = flag.Int("audit-count", 1000, "number of audit samples to publish with -audit")
+		dataDir    = flag.String("data-dir", "", "durable historian state directory (WAL + snapshots); historians recover from it across restarts")
 	)
 	flag.Parse()
 
@@ -76,6 +82,13 @@ func main() {
 	cluster.MachineEndpoints = resolver
 	cluster.PollPeriod = 50 * time.Millisecond
 	cluster.FaultInjector = inj
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fatal(err)
+		}
+		cluster.DataDir = *dataDir
+		fmt.Printf("durable historians: state under %s\n", *dataDir)
+	}
 	deployStart := time.Now()
 	if err := cluster.ApplyBundle(bundle); err != nil {
 		fatal(err)
@@ -106,6 +119,13 @@ func main() {
 		}()
 	}
 
+	var auditTopic string
+	var auditDone chan error
+	if *audit {
+		auditTopic, auditDone = startAudit(cluster, bundle, *auditCount)
+		fmt.Printf("audit: publishing %d numbered samples to %s\n", *auditCount, auditTopic)
+	}
+
 	fmt.Printf("letting data flow for %v...\n", *duration)
 	interrupted := false
 	select {
@@ -130,6 +150,15 @@ func main() {
 		fleet.Close()
 		fmt.Println("drained cleanly")
 		return
+	}
+
+	if *audit {
+		if err := <-auditDone; err != nil {
+			fatal(fmt.Errorf("audit publisher: %w", err))
+		}
+		if !verifyAudit(cluster, bundle, auditTopic, *auditCount) {
+			os.Exit(1)
+		}
 	}
 
 	published, delivered, dropped, subscriptions := cluster.BrokerStats()
@@ -228,6 +257,102 @@ func runProcess(cluster *deploy.Cluster, bundle *codegen.Bundle) {
 	for _, sr := range result.Steps {
 		fmt.Printf("  %-28s ok=%v results=%v\n", sr.Step.Machine+"."+sr.Step.Service, sr.Reply.OK, sr.Reply.Results)
 	}
+}
+
+// startAudit publishes count numbered samples through the acked pipeline to
+// a topic under the first historian's filter. The publisher redials on
+// connection loss (a chaos partition severs it) and republishes with the
+// same sequence number — the broker dedups the retries — so every sample is
+// handed to the broker exactly once no matter how rough the run is.
+func startAudit(cluster *deploy.Cluster, bundle *codegen.Bundle, count int) (string, chan error) {
+	sc := bundle.Intermediate.Storage[0]
+	topic := strings.TrimSuffix(sc.Topics[0], "#") + "audit/counter"
+	done := make(chan error, 1)
+	go func() {
+		var bc *broker.Client
+		defer func() {
+			if bc != nil {
+				bc.Close()
+			}
+		}()
+		deadline := time.Now().Add(5 * time.Minute)
+		for i := 1; i <= count; i++ {
+			payload := []byte(fmt.Sprintf(`{"n":%d}`, i))
+			for {
+				if time.Now().After(deadline) {
+					done <- fmt.Errorf("publish of sample %d timed out", i)
+					return
+				}
+				if bc == nil || bc.Err() != nil {
+					if bc != nil {
+						bc.Close()
+					}
+					bc = nil
+					c, err := broker.DialClient(cluster.BrokerAddr())
+					if err != nil {
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					bc = c
+				}
+				if _, err := bc.PublishSeq(topic, payload, false, "audit-publisher", uint64(i)); err != nil {
+					continue
+				}
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		done <- nil
+	}()
+	return topic, done
+}
+
+// verifyAudit waits for the audit series to be fully ingested by the owning
+// historian, then checks every sequence number appears exactly once.
+func verifyAudit(cluster *deploy.Cluster, bundle *codegen.Bundle, topic string, count int) bool {
+	name := bundle.Intermediate.Storage[0].Name
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if h := cluster.Historian(name); h != nil && h.Store != nil && h.Store.Count(topic) >= count {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	h := cluster.Historian(name)
+	if h == nil || h.Store == nil {
+		fmt.Printf("audit: FAIL: historian %s not running\n", name)
+		return false
+	}
+	pts := h.Store.Range(topic, time.Time{}, time.Now().Add(time.Hour))
+	seen := make(map[int]int, count)
+	for _, p := range pts {
+		var v struct {
+			N int `json:"n"`
+		}
+		if err := json.Unmarshal(p.Payload, &v); err != nil {
+			fmt.Printf("audit: FAIL: undecodable payload %q: %v\n", p.Payload, err)
+			return false
+		}
+		seen[v.N]++
+	}
+	missing, dup := 0, 0
+	for i := 1; i <= count; i++ {
+		switch {
+		case seen[i] == 0:
+			missing++
+		case seen[i] > 1:
+			dup++
+		}
+	}
+	redelivered, refused := cluster.BrokerAckStats()
+	if missing > 0 || dup > 0 || len(pts) != count || refused != 0 {
+		fmt.Printf("audit: FAIL: %d stored, %d missing, %d duplicated (want %d exactly once); broker redelivered=%d refused=%d\n",
+			len(pts), missing, dup, count, redelivered, refused)
+		return false
+	}
+	fmt.Printf("audit: PASS: %d samples ingested exactly once (broker redelivered=%d refused=%d)\n",
+		count, redelivered, refused)
+	return true
 }
 
 // runChaos drives a seeded fault schedule until stop closes: every few

@@ -26,15 +26,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/smartfactory/sysml2conf/internal/resilience"
 	"github.com/smartfactory/sysml2conf/internal/wire"
 )
 
 // Message is one published datum. Payload is opaque bytes (most components
-// exchange JSON, but the broker does not require it).
+// exchange JSON, but the broker does not require it). Seq is set only on
+// acked subscriptions: the per-session monotonic sequence number consumers
+// ack and dedup by.
 type Message struct {
 	Topic    string `json:"topic"`
 	Payload  []byte `json:"payload"`
 	Retained bool   `json:"retained,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
 }
 
 // MatchTopic reports whether an MQTT-style filter matches a topic.
@@ -95,15 +99,25 @@ type Broker struct {
 	// connections.
 	ListenWrapper func(net.Listener) net.Listener
 
+	// RedeliveryBackoff paces unacked-message redelivery on acked
+	// subscriptions. Set before the first SubscribeOpts; the zero value
+	// gives 100ms initial / 5s cap / factor 2.
+	RedeliveryBackoff resilience.Backoff
+
 	shards [numShards + 1]shard
 
-	// subMu guards the id registry and close transitions; it is ordered
-	// before shard locks (Subscribe/Unsubscribe/Close take subMu, then
-	// shard.mu). Publish takes only shard locks.
-	subMu   sync.Mutex
-	subs    map[int]*subscription
-	nextSub int
-	closed  atomic.Bool
+	// subMu guards the id registry, the session registry and close
+	// transitions; it is ordered before shard locks (Subscribe/Unsubscribe/
+	// Close take subMu, then shard.mu). Publish takes only shard locks.
+	subMu    sync.Mutex
+	subs     map[int]*subscription
+	sessions map[string]*subscription // acked sessions by name
+	nextSub  int
+	closed   atomic.Bool
+
+	// pubMu guards the publisher-side dedup high-water marks.
+	pubMu   sync.Mutex
+	pubSeqs map[string]uint64
 
 	connMu sync.Mutex
 	ln     net.Listener
@@ -111,16 +125,20 @@ type Broker struct {
 	wg     sync.WaitGroup
 
 	// stats
-	published atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
+	published    atomic.Uint64
+	delivered    atomic.Uint64
+	dropped      atomic.Uint64
+	redelivered  atomic.Uint64
+	ackedRefused atomic.Uint64
 }
 
 // New creates a broker.
 func New() *Broker {
 	b := &Broker{
-		subs:  map[int]*subscription{},
-		conns: map[net.Conn]struct{}{},
+		subs:     map[int]*subscription{},
+		sessions: map[string]*subscription{},
+		pubSeqs:  map[string]uint64{},
+		conns:    map[net.Conn]struct{}{},
 	}
 	for i := range b.shards {
 		b.shards[i].retained = map[string]Message{}
@@ -253,12 +271,17 @@ func (b *Broker) replayRetained(sh *shard, s *subscription) {
 	}
 }
 
-// Unsubscribe cancels a subscription and closes its channel.
+// Unsubscribe cancels a subscription and closes its channel. For an acked
+// subscription this ends the session for good — detaching a consumer that
+// intends to come back is Detach's job.
 func (b *Broker) Unsubscribe(id int) {
 	b.subMu.Lock()
 	s, ok := b.subs[id]
 	if ok {
 		delete(b.subs, id)
+		if s.ack != nil {
+			delete(b.sessions, s.ack.session)
+		}
 		sh := b.shardForFilter(s.filter)
 		sh.mu.Lock()
 		sh.root.remove(s.filter, id)
@@ -308,6 +331,7 @@ func (b *Broker) Close() error {
 		delete(b.subs, id)
 		subs = append(subs, s)
 	}
+	b.sessions = map[string]*subscription{}
 	for i := range b.shards {
 		sh := &b.shards[i]
 		sh.mu.Lock()
@@ -339,12 +363,13 @@ func (b *Broker) Close() error {
 
 // frame ops
 const (
-	opPub   = "pub"
-	opSub   = "sub"
-	opUnsub = "unsub"
-	opMsg   = "msg"
-	opAck   = "ack"
-	opErr   = "err"
+	opPub    = "pub"
+	opSub    = "sub"
+	opUnsub  = "unsub"
+	opMsg    = "msg"
+	opAck    = "ack"
+	opMsgAck = "mack" // consumer → broker: cumulative ack of an acked sub
+	opErr    = "err"
 )
 
 // frame is the broker's wire message, carried by the shared length-prefixed
@@ -357,6 +382,15 @@ type frame struct {
 	Retain  bool   `json:"retain,omitempty"`
 	SubID   int    `json:"subId,omitempty"`
 	Error   string `json:"error,omitempty"`
+
+	// Acked-delivery fields. On opSub, Acked/Session/FromSeq request an
+	// acked session; on opMsg, Seq carries the message's sequence number; on
+	// opMsgAck, Seq is the cumulative ack; on opPub, Session/Seq enable
+	// publisher-side dedup of idempotent retries.
+	Acked   bool   `json:"acked,omitempty"`
+	Session string `json:"session,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	FromSeq uint64 `json:"fromSeq,omitempty"`
 }
 
 // Serve starts the TCP listener at addr (port 0 picks a free port).
@@ -419,11 +453,23 @@ func (b *Broker) handleConn(conn net.Conn) {
 	w := wire.NewWriter(conn)
 	send := func(f *frame) error { return w.WriteFrame(f) }
 
-	mySubs := map[int]struct{}{}
+	// mySubs tracks this connection's subscriptions; acked entries keep
+	// their consumer channel so teardown can prove it still owns the
+	// session. On teardown plain subscriptions end, acked sessions only
+	// detach — their queues survive for the consumer's next connection.
+	type connSub struct {
+		acked bool
+		ch    <-chan Message
+	}
+	mySubs := map[int]connSub{}
 	var pumpWG sync.WaitGroup
 	defer func() {
-		for id := range mySubs {
-			b.Unsubscribe(id)
+		for id, cs := range mySubs {
+			if cs.acked {
+				b.detachOwned(id, cs.ch)
+			} else {
+				b.Unsubscribe(id)
+			}
 		}
 		pumpWG.Wait()
 	}()
@@ -435,28 +481,33 @@ func (b *Broker) handleConn(conn net.Conn) {
 		}
 		switch f.Op {
 		case opPub:
-			if err := b.Publish(f.Topic, f.Payload, f.Retain); err != nil {
+			dup, err := b.PublishSeq(f.Topic, f.Payload, f.Retain, f.Session, f.Seq)
+			if err != nil {
 				_ = send(&frame{ID: f.ID, Op: opErr, Error: err.Error()})
 			} else {
-				_ = send(&frame{ID: f.ID, Op: opAck})
+				_ = send(&frame{ID: f.ID, Op: opAck, Acked: dup})
 			}
 		case opSub:
-			id, ch, err := b.Subscribe(f.Topic)
+			id, ch, err := b.SubscribeOpts(f.Topic, SubOptions{Acked: f.Acked, Session: f.Session, FromSeq: f.FromSeq})
 			if err != nil {
 				_ = send(&frame{ID: f.ID, Op: opErr, Error: err.Error()})
 				continue
 			}
-			mySubs[id] = struct{}{}
+			mySubs[id] = connSub{acked: f.Acked, ch: ch}
 			_ = send(&frame{ID: f.ID, Op: opAck, SubID: id})
 			pumpWG.Add(1)
 			go func(id int, ch <-chan Message) {
 				defer pumpWG.Done()
 				for m := range ch {
-					if err := send(&frame{Op: opMsg, SubID: id, Topic: m.Topic, Payload: m.Payload, Retain: m.Retained}); err != nil {
+					if err := send(&frame{Op: opMsg, SubID: id, Topic: m.Topic, Payload: m.Payload, Retain: m.Retained, Seq: m.Seq}); err != nil {
 						return
 					}
 				}
 			}(id, ch)
+		case opMsgAck:
+			if cs, ok := mySubs[f.SubID]; ok && cs.acked {
+				b.Ack(f.SubID, f.Seq)
+			}
 		case opUnsub:
 			if _, ok := mySubs[f.SubID]; ok {
 				b.Unsubscribe(f.SubID)

@@ -19,12 +19,29 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *frame
-	subs    map[int]chan Message
-	closed  bool
-	readErr error
+	// pendingSubs maps an in-flight subscribe request to its pre-built sub
+	// state. The read loop registers it in subs the instant the broker's ack
+	// arrives — before reading the next frame — because on a session resume
+	// the broker replays the queued backlog immediately behind that ack, and
+	// a message that lands before the subscription is registered would be
+	// discarded (then cumulatively acked over: permanent loss).
+	pendingSubs map[uint64]*clientSub
+	subs        map[int]*clientSub
+	closed      bool
+	readErr     error
 
 	timeout time.Duration
 	done    chan struct{}
+	closing chan struct{} // closed by Close before the conn drops
+}
+
+// clientSub is the client side of one subscription. For acked sessions the
+// client dedups redeliveries by sequence and never drops: a full consumer
+// channel backpressures the read loop instead.
+type clientSub struct {
+	ch      chan Message
+	acked   bool
+	lastSeq uint64 // highest seq handed to the consumer
 }
 
 // DialClient connects to a broker at addr.
@@ -40,12 +57,14 @@ func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
 		return nil, fmt.Errorf("broker client: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		conn:    conn,
-		w:       wire.NewWriter(conn),
-		pending: map[uint64]chan *frame{},
-		subs:    map[int]chan Message{},
-		timeout: timeout,
-		done:    make(chan struct{}),
+		conn:        conn,
+		w:           wire.NewWriter(conn),
+		pending:     map[uint64]chan *frame{},
+		pendingSubs: map[uint64]*clientSub{},
+		subs:        map[int]*clientSub{},
+		timeout:     timeout,
+		done:        make(chan struct{}),
+		closing:     make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -74,6 +93,7 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.closing)
 	c.mu.Unlock()
 	err := c.conn.Close()
 	<-c.done
@@ -92,9 +112,12 @@ func (c *Client) readLoop() {
 				close(ch)
 				delete(c.pending, id)
 			}
-			for id, ch := range c.subs {
-				close(ch)
+			for id, st := range c.subs {
+				close(st.ch)
 				delete(c.subs, id)
+			}
+			for id := range c.pendingSubs {
+				delete(c.pendingSubs, id)
 			}
 			c.mu.Unlock()
 			return
@@ -103,17 +126,22 @@ func (c *Client) readLoop() {
 			// Deliver under the lock so Unsubscribe cannot close the
 			// channel mid-send (drop-oldest for slow consumers).
 			c.mu.Lock()
-			if ch := c.subs[f.SubID]; ch != nil {
-				msg := Message{Topic: f.Topic, Payload: f.Payload, Retained: f.Retain}
+			if st := c.subs[f.SubID]; st != nil {
+				msg := Message{Topic: f.Topic, Payload: f.Payload, Retained: f.Retain, Seq: f.Seq}
+				if st.acked {
+					c.mu.Unlock()
+					c.deliverAcked(f.SubID, st, msg)
+					continue
+				}
 				select {
-				case ch <- msg:
+				case st.ch <- msg:
 				default:
 					select {
-					case <-ch:
+					case <-st.ch:
 					default:
 					}
 					select {
-					case ch <- msg:
+					case st.ch <- msg:
 					default:
 					}
 				}
@@ -122,6 +150,12 @@ func (c *Client) readLoop() {
 			continue
 		}
 		c.mu.Lock()
+		if st, ok := c.pendingSubs[f.ID]; ok {
+			delete(c.pendingSubs, f.ID)
+			if f.Op == opAck && f.SubID != 0 {
+				c.subs[f.SubID] = st
+			}
+		}
 		ch := c.pending[f.ID]
 		delete(c.pending, f.ID)
 		c.mu.Unlock()
@@ -132,7 +166,10 @@ func (c *Client) readLoop() {
 	}
 }
 
-func (c *Client) roundTrip(f *frame) (*frame, error) {
+// roundTrip sends a request frame and waits for its response. A non-nil sub
+// is staged in pendingSubs so the read loop can register it atomically with
+// the subscribe ack (see the pendingSubs field comment).
+func (c *Client) roundTrip(f *frame, sub *clientSub) (*frame, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -142,11 +179,15 @@ func (c *Client) roundTrip(f *frame) (*frame, error) {
 	f.ID = c.nextID
 	ch := make(chan *frame, 1)
 	c.pending[f.ID] = ch
+	if sub != nil {
+		c.pendingSubs[f.ID] = sub
+	}
 	c.mu.Unlock()
 
 	if err := c.w.WriteFrame(f); err != nil {
 		c.mu.Lock()
 		delete(c.pending, f.ID)
+		delete(c.pendingSubs, f.ID)
 		c.mu.Unlock()
 		return nil, fmt.Errorf("broker client: send: %w", err)
 	}
@@ -164,38 +205,126 @@ func (c *Client) roundTrip(f *frame) (*frame, error) {
 	case <-timer.C:
 		c.mu.Lock()
 		delete(c.pending, f.ID)
+		delete(c.pendingSubs, f.ID)
 		c.mu.Unlock()
+		// The response may have raced the timer: the read loop buffers it
+		// (and may already have registered a staged sub) before we got here.
+		// Prefer it over reporting a timeout, so the caller's view and the
+		// client's sub table cannot diverge.
+		select {
+		case resp, ok := <-ch:
+			if ok {
+				if resp.Op == opErr {
+					return nil, fmt.Errorf("broker: %s", resp.Error)
+				}
+				return resp, nil
+			}
+		default:
+		}
 		return nil, fmt.Errorf("broker client: %s timed out after %v", f.Op, c.timeout)
+	}
+}
+
+// deliverAcked hands an acked message to the consumer, deduping
+// redeliveries by sequence. A full channel blocks (with the lock released)
+// rather than drops — on the acked path losing a message here would defeat
+// the broker's redelivery guarantee.
+func (c *Client) deliverAcked(subID int, st *clientSub, msg Message) {
+	for {
+		c.mu.Lock()
+		if c.closed || c.readErr != nil || c.subs[subID] != st {
+			c.mu.Unlock()
+			return
+		}
+		if msg.Seq <= st.lastSeq {
+			c.mu.Unlock()
+			return
+		}
+		select {
+		case st.ch <- msg:
+			st.lastSeq = msg.Seq
+			c.mu.Unlock()
+			return
+		default:
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.closing:
+			return
+		case <-time.After(time.Millisecond):
+		}
 	}
 }
 
 // Publish sends payload to a topic.
 func (c *Client) Publish(topic string, payload []byte, retain bool) error {
-	_, err := c.roundTrip(&frame{Op: opPub, Topic: topic, Payload: payload, Retain: retain})
+	_, err := c.roundTrip(&frame{Op: opPub, Topic: topic, Payload: payload, Retain: retain}, nil)
 	return err
+}
+
+// PublishSeq publishes with publisher-side dedup: retrying an uncertain
+// publish (timeout, dropped conn) with the same session and seq is
+// idempotent — the broker acknowledges without delivering twice. It reports
+// whether the broker had already seen the sequence.
+func (c *Client) PublishSeq(topic string, payload []byte, retain bool, session string, seq uint64) (bool, error) {
+	resp, err := c.roundTrip(&frame{Op: opPub, Topic: topic, Payload: payload, Retain: retain, Session: session, Seq: seq}, nil)
+	if err != nil {
+		return false, err
+	}
+	return resp.Acked, nil
 }
 
 // Subscribe registers a topic filter; messages arrive on the returned
 // channel until Unsubscribe or connection loss.
 func (c *Client) Subscribe(filter string) (int, <-chan Message, error) {
-	resp, err := c.roundTrip(&frame{Op: opSub, Topic: filter})
+	return c.subscribe(&frame{Op: opSub, Topic: filter}, false, 0)
+}
+
+// SubscribeSession opens (or resumes) an acked at-least-once session.
+// fromSeq is the consumer's last fully processed sequence: the broker
+// treats everything at or below it as acknowledged, and the client drops
+// redeliveries at or below it. Each message on the channel carries its Seq;
+// the consumer must Ack after processing or delivery stalls at the window.
+func (c *Client) SubscribeSession(filter, session string, fromSeq uint64) (int, <-chan Message, error) {
+	return c.subscribe(&frame{Op: opSub, Topic: filter, Acked: true, Session: session, FromSeq: fromSeq}, true, fromSeq)
+}
+
+func (c *Client) subscribe(f *frame, acked bool, fromSeq uint64) (int, <-chan Message, error) {
+	// The sub state is built up front and registered by the read loop
+	// together with the broker's ack: an acked-session resume replays the
+	// queued backlog immediately behind that ack, and registering here —
+	// after roundTrip returns — would race those replayed frames.
+	st := &clientSub{ch: make(chan Message, 256), acked: acked, lastSeq: fromSeq}
+	resp, err := c.roundTrip(f, st)
 	if err != nil {
 		return 0, nil, err
 	}
-	ch := make(chan Message, 256)
+	return resp.SubID, st.ch, nil
+}
+
+// Ack cumulatively acknowledges every sequence up to and including seq on
+// an acked subscription. Fire-and-forget: the broker does not reply, and a
+// lost ack only costs a redelivery the client dedups.
+func (c *Client) Ack(subID int, seq uint64) error {
 	c.mu.Lock()
-	c.subs[resp.SubID] = ch
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("broker client: closed")
+	}
 	c.mu.Unlock()
-	return resp.SubID, ch, nil
+	if err := c.w.WriteFrame(&frame{Op: opMsgAck, SubID: subID, Seq: seq}); err != nil {
+		return fmt.Errorf("broker client: ack: %w", err)
+	}
+	return nil
 }
 
 // Unsubscribe cancels a subscription.
 func (c *Client) Unsubscribe(id int) error {
-	_, err := c.roundTrip(&frame{Op: opUnsub, SubID: id})
+	_, err := c.roundTrip(&frame{Op: opUnsub, SubID: id}, nil)
 	c.mu.Lock()
-	if ch, ok := c.subs[id]; ok {
+	if st, ok := c.subs[id]; ok {
 		delete(c.subs, id)
-		close(ch)
+		close(st.ch)
 	}
 	c.mu.Unlock()
 	return err

@@ -1,0 +1,383 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/resilience"
+)
+
+// This file implements acked (QoS: at-least-once) subscriptions. A plain
+// subscription sheds load drop-oldest; an acked subscription instead assigns
+// every matched message a per-session monotonic sequence number, keeps it
+// queued until the consumer acknowledges it, redelivers on a backoff timer,
+// and survives connection loss: the session stays indexed in the trie while
+// detached, so messages published during a pod outage queue up and are
+// replayed when the pod reattaches with its last-acked sequence. Consumers
+// dedup by sequence, so redelivery is idempotent and the end-to-end result
+// is effectively exactly-once.
+
+// defaultAckWindow bounds how many unacked messages are in flight to a
+// consumer at once.
+const defaultAckWindow = 256
+
+// maxAckedBacklog caps the per-session queue of unacked + undelivered
+// messages. Beyond it the broker refuses new messages for the session
+// (counted in AckStats) rather than grow without bound while a consumer is
+// gone for good.
+const maxAckedBacklog = 1 << 16
+
+// SubOptions configures a subscription's delivery quality.
+type SubOptions struct {
+	// Acked upgrades the subscription to at-least-once delivery with
+	// sequence numbers, a bounded in-flight window and timed redelivery.
+	Acked bool
+	// Session names the durable session (required when Acked). Resubscribing
+	// with the same session resumes it: undelivered messages queued while
+	// detached are replayed.
+	Session string
+	// FromSeq is the consumer's last processed sequence; everything at or
+	// below it is treated as acknowledged on (re)attach.
+	FromSeq uint64
+	// Window bounds unacked messages in flight (default 256).
+	Window int
+}
+
+// ackState is the at-least-once machinery of one acked subscription,
+// guarded by the subscription's mutex.
+type ackState struct {
+	session string
+	window  int
+	backoff resilience.Backoff
+
+	// queue holds unacked and undelivered messages; queue[0] carries
+	// sequence number base. Invariant: nextSeq == base + len(queue) - 1.
+	queue   []Message
+	base    uint64 // seq of queue[0]; base-1 is the highest acked seq
+	nextSeq uint64 // highest assigned seq
+	cursor  uint64 // next seq the pump hands to the consumer
+
+	attempt    int
+	timer      *time.Timer
+	timerArmed bool
+
+	attached bool
+	epoch    int // increments per attach/detach; stale pumps and timers exit
+	detach   chan struct{}
+}
+
+// SubscribeOpts registers a filter with explicit delivery options. Without
+// Acked it is identical to Subscribe. With Acked, reusing a live session
+// name takes the session over (the previous attachment is detached), and
+// FromSeq acknowledges everything the consumer already processed.
+func (b *Broker) SubscribeOpts(filter string, opts SubOptions) (int, <-chan Message, error) {
+	if !opts.Acked {
+		return b.Subscribe(filter)
+	}
+	if opts.Session == "" {
+		return 0, nil, errors.New("broker: acked subscription requires a session name")
+	}
+	if err := ValidateFilter(filter); err != nil {
+		return 0, nil, err
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = defaultAckWindow
+	}
+
+	b.subMu.Lock()
+	if b.closed.Load() {
+		b.subMu.Unlock()
+		return 0, nil, errors.New("broker: closed")
+	}
+	if s := b.sessions[opts.Session]; s != nil {
+		b.subMu.Unlock()
+		return b.reattach(s, filter, opts)
+	}
+	b.nextSub++
+	s := newSubscription(b.nextSub, filter, b)
+	s.ack = &ackState{
+		session:  opts.Session,
+		window:   window,
+		backoff:  b.RedeliveryBackoff,
+		base:     opts.FromSeq + 1,
+		nextSeq:  opts.FromSeq,
+		cursor:   opts.FromSeq + 1,
+		attached: true,
+		detach:   make(chan struct{}),
+	}
+	b.subs[s.id] = s
+	b.sessions[opts.Session] = s
+
+	sh := b.shardForFilter(filter)
+	sh.mu.Lock()
+	sh.root.add(filter, s)
+	b.replayRetained(sh, s)
+	sh.mu.Unlock()
+	if sh == &b.shards[numShards] {
+		for i := 0; i < numShards; i++ {
+			lit := &b.shards[i]
+			lit.mu.RLock()
+			b.replayRetained(lit, s)
+			lit.mu.RUnlock()
+		}
+	}
+	b.subMu.Unlock()
+	go s.pumpAcked(0, s.out, s.ack.detach)
+	return s.id, s.out, nil
+}
+
+// reattach resumes an existing session: FromSeq acts as a cumulative ack,
+// delivery restarts from the oldest unacked message, and any previous
+// attachment is taken over (its pump exits, its channel closes).
+func (b *Broker) reattach(s *subscription, filter string, opts SubOptions) (int, <-chan Message, error) {
+	s.mu.Lock()
+	a := s.ack
+	if s.closed {
+		s.mu.Unlock()
+		return 0, nil, errors.New("broker: closed")
+	}
+	if s.filter != filter {
+		s.mu.Unlock()
+		return 0, nil, fmt.Errorf("broker: session %q exists with filter %q, not %q", a.session, s.filter, filter)
+	}
+	if a.attached {
+		// Session takeover: the newest consumer wins, exactly like an MQTT
+		// client reconnecting before the broker noticed the old TCP conn die.
+		close(a.detach)
+	}
+	a.ackTo(opts.FromSeq)
+	a.stopTimerLocked()
+	a.cursor = a.base
+	a.attempt = 0
+	a.attached = true
+	a.epoch++
+	epoch := a.epoch
+	out := make(chan Message, 32)
+	detach := make(chan struct{})
+	a.detach = detach
+	s.out = out
+	s.mu.Unlock()
+	go s.pumpAcked(epoch, out, detach)
+	s.wakeUp()
+	return s.id, out, nil
+}
+
+// ackTo applies a cumulative acknowledgement up to seq. Callers hold s.mu.
+func (a *ackState) ackTo(seq uint64) {
+	if seq < a.base {
+		return
+	}
+	n := seq - a.base + 1
+	if n > uint64(len(a.queue)) {
+		n = uint64(len(a.queue))
+	}
+	a.queue = a.queue[n:]
+	a.base += n
+	if a.cursor < a.base {
+		a.cursor = a.base
+	}
+	// Re-home the slice when the backing array is mostly acked prefix, so a
+	// long-lived session doesn't pin every message it ever queued.
+	if len(a.queue) == 0 {
+		a.queue = nil
+	} else if cap(a.queue) > 64 && cap(a.queue) > 4*len(a.queue) {
+		a.queue = append([]Message(nil), a.queue...)
+	}
+}
+
+func (a *ackState) stopTimerLocked() {
+	if a.timerArmed && a.timer != nil {
+		a.timer.Stop()
+	}
+	a.timerArmed = false
+}
+
+// Ack acknowledges every sequence up to and including seq on an acked
+// subscription. Acks are cumulative, so consumers ack once per batch.
+func (b *Broker) Ack(id int, seq uint64) {
+	b.subMu.Lock()
+	s := b.subs[id]
+	b.subMu.Unlock()
+	if s == nil || s.ack == nil {
+		return
+	}
+	s.mu.Lock()
+	a := s.ack
+	if seq >= a.base {
+		a.ackTo(seq)
+		a.attempt = 0
+		a.stopTimerLocked()
+	}
+	s.mu.Unlock()
+	// The window may have opened; the pump re-arms redelivery if anything
+	// is still in flight.
+	s.wakeUp()
+}
+
+// Detach disconnects an acked subscription's consumer without ending the
+// session: the subscription stays indexed, messages keep queueing, and a
+// later SubscribeOpts with the same session resumes delivery. The broker
+// side of a connection teardown.
+func (b *Broker) Detach(id int) {
+	b.detachOwned(id, nil)
+}
+
+// detachOwned detaches only when ch still is the session's live consumer
+// channel (nil skips the check). A connection tearing down after its session
+// was taken over by a newer connection must not detach the new owner.
+func (b *Broker) detachOwned(id int, ch <-chan Message) {
+	b.subMu.Lock()
+	s := b.subs[id]
+	b.subMu.Unlock()
+	if s == nil || s.ack == nil {
+		return
+	}
+	s.mu.Lock()
+	a := s.ack
+	if !a.attached || (ch != nil && (<-chan Message)(s.out) != ch) {
+		s.mu.Unlock()
+		return
+	}
+	a.attached = false
+	a.epoch++
+	close(a.detach)
+	a.stopTimerLocked()
+	a.cursor = a.base
+	a.attempt = 0
+	s.mu.Unlock()
+}
+
+// PublishSeq publishes with publisher-side dedup: a (session, seq) pair at
+// or below the session's high-water mark is acknowledged without publishing
+// again. Publishers that must not lose data republish after an uncertain
+// outcome (timeout, dropped conn) with the same seq; the broker makes the
+// retry idempotent. An empty session falls back to plain Publish.
+func (b *Broker) PublishSeq(topic string, payload []byte, retain bool, session string, seq uint64) (dup bool, err error) {
+	if session == "" || seq == 0 {
+		return false, b.Publish(topic, payload, retain)
+	}
+	b.pubMu.Lock()
+	last := b.pubSeqs[session]
+	b.pubMu.Unlock()
+	if seq <= last {
+		return true, nil
+	}
+	if err := b.Publish(topic, payload, retain); err != nil {
+		return false, err
+	}
+	b.pubMu.Lock()
+	if seq > b.pubSeqs[session] {
+		b.pubSeqs[session] = seq
+	}
+	b.pubMu.Unlock()
+	return false, nil
+}
+
+// AckStats returns lifetime counters for the acked path: messages
+// redelivered after an ack timeout, and messages refused because a
+// session's backlog hit its cap. Zero-loss audits assert refused == 0.
+func (b *Broker) AckStats() (redelivered, refused uint64) {
+	return b.redelivered.Load(), b.ackedRefused.Load()
+}
+
+// enqueueAcked queues a matched message on an acked subscription, assigning
+// its sequence number. Called from enqueue with the decision already made.
+func (s *subscription) enqueueAcked(m Message) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	a := s.ack
+	if len(a.queue) >= maxAckedBacklog {
+		s.mu.Unlock()
+		s.b.ackedRefused.Add(1)
+		return
+	}
+	a.nextSeq++
+	m.Seq = a.nextSeq
+	a.queue = append(a.queue, m)
+	s.mu.Unlock()
+	s.b.delivered.Add(1)
+	s.wakeUp()
+}
+
+// pumpAcked drains the session queue to one attachment's consumer channel,
+// bounded by the in-flight window, arming the redelivery timer whenever
+// messages are in flight. It exits — closing out — when the attachment is
+// detached (takeover or connection teardown) or the subscription closes.
+func (s *subscription) pumpAcked(epoch int, out chan Message, detach chan struct{}) {
+	a := s.ack
+	for {
+		s.mu.Lock()
+		if s.closed || a.epoch != epoch || !a.attached {
+			s.mu.Unlock()
+			close(out)
+			return
+		}
+		if a.cursor <= a.nextSeq && a.cursor-a.base < uint64(a.window) {
+			m := a.queue[a.cursor-a.base]
+			m.Seq = a.cursor
+			a.cursor++
+			s.armRedeliveryLocked(epoch)
+			s.mu.Unlock()
+			select {
+			case out <- m:
+				continue
+			case <-detach:
+			case <-s.quit:
+			}
+			close(out)
+			return
+		}
+		// Nothing deliverable. If messages are in flight and no timer is
+		// pending (an ack stopped it), re-arm so a lost ack still redelivers.
+		if a.cursor > a.base {
+			s.armRedeliveryLocked(epoch)
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.wake:
+		case <-detach:
+			close(out)
+			return
+		case <-s.quit:
+			close(out)
+			return
+		}
+	}
+}
+
+// armRedeliveryLocked schedules a redelivery sweep after the current
+// backoff delay, if one is not already pending. Callers hold s.mu.
+func (s *subscription) armRedeliveryLocked(epoch int) {
+	a := s.ack
+	if a.timerArmed {
+		return
+	}
+	a.timerArmed = true
+	d := a.backoff.Delay(a.attempt)
+	a.timer = time.AfterFunc(d, func() { s.redeliver(epoch) })
+}
+
+// redeliver rewinds the delivery cursor to the oldest unacked message. The
+// next attempt's timer backs off exponentially, so a dead consumer costs
+// bounded work while a merely-slow one gets its messages again quickly.
+func (s *subscription) redeliver(epoch int) {
+	s.mu.Lock()
+	a := s.ack
+	if a.epoch == epoch {
+		a.timerArmed = false
+	}
+	if s.closed || a.epoch != epoch || !a.attached || a.cursor <= a.base {
+		s.mu.Unlock()
+		return
+	}
+	a.cursor = a.base
+	a.attempt++
+	s.mu.Unlock()
+	s.b.redelivered.Add(1)
+	s.wakeUp()
+}

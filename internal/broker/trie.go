@@ -168,6 +168,11 @@ type subscription struct {
 	head   int
 	count  int
 	closed bool
+
+	// ack, when non-nil, upgrades the subscription to at-least-once
+	// delivery (session.go): the drop-oldest ring is bypassed in favour of
+	// the session queue, and out is replaced per attachment.
+	ack *ackState
 }
 
 func newSubscription(id int, filter string, b *Broker) *subscription {
@@ -183,8 +188,13 @@ func newSubscription(id int, filter string, b *Broker) *subscription {
 
 // enqueue accepts a message for delivery, overwriting the oldest queued
 // message when the ring is full. Accepts count as delivered, overwrites as
-// dropped — the Stats split chaos soaks assert on.
+// dropped — the Stats split chaos soaks assert on. Acked subscriptions
+// queue in their session instead of the ring and never overwrite.
 func (s *subscription) enqueue(m Message) {
+	if s.ack != nil {
+		s.enqueueAcked(m)
+		return
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -200,6 +210,11 @@ func (s *subscription) enqueue(m Message) {
 	}
 	s.mu.Unlock()
 	s.b.delivered.Add(1)
+	s.wakeUp()
+}
+
+// wakeUp nudges the pump; the cap-1 channel coalesces bursts.
+func (s *subscription) wakeUp() {
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -247,6 +262,9 @@ func (s *subscription) close() {
 		return
 	}
 	s.closed = true
+	if s.ack != nil {
+		s.ack.stopTimerLocked()
+	}
 	s.mu.Unlock()
 	close(s.quit)
 }

@@ -160,6 +160,12 @@ func runChaosSoak(t *testing.T, bundle *codegen.Bundle, seed int64) []string {
 	if dropped > delivered {
 		t.Errorf("broker dropped %d > delivered %d", dropped, delivered)
 	}
+	// Acked sessions are the loss-bounded tier: redelivery is fine (the
+	// consumers dedup) but a refused enqueue would be a dropped acked
+	// message, and the chaos soak must never provoke one.
+	if _, refused := cluster.BrokerAckStats(); refused != 0 {
+		t.Errorf("broker refused %d acked messages during chaos soak, want 0", refused)
+	}
 
 	// Services answer on every machine.
 	bc, err := broker.DialClient(cluster.BrokerAddr())

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"github.com/smartfactory/sysml2conf/internal/historian"
 	"github.com/smartfactory/sysml2conf/internal/k8s"
 	"github.com/smartfactory/sysml2conf/internal/stack"
+	"github.com/smartfactory/sysml2conf/internal/wal"
 )
 
 // Node is one simulated cluster node.
@@ -83,8 +85,16 @@ type Cluster struct {
 
 	// FaultInjector, when set before Apply, wraps the broker and OPC UA
 	// server listeners so chaos rules and partitions apply to them. The
-	// injector's component names are "broker" and "opcua:<server>".
+	// injector's component names are "broker", "opcua:<server>" and (for
+	// durable historians) "disk:<historian>".
 	FaultInjector *faultinject.Injector
+
+	// DataDir, when set before Apply, makes historian pods durable: each
+	// opens a WAL-backed store under DataDir/<name>, and a supervised
+	// restart recovers its state from disk (snapshot + WAL replay) instead
+	// of an in-memory handoff. Empty means volatile stores, kept across
+	// restarts via historianStores.
+	DataDir string
 
 	broker      *broker.Broker
 	brokerAddr  string
@@ -371,14 +381,33 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 		c.mu.Lock()
 		brokerAddr := c.brokerAddr
 		store := c.historianStores[sc.Name]
+		dataDir := c.DataDir
 		c.mu.Unlock()
 		if brokerAddr == "" {
 			return fmt.Errorf("deploy: historian %s started before the broker", sc.Name)
 		}
+		if dataDir != "" {
+			// Durable mode: every restart goes through the crash-recovery
+			// path — open snapshot + WAL, replay, resubscribe from the
+			// recovered session high-water marks.
+			opts := historian.DurableOptions{MaxPerSeries: sc.Retention}
+			if inj := c.FaultInjector; inj != nil {
+				opts.FS = inj.WrapFS("disk:"+sc.Name, wal.OS)
+			}
+			svc, err := historian.NewDurableService(brokerAddr, sc.Name, sc.Topics,
+				filepath.Join(dataDir, sc.Name), opts)
+			if err != nil {
+				return err
+			}
+			c.mu.Lock()
+			c.historians[sc.Name] = svc
+			c.mu.Unlock()
+			return nil
+		}
 		if store == nil {
 			store = historian.NewStore(sc.Retention)
 		}
-		svc, err := historian.NewServiceWithStore(brokerAddr, sc.Topics, store)
+		svc, err := historian.NewAckedService(brokerAddr, sc.Name, sc.Topics, store)
 		if err != nil {
 			return err
 		}
@@ -521,6 +550,20 @@ func (c *Cluster) BrokerStats() (published, delivered, dropped uint64, subscript
 		return 0, 0, 0, 0
 	}
 	return b.Stats()
+}
+
+// BrokerAckStats returns the broker's acked-delivery counters: redelivered
+// is retries of unacked messages (benign — consumers dedup), refused is
+// messages rejected because a session's backlog was full (real loss; a
+// healthy deployment keeps this at zero).
+func (c *Cluster) BrokerAckStats() (redelivered, refused uint64) {
+	c.mu.Lock()
+	b := c.broker
+	c.mu.Unlock()
+	if b == nil {
+		return 0, 0
+	}
+	return b.AckStats()
 }
 
 // Historian returns a running historian service by name, or nil.

@@ -144,6 +144,11 @@ func (c *Cluster) Reconfigure(old, new *codegen.Bundle) (*ReconfigureReport, err
 		return stopList[i].Name() < stopList[j].Name()
 	})
 	for _, o := range stopList {
+		// A retried reconfigure (after a partial failure) finds some pods
+		// already stopped; skipping them makes the transition resumable.
+		if _, ok := c.PodStatus(o.Name() + "-0"); !ok {
+			continue
+		}
 		if err := c.Remove(o.Name()); err != nil {
 			return report, err
 		}
@@ -179,6 +184,15 @@ func (c *Cluster) Reconfigure(old, new *codegen.Bundle) (*ReconfigureReport, err
 		return startObjs[i].Name() < startObjs[j].Name()
 	})
 	for _, o := range startObjs {
+		// Already running (started by a previous partially-failed attempt,
+		// or an unchanged manifest swept in by the cascade set): leave it.
+		// A Failed pod from that earlier attempt is cleared and retried.
+		if p, ok := c.PodStatus(o.Name() + "-0"); ok {
+			if p.Phase != PodFailed {
+				continue
+			}
+			_ = c.Remove(o.Name())
+		}
 		if err := c.startDeployment(o, configMaps); err != nil {
 			return report, err
 		}

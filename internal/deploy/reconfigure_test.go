@@ -1,10 +1,12 @@
 package deploy
 
 import (
+	"net"
 	"testing"
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/faultinject"
 	"github.com/smartfactory/sysml2conf/internal/icelab"
 	"github.com/smartfactory/sysml2conf/internal/machinesim"
 )
@@ -181,6 +183,125 @@ func TestReconfigureDriverEndpointChange(t *testing.T) {
 	waitForSeries(t, rig.cluster,
 		"factory/ICEProductionLine/workCell02/emco/values/AxesPositions/actualX", 2, 10*time.Second)
 	_ = start
+}
+
+// TestReconfigureUnderPartitionConverges overlaps a model-driven
+// reconfiguration with a network partition of the machine whose OPC UA
+// server must restart. The transition is allowed to fail or leave pods
+// unready while the partition holds, but it must never wedge the cluster:
+// once the partition heals, retrying the same reconfigure converges — all
+// pods Ready under the new configuration and fresh data flowing from the
+// moved machine.
+func TestReconfigureUnderPartitionConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partition reconfigure skipped in -short mode")
+	}
+	full := icelab.ICELab()
+	spec := icelab.FactorySpec{
+		TopologyName: full.TopologyName, Enterprise: full.Enterprise,
+		Site: full.Site, Area: full.Area, Line: full.Line,
+	}
+	for _, m := range full.Machines {
+		switch m.Name {
+		case "speaATE", "warehouse", "rbKairos1":
+			spec.Machines = append(spec.Machines, m)
+		}
+	}
+	bundle, err := codegen.Generate(icelab.MustBuild(spec), codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New(31)
+	fleet, resolver, err := StartFleetWrapped(bundle.Intermediate.Machines, 5*time.Millisecond,
+		func(name string, ln net.Listener) net.Listener {
+			return inj.Wrap("machine:"+name, ln)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	cluster := NewCluster(2, 32)
+	cluster.MachineEndpoints = resolver
+	cluster.FaultInjector = inj
+	fastProbes(cluster)
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	// Evolve the model: speaATE moves to a new IP, forcing its workcell
+	// server to restart (and the bridge clients to cascade).
+	moved := spec
+	moved.Machines = append([]icelab.MachineSpec(nil), spec.Machines...)
+	for i := range moved.Machines {
+		if moved.Machines[i].Name == "speaATE" {
+			moved.Machines[i].IP = "10.197.99.42"
+		}
+	}
+	newBundle, err := codegen.Generate(icelab.MustBuild(moved), codegen.GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the machine the restarted server must reach, then attempt
+	// the transition under the partition.
+	if err := cluster.PartitionComponent("machine:speaATE", true); err != nil {
+		t.Fatal(err)
+	}
+	report, rerr := cluster.Reconfigure(bundle, newBundle)
+	if rerr != nil {
+		t.Logf("reconfigure under partition failed (will retry after heal): %v", rerr)
+	} else {
+		t.Logf("reconfigure under partition: stopped=%v started=%v", report.Stopped, report.Started)
+	}
+
+	series := "factory/ICEProductionLine/workCell01/speaATE/values/TestStatus/testProgress"
+	count := func(s string) int {
+		total := 0
+		for _, h := range cluster.Historians() {
+			if svc := cluster.Historian(h); svc != nil && svc.Store != nil {
+				total += svc.Store.Count(s)
+			}
+		}
+		return total
+	}
+
+	// While the partition holds, the restarted server cannot reach its
+	// machine: speaATE's data flow stays severed (its sample count goes
+	// quiet) while the unaffected machines keep producing.
+	time.Sleep(150 * time.Millisecond) // let in-flight samples drain
+	severedAt := count(series)
+	other := "factory/ICEProductionLine/workCell05/warehouse/values/TrayStatus/trayWeight"
+	otherBefore := count(other)
+	time.Sleep(300 * time.Millisecond)
+	if got := count(series); got > severedAt {
+		t.Errorf("speaATE samples grew %d -> %d during its partition", severedAt, got)
+	}
+	waitFor(t, 10*time.Second, "warehouse flows during speaATE partition", func() bool {
+		return count(other) > otherBefore
+	})
+
+	// Heal, then drive the same transition to convergence. A retry must be
+	// idempotent: pods stopped or started by the first attempt are skipped.
+	if err := cluster.PartitionComponent("machine:speaATE", false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "reconfigure retry succeeds after heal", func() bool {
+		_, err := cluster.Reconfigure(bundle, newBundle)
+		return err == nil
+	})
+	waitFor(t, 30*time.Second, "all pods ready under new configuration", func() bool {
+		return cluster.AllReady()
+	})
+
+	// Fresh samples from the moved machine prove the new configuration is
+	// live end to end.
+	before := count(series)
+	waitFor(t, 15*time.Second, "fresh speaATE samples after reconfigure", func() bool {
+		return count(series) > before
+	})
 }
 
 func TestRemoveUnknownPod(t *testing.T) {

@@ -1,0 +1,73 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+
+	"github.com/smartfactory/sysml2conf/internal/wal"
+)
+
+// ErrInjectedSync is the error a faulted fsync returns.
+var ErrInjectedSync = errors.New("faultinject: injected fsync error")
+
+// ErrInjectedTornWrite is the error a torn write returns after persisting
+// only a prefix of the payload.
+var ErrInjectedTornWrite = errors.New("faultinject: injected torn write")
+
+// WrapFS decorates a wal.FS so writes and fsyncs through it are subject to
+// the named disk's DiskRule. A torn write persists only a prefix of the
+// payload and then errors — exactly the on-disk state a crash mid-write
+// leaves, which the WAL's torn-tail truncation must recover from. A faulted
+// fsync errors without syncing, which the WAL treats as a poisoned log.
+// Wrapping is transparent when no disk rule is set.
+func (in *Injector) WrapFS(name string, fs wal.FS) wal.FS {
+	return &faultFS{FS: fs, name: name, in: in}
+}
+
+type faultFS struct {
+	wal.FS
+	name string
+	in   *Injector
+}
+
+func (fs *faultFS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	f, err := fs.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: f, name: fs.name, in: fs.in}, nil
+}
+
+type faultFile struct {
+	wal.File
+	name string
+	in   *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	rule := f.in.diskRule(f.name)
+	if len(p) > 1 && f.in.roll(rule.TornWriteRate) {
+		st := f.in.statsFor(f.name)
+		f.in.mu.Lock()
+		st.TornWrites++
+		f.in.mu.Unlock()
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedTornWrite
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	rule := f.in.diskRule(f.name)
+	if f.in.roll(rule.SyncErrorRate) {
+		st := f.in.statsFor(f.name)
+		f.in.mu.Lock()
+		st.SyncErrors++
+		f.in.mu.Unlock()
+		return ErrInjectedSync
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/wal"
+)
+
+// TestWrapFSTornWriteRecovers injects a torn write into a WAL append, then
+// reopens the directory and verifies only the torn record is gone.
+func TestWrapFSTornWriteRecovers(t *testing.T) {
+	in := New(7)
+	dir := t.TempDir()
+	fs := in.WrapFS("disk:test", wal.OS)
+
+	l, err := wal.Open(dir, wal.Options{FS: fs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("intact-record")); err != nil {
+		t.Fatal(err)
+	}
+
+	in.SetDisk("disk:test", DiskRule{TornWriteRate: 1})
+	if _, err := l.Append([]byte("this-append-tears")); err == nil {
+		t.Fatal("want torn-write error")
+	}
+	if l.Err() == nil {
+		t.Fatal("torn write must poison the log")
+	}
+	if in.Stats()["disk:test"].TornWrites == 0 {
+		t.Fatal("torn write not counted")
+	}
+	l.Close()
+	in.Clear("disk:test")
+
+	// Reopen: the half-written record fails its checksum and is truncated;
+	// the intact record survives.
+	var got []string
+	l2, err := wal.Open(dir, wal.Options{FS: fs}, func(lsn uint64, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(got) != 1 || got[0] != "intact-record" {
+		t.Fatalf("recovered %v, want just the intact record", got)
+	}
+	if _, err := l2.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrapFSSyncError: a faulted fsync fails the append and poisons the log.
+func TestWrapFSSyncError(t *testing.T) {
+	in := New(7)
+	dir := t.TempDir()
+	fs := in.WrapFS("disk:test", wal.OS)
+
+	l, err := wal.Open(dir, wal.Options{FS: fs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	in.SetDisk("disk:test", DiskRule{SyncErrorRate: 1})
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("append error = %v, want injected fsync error", err)
+	}
+	if in.Stats()["disk:test"].SyncErrors == 0 {
+		t.Fatal("fsync error not counted")
+	}
+	// Clearing the rule does not heal the log: fsync failure is permanent
+	// until reopen.
+	in.Clear("disk:test")
+	if _, err := l.Append([]byte("y")); err == nil {
+		t.Fatal("poisoned log must refuse appends")
+	}
+}
+
+// TestWrapFSTransparent: without a disk rule the wrapped FS behaves exactly
+// like the real one.
+func TestWrapFSTransparent(t *testing.T) {
+	in := New(7)
+	dir := t.TempDir()
+	l, err := wal.Open(dir, wal.Options{FS: in.WrapFS("disk:test", wal.OS)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := in.Stats()["disk:test"]; s.TornWrites != 0 || s.SyncErrors != 0 {
+		t.Fatalf("faults injected with no rule: %+v", s)
+	}
+}

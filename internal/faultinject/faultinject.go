@@ -35,6 +35,18 @@ type Rule struct {
 	TruncateRate float64
 }
 
+// DiskRule configures the faults injected on one named disk (a historian's
+// WAL directory, wrapped via WrapFS). Rates are probabilities in [0,1].
+type DiskRule struct {
+	// SyncErrorRate is the probability an fsync fails. The WAL treats a
+	// failed fsync as a poisoned log, so one hit forces the pod through the
+	// reopen-and-replay recovery path.
+	SyncErrorRate float64
+	// TornWriteRate is the probability a write lands only partially before
+	// erroring — the on-disk image a crash mid-write leaves behind.
+	TornWriteRate float64
+}
+
 // Stats counts the faults injected on one named component.
 type Stats struct {
 	Accepts     uint64 // connections handed to the component
@@ -42,6 +54,8 @@ type Stats struct {
 	Drops       uint64 // connections dropped at read/write
 	Truncations uint64 // writes truncated
 	Delayed     uint64 // reads delayed by the latency rule
+	TornWrites  uint64 // disk writes torn short
+	SyncErrors  uint64 // fsyncs failed
 }
 
 // Injector owns the seeded randomness and the per-component rules.
@@ -49,6 +63,7 @@ type Injector struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	rules       map[string]Rule
+	disk        map[string]DiskRule
 	partitioned map[string]bool
 	stats       map[string]*Stats
 	conns       map[string]map[*faultConn]struct{}
@@ -59,6 +74,7 @@ func New(seed int64) *Injector {
 	return &Injector{
 		rng:         rand.New(rand.NewSource(seed)),
 		rules:       map[string]Rule{},
+		disk:        map[string]DiskRule{},
 		partitioned: map[string]bool{},
 		stats:       map[string]*Stats{},
 		conns:       map[string]map[*faultConn]struct{}{},
@@ -72,12 +88,20 @@ func (in *Injector) Set(name string, r Rule) {
 	in.rules[name] = r
 }
 
-// Clear removes the fault rule for a named component (existing connections
-// stay up; no further faults are injected).
+// SetDisk installs (or replaces) the disk-fault rule for a named disk.
+func (in *Injector) SetDisk(name string, r DiskRule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.disk[name] = r
+}
+
+// Clear removes the fault and disk rules for a named component (existing
+// connections stay up; no further faults are injected).
 func (in *Injector) Clear(name string) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	delete(in.rules, name)
+	delete(in.disk, name)
 }
 
 // ClearAll removes every rule and lifts every partition.
@@ -85,6 +109,7 @@ func (in *Injector) ClearAll() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.rules = map[string]Rule{}
+	in.disk = map[string]DiskRule{}
 	in.partitioned = map[string]bool{}
 }
 
@@ -160,6 +185,12 @@ func (in *Injector) rule(name string) (Rule, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.rules[name], in.partitioned[name]
+}
+
+func (in *Injector) diskRule(name string) DiskRule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.disk[name]
 }
 
 func (in *Injector) statsFor(name string) *Stats {

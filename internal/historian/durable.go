@@ -1,0 +1,246 @@
+package historian
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/wal"
+)
+
+// This file adds crash recovery to the Store: appends are written to a
+// segmented WAL (internal/wal) and fsynced before they touch the in-memory
+// state, periodic checkpoints snapshot the full state and compact the log,
+// and Open replays snapshot + WAL suffix to reconstruct the exact pre-crash
+// store. Recovery layout in dir:
+//
+//	snapshot.json   state up to LastLSN (written atomically via rename)
+//	wal/*.wal       records after the snapshot (plus skippable leftovers)
+//
+// Records at or below the snapshot's LastLSN — leftovers of a crash between
+// "snapshot renamed" and "old segments removed" — are skipped on replay, so
+// every crash window converges to the same state.
+
+const snapshotFile = "snapshot.json"
+
+// DurableOptions configure Open. The zero value is usable.
+type DurableOptions struct {
+	// MaxPerSeries bounds retention for a fresh store (an existing
+	// snapshot's own bound wins on recovery; 0 means the default).
+	MaxPerSeries int
+	// SegmentBytes is the WAL segment rotation size (0 means the WAL default).
+	SegmentBytes int64
+	// SnapshotEvery checkpoints after this many WAL records (default 1024).
+	SnapshotEvery int
+	// FS overrides the filesystem — the fault-injection hook (default real).
+	FS wal.FS
+	// NoSync skips fsync. Benchmarks only; never for data that must survive.
+	NoSync bool
+}
+
+func (o DurableOptions) snapshotEvery() int {
+	if o.SnapshotEvery > 0 {
+		return o.SnapshotEvery
+	}
+	return 1024
+}
+
+func (o DurableOptions) fs() wal.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return wal.OS
+}
+
+// walRecord is the WAL payload of one stored batch.
+type walRecord struct {
+	T       time.Time   `json:"t"`
+	Session string      `json:"session,omitempty"`
+	Seq     uint64      `json:"seq,omitempty"`
+	Samples []walSample `json:"samples"`
+}
+
+type walSample struct {
+	Series  string `json:"s"`
+	Payload []byte `json:"p"`
+}
+
+// Open opens (or creates) a durable store in dir, recovering exact
+// pre-crash state: the snapshot restores everything up to its LastLSN, then
+// the WAL suffix replays on top with session-sequence dedup.
+func Open(dir string, opts DurableOptions) (*Store, error) {
+	fs := opts.fs()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("historian: mkdir %s: %w", dir, err)
+	}
+
+	var store *Store
+	snapPath := filepath.Join(dir, snapshotFile)
+	f, err := fs.OpenFile(snapPath, os.O_RDONLY, 0)
+	switch {
+	case err == nil:
+		store, err = RestoreStore(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	case os.IsNotExist(err):
+		store = NewStore(opts.MaxPerSeries)
+	default:
+		return nil, fmt.Errorf("historian: open snapshot %s: %w", snapPath, err)
+	}
+
+	snapLSN := store.lastLSN
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		FS:           fs,
+		NoSync:       opts.NoSync,
+	}, func(lsn uint64, payload []byte) error {
+		if lsn <= snapLSN {
+			return nil // leftover of a crash mid-compaction; snapshot covers it
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("decode record: %w", err)
+		}
+		store.applyRecord(rec, lsn)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("historian: %w", err)
+	}
+
+	store.wal = log
+	store.dir = dir
+	store.fs = fs
+	store.snapEvery = opts.snapshotEvery()
+	return store, nil
+}
+
+// applyRecord applies one replayed WAL record to the in-memory state, with
+// the same session dedup the live path uses.
+func (s *Store) applyRecord(rec walRecord, lsn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Session != "" && rec.Seq <= s.sessions[rec.Session] {
+		s.lastLSN = lsn
+		return
+	}
+	for _, sm := range rec.Samples {
+		s.appendLocked(sm.Series, rec.T, sm.Payload)
+	}
+	if rec.Session != "" {
+		s.sessions[rec.Session] = rec.Seq
+	}
+	s.lastLSN = lsn
+}
+
+// appendDurable WAL-logs one batch, applies it, and checkpoints when due.
+// appendMu serializes the whole sequence so the snapshot's LastLSN always
+// covers every lower LSN — without it, a snapshot could record LSN n while
+// LSN n-1 was still unapplied, and replay would skip that record forever.
+func (s *Store) appendDurable(session string, seq uint64, t time.Time, samples []Sample) error {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+
+	rec := walRecord{T: t, Session: session, Seq: seq, Samples: make([]walSample, len(samples))}
+	for i, sm := range samples {
+		rec.Samples[i] = walSample{Series: sm.Series, Payload: sm.Payload}
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("historian: encode record: %w", err)
+	}
+	lsn, err := s.wal.Append(payload)
+	if err != nil {
+		return fmt.Errorf("historian: %w", err)
+	}
+
+	s.mu.Lock()
+	for _, sm := range samples {
+		s.appendLocked(sm.Series, t, sm.Payload)
+	}
+	if session != "" && seq > s.sessions[session] {
+		s.sessions[session] = seq
+	}
+	s.lastLSN = lsn
+	s.sinceSnap++
+	due := s.sinceSnap >= s.snapEvery
+	s.mu.Unlock()
+
+	if due {
+		return s.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint forces a snapshot + WAL compaction now. Appends concurrent
+// with the checkpoint wait, preserving the LastLSN invariant.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked writes the snapshot to a temp file, fsyncs, renames it
+// over the previous one, and resets the WAL. Callers hold appendMu. A crash
+// anywhere in this sequence recovers: before the rename the old snapshot +
+// full WAL replay; after it, the new snapshot skips any leftover segments.
+func (s *Store) checkpointLocked() error {
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("historian: checkpoint: %w", err)
+	}
+	if err := s.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("historian: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("historian: checkpoint close: %w", err)
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("historian: checkpoint rename: %w", err)
+	}
+	if err := s.wal.Reset(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sinceSnap = 0
+	s.mu.Unlock()
+	return nil
+}
+
+// Err surfaces a durable store's sticky WAL failure (always nil for
+// volatile stores) — the health signal that routes a poisoned log through
+// the supervisor's restart-and-recover path.
+func (s *Store) Err() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Err()
+}
+
+// LastLSN returns the WAL position of the last applied record.
+func (s *Store) LastLSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastLSN
+}
+
+// Close releases the WAL (no-op for volatile stores).
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/wal"
 )
 
 // Point is one stored sample. Payload is opaque bytes — components store
@@ -46,20 +47,36 @@ func (p Point) Float() (float64, bool) {
 }
 
 // Store is a concurrency-safe multi-series store with bounded retention.
+// A store opened with Open is durable: appends go through a write-ahead log
+// and the exact state survives a crash (see durable.go). NewStore builds
+// the volatile variant.
 type Store struct {
 	mu           sync.RWMutex
 	series       map[string][]Point
 	maxPerSeries int
 	appended     uint64
+
+	// sessions maps consumer session names to the highest sequence number
+	// applied, the dedup state that makes redelivered batches idempotent.
+	sessions map[string]uint64
+
+	// Durable state, zero for volatile stores (durable.go).
+	appendMu  sync.Mutex // serializes WAL append + apply, so LastLSN is consistent
+	wal       *wal.Log
+	dir       string
+	fs        wal.FS
+	snapEvery int
+	sinceSnap int
+	lastLSN   uint64 // highest LSN applied to the in-memory state
 }
 
-// NewStore creates a store retaining up to maxPerSeries points per series
-// (0 means the default of 10000).
+// NewStore creates a volatile store retaining up to maxPerSeries points per
+// series (0 means the default of 10000).
 func NewStore(maxPerSeries int) *Store {
 	if maxPerSeries <= 0 {
 		maxPerSeries = 10000
 	}
-	return &Store{series: map[string][]Point{}, maxPerSeries: maxPerSeries}
+	return &Store{series: map[string][]Point{}, maxPerSeries: maxPerSeries, sessions: map[string]uint64{}}
 }
 
 // Append stores a sample. Samples are expected in non-decreasing time
@@ -79,16 +96,61 @@ type Sample struct {
 // AppendBatch stores many samples with the timestamp t under a single lock
 // acquisition — the broker-fed ingest path drains its subscription channel
 // into batches so ingestion cost is amortized instead of paying one
-// lock/unlock per message. Payloads are copied, as in Append.
-func (s *Store) AppendBatch(t time.Time, samples []Sample) {
+// lock/unlock per message. Payloads are copied, as in Append. On a durable
+// store the batch is WAL-logged and fsynced before it is applied; the error
+// is always nil for volatile stores.
+func (s *Store) AppendBatch(t time.Time, samples []Sample) error {
 	if len(samples) == 0 {
-		return
+		return nil
+	}
+	if s.wal != nil {
+		return s.appendDurable("", 0, t, samples)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, sm := range samples {
 		s.appendLocked(sm.Series, t, sm.Payload)
 	}
+	return nil
+}
+
+// AppendAcked stores a batch delivered on an acked broker session: seq is
+// the batch's last sequence number, and a batch at or below the session's
+// high-water mark is skipped — the dedup that makes broker redelivery and
+// replayed acks idempotent, turning at-least-once delivery into
+// exactly-once storage. On a durable store the batch is fsynced to the WAL
+// before it is applied, so the caller may ack the broker once AppendAcked
+// returns nil.
+func (s *Store) AppendAcked(session string, seq uint64, t time.Time, samples []Sample) error {
+	if session == "" {
+		return errors.New("historian: AppendAcked requires a session name")
+	}
+	s.mu.RLock()
+	applied := s.sessions[session]
+	s.mu.RUnlock()
+	if seq <= applied {
+		return nil // duplicate redelivery
+	}
+	if s.wal != nil {
+		return s.appendDurable(session, seq, t, samples)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sm := range samples {
+		s.appendLocked(sm.Series, t, sm.Payload)
+	}
+	if seq > s.sessions[session] {
+		s.sessions[session] = seq
+	}
+	return nil
+}
+
+// SessionSeq returns the highest applied sequence for a consumer session —
+// the resume point a restarted consumer passes as FromSeq.
+func (s *Store) SessionSeq(session string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[session]
 }
 
 // appendLocked inserts one sample; callers hold s.mu.
@@ -208,11 +270,13 @@ func (s *Store) AggregateRange(series string, from, to time.Time) (Aggregate, er
 type Service struct {
 	Store *Store
 
-	client  *broker.Client
-	subIDs  []int
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	stopped bool
+	client    *broker.Client
+	subIDs    []int
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	stopped   bool
+	failErr   error
+	ownsStore bool
 
 	// Now returns the ingestion timestamp; overridable in tests.
 	Now func() time.Time
@@ -224,9 +288,47 @@ func NewService(brokerAddr string, topics []string, maxPerSeries int) (*Service,
 }
 
 // NewServiceWithStore creates a historian service that ingests into an
-// existing store. The pod supervisor uses this to restart a historian
-// without losing the data it had already accumulated.
+// existing store over plain (drop-oldest) subscriptions. The pod supervisor
+// used this to restart a historian without losing the data it had already
+// accumulated; the loss-bounded variants below are preferred.
 func NewServiceWithStore(brokerAddr string, topics []string, store *Store) (*Service, error) {
+	return newService(brokerAddr, "", topics, store, false)
+}
+
+// NewAckedService creates a historian service that ingests over acked
+// at-least-once broker sessions named "historian/<name>/<topic>". Each
+// batch is acknowledged only after the store accepted it, and on restart
+// the service resumes every session from the store's high-water sequence —
+// with a store that survives the restart (a supervisor-held volatile store,
+// or a durable one) no sample is lost or double-counted.
+func NewAckedService(brokerAddr, name string, topics []string, store *Store) (*Service, error) {
+	if name == "" {
+		return nil, errors.New("historian: acked service requires a name")
+	}
+	return newService(brokerAddr, name, topics, store, false)
+}
+
+// NewDurableService opens (or recovers) the durable store in dir and
+// ingests into it over acked sessions. The full loss-bounded path: broker
+// redelivers until the batch is fsynced in the WAL, the WAL replays on
+// restart, and session sequence dedup makes the overlap idempotent.
+func NewDurableService(brokerAddr, name string, topics []string, dir string, opts DurableOptions) (*Service, error) {
+	if name == "" {
+		return nil, errors.New("historian: durable service requires a name")
+	}
+	store, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := newService(brokerAddr, name, topics, store, true)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return svc, nil
+}
+
+func newService(brokerAddr, name string, topics []string, store *Store, ownsStore bool) (*Service, error) {
 	client, err := broker.DialClient(brokerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("historian: %w", err)
@@ -234,16 +336,28 @@ func NewServiceWithStore(brokerAddr string, topics []string, store *Store) (*Ser
 	if store == nil {
 		store = NewStore(0)
 	}
-	svc := &Service{Store: store, client: client, Now: time.Now}
+	svc := &Service{Store: store, client: client, ownsStore: ownsStore, Now: time.Now}
 	for _, topic := range topics {
-		id, ch, err := client.Subscribe(topic)
+		if name == "" {
+			id, ch, err := client.Subscribe(topic)
+			if err != nil {
+				client.Close()
+				return nil, fmt.Errorf("historian: subscribe %q: %w", topic, err)
+			}
+			svc.subIDs = append(svc.subIDs, id)
+			svc.wg.Add(1)
+			go svc.pump(ch)
+			continue
+		}
+		session := "historian/" + name + "/" + topic
+		id, ch, err := client.SubscribeSession(topic, session, store.SessionSeq(session))
 		if err != nil {
 			client.Close()
-			return nil, fmt.Errorf("historian: subscribe %q: %w", topic, err)
+			return nil, fmt.Errorf("historian: subscribe %q session %q: %w", topic, session, err)
 		}
 		svc.subIDs = append(svc.subIDs, id)
 		svc.wg.Add(1)
-		go svc.pump(ch)
+		go svc.pumpAcked(id, session, ch)
 	}
 	return svc, nil
 }
@@ -269,18 +383,72 @@ func (s *Service) pump(ch <-chan broker.Message) {
 				break drain
 			}
 		}
-		s.Store.AppendBatch(s.Now(), samples)
+		if err := s.Store.AppendBatch(s.Now(), samples); err != nil {
+			s.fail(err)
+			return
+		}
 	}
 }
 
+// pumpAcked drains one acked session, storing then acknowledging each
+// batch. Ack-after-store is the loss bound: a crash between the two costs
+// a redelivery the store dedups, never a lost sample. A store error stops
+// the pump without acking — Health degrades and the supervisor restarts
+// the pod through the recovery path.
+func (s *Service) pumpAcked(subID int, session string, ch <-chan broker.Message) {
+	defer s.wg.Done()
+	samples := make([]Sample, 0, ingestBatch)
+	for m := range ch {
+		samples = append(samples[:0], Sample{Series: m.Topic, Payload: m.Payload})
+		lastSeq := m.Seq
+	drain:
+		for len(samples) < ingestBatch {
+			select {
+			case m, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				samples = append(samples, Sample{Series: m.Topic, Payload: m.Payload})
+				lastSeq = m.Seq
+			default:
+				break drain
+			}
+		}
+		if err := s.Store.AppendAcked(session, lastSeq, s.Now(), samples); err != nil {
+			s.fail(err)
+			return
+		}
+		if err := s.client.Ack(subID, lastSeq); err != nil {
+			// The connection is gone; the broker will redeliver to the next
+			// attachment and the store's session seq dedups the overlap.
+			return
+		}
+	}
+}
+
+func (s *Service) fail(err error) {
+	s.mu.Lock()
+	if s.failErr == nil {
+		s.failErr = err
+	}
+	s.mu.Unlock()
+}
+
 // Health reports whether the historian is still ingesting: it must not be
-// closed and its broker connection must be alive.
+// closed, its broker connection must be alive, its pumps must not have hit
+// a storage error, and a durable store's WAL must not be poisoned.
 func (s *Service) Health() error {
 	s.mu.Lock()
-	stopped := s.stopped
+	stopped, failErr := s.stopped, s.failErr
 	s.mu.Unlock()
 	if stopped {
 		return errors.New("historian: closed")
+	}
+	if failErr != nil {
+		return fmt.Errorf("historian: ingest failed: %w", failErr)
+	}
+	if err := s.Store.Err(); err != nil {
+		return fmt.Errorf("historian: %w", err)
 	}
 	if err := s.client.Err(); err != nil {
 		return fmt.Errorf("historian: %w", err)
@@ -288,7 +456,8 @@ func (s *Service) Health() error {
 	return nil
 }
 
-// Close stops ingestion and drops the broker connection.
+// Close stops ingestion and drops the broker connection; a service that
+// owns a durable store closes it too.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.stopped {
@@ -299,5 +468,10 @@ func (s *Service) Close() error {
 	s.mu.Unlock()
 	err := s.client.Close()
 	s.wg.Wait()
+	if s.ownsStore {
+		if cerr := s.Store.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }

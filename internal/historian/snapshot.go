@@ -11,15 +11,24 @@ import (
 // Snapshot is the serializable state of a Store — the persistence format
 // used to checkpoint and restore historians across restarts (a stand-in
 // for the durable databases of the paper's architecture).
+//
+// Version history:
+//
+//	1: Series + MaxPerSeries.
+//	2: adds Sessions (per-consumer-session high-water sequence numbers) and
+//	   LastLSN (the WAL position the snapshot covers), so a durable store
+//	   restores exactly-once ingest state and replays only the WAL suffix.
 type Snapshot struct {
 	Version      int                `json:"version"`
 	TakenAt      time.Time          `json:"takenAt"`
 	MaxPerSeries int                `json:"maxPerSeries"`
 	Series       map[string][]Point `json:"series"`
+	Sessions     map[string]uint64  `json:"sessions,omitempty"`
+	LastLSN      uint64             `json:"lastLsn,omitempty"`
 }
 
 // snapshotVersion is the current persistence format version.
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Snapshot captures the store's full contents.
 func (s *Store) Snapshot() Snapshot {
@@ -30,11 +39,18 @@ func (s *Store) Snapshot() Snapshot {
 		TakenAt:      time.Now().UTC(),
 		MaxPerSeries: s.maxPerSeries,
 		Series:       make(map[string][]Point, len(s.series)),
+		LastLSN:      s.lastLSN,
 	}
 	for name, pts := range s.series {
 		cp := make([]Point, len(pts))
 		copy(cp, pts)
 		snap.Series[name] = cp
+	}
+	if len(s.sessions) > 0 {
+		snap.Sessions = make(map[string]uint64, len(s.sessions))
+		for k, v := range s.sessions {
+			snap.Sessions[k] = v
+		}
 	}
 	return snap
 }
@@ -49,14 +65,19 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 }
 
 // RestoreStore reconstructs a store from a snapshot stream. Points are
-// re-appended in time order per series, so retention bounds apply.
+// re-appended in time order per series, so retention bounds apply. Every
+// format version up to the current one restores; a snapshot written by a
+// newer version is rejected rather than silently misread.
 func RestoreStore(r io.Reader) (*Store, error) {
 	var snap Snapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("historian: read snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("historian: unsupported snapshot version %d", snap.Version)
+	if snap.Version > snapshotVersion {
+		return nil, fmt.Errorf("historian: snapshot version %d was written by a newer version (this build reads up to %d); refusing to misread it", snap.Version, snapshotVersion)
+	}
+	if snap.Version < 1 {
+		return nil, fmt.Errorf("historian: invalid snapshot version %d", snap.Version)
 	}
 	store := NewStore(snap.MaxPerSeries)
 	names := make([]string, 0, len(snap.Series))
@@ -69,5 +90,9 @@ func RestoreStore(r io.Reader) (*Store, error) {
 			store.Append(name, p.Time, p.Payload)
 		}
 	}
+	for k, v := range snap.Sessions {
+		store.sessions[k] = v
+	}
+	store.lastLSN = snap.LastLSN
 	return store, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/resilience"
@@ -22,12 +23,21 @@ type Client struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan *Message
-	subs    map[int]chan DataChange
+	subs    map[int]*clientMonitor
 	closed  bool
 	readErr error
+	lost    atomic.Uint64
 
 	timeout time.Duration
 	done    chan struct{}
+}
+
+// clientMonitor tracks one subscription's delivery channel and the next
+// notification sequence number expected from the server, so shed samples
+// (server- or client-side) are counted instead of vanishing silently.
+type clientMonitor struct {
+	ch   chan DataChange
+	next uint64 // 0 until the first sequenced notification arrives
 }
 
 // Dial connects to an OPC UA server at addr.
@@ -45,7 +55,7 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 		conn:    conn,
 		w:       wire.NewWriter(conn),
 		pending: map[uint64]chan *Message{},
-		subs:    map[int]chan DataChange{},
+		subs:    map[int]*clientMonitor{},
 		timeout: timeout,
 		done:    make(chan struct{}),
 	}
@@ -117,8 +127,8 @@ func (c *Client) readLoop() {
 				close(ch)
 				delete(c.pending, id)
 			}
-			for id, ch := range c.subs {
-				close(ch)
+			for id, st := range c.subs {
+				close(st.ch)
 				delete(c.subs, id)
 			}
 			c.mu.Unlock()
@@ -128,10 +138,21 @@ func (c *Client) readLoop() {
 			// The non-blocking send happens under the lock so Unsubscribe
 			// cannot close the channel mid-send.
 			c.mu.Lock()
-			if ch := c.subs[m.SubID]; ch != nil && m.Value != nil {
+			if st := c.subs[m.SubID]; st != nil && m.Value != nil {
+				if m.Seq > 0 {
+					// A jump past the expected number means the server shed
+					// notifications under backpressure; count the gap.
+					if st.next != 0 && m.Seq > st.next {
+						c.lost.Add(m.Seq - st.next)
+					}
+					st.next = m.Seq + 1
+				}
 				select {
-				case ch <- DataChange{SubID: m.SubID, NodeID: m.NodeID, Value: *m.Value}:
-				default: // drop for slow consumers, matching server behavior
+				case st.ch <- DataChange{SubID: m.SubID, NodeID: m.NodeID, Value: *m.Value, Seq: m.Seq}:
+				default:
+					// Drop for slow consumers, matching server behavior —
+					// but count it.
+					c.lost.Add(1)
 				}
 			}
 			c.mu.Unlock()
@@ -254,20 +275,26 @@ func (c *Client) Subscribe(id NodeID) (int, <-chan DataChange, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	ch := make(chan DataChange, 64)
+	st := &clientMonitor{ch: make(chan DataChange, 64)}
 	c.mu.Lock()
-	c.subs[resp.SubID] = ch
+	c.subs[resp.SubID] = st
 	c.mu.Unlock()
-	return resp.SubID, ch, nil
+	return resp.SubID, st.ch, nil
 }
+
+// Lost reports how many monitored-item notifications this client knows it
+// missed across all subscriptions: sequence gaps from server-side shedding
+// plus its own slow-consumer drops. Samples lost this way are the expected
+// cost of the lossy telemetry tier; the counter makes the loss observable.
+func (c *Client) Lost() uint64 { return c.lost.Load() }
 
 // Unsubscribe cancels a monitored item.
 func (c *Client) Unsubscribe(subID int) error {
 	_, err := c.roundTrip(&Message{Op: OpUnsubscribe, SubID: subID})
 	c.mu.Lock()
-	if ch, ok := c.subs[subID]; ok {
+	if st, ok := c.subs[subID]; ok {
 		delete(c.subs, subID)
-		close(ch)
+		close(st.ch)
 	}
 	c.mu.Unlock()
 	return err

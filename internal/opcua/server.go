@@ -205,7 +205,7 @@ func (s *Server) handle(conn net.Conn) {
 				defer subWG.Done()
 				for change := range ch {
 					v := change.Value
-					if err := send(&Message{Op: OpNotify, NodeID: nodeID, Value: &v, SubID: change.SubID, OK: true}); err != nil {
+					if err := send(&Message{Op: OpNotify, NodeID: nodeID, Value: &v, SubID: change.SubID, Seq: change.Seq, OK: true}); err != nil {
 						return
 					}
 				}

@@ -143,13 +143,18 @@ type monitor struct {
 	id     int
 	nodeID NodeID
 	ch     chan DataChange
+	seq    uint64 // per-monitor notification counter (gap = dropped sample)
 }
 
-// DataChange is one monitored-item notification.
+// DataChange is one monitored-item notification. Seq numbers every
+// notification of a monitored item consecutively from 1 — including those
+// shed under backpressure — so a consumer can detect and count lost
+// samples instead of missing them silently.
 type DataChange struct {
 	SubID  int     `json:"subId"`
 	NodeID NodeID  `json:"nodeId"`
 	Value  Variant `json:"value"`
+	Seq    uint64  `json:"seq,omitempty"`
 }
 
 // NewAddressSpace creates a space with a root Objects folder.
@@ -333,8 +338,12 @@ func (s *AddressSpace) notify(id NodeID, v Variant) {
 		if m.nodeID != id {
 			continue
 		}
+		// Seq is consumed even when the notification is shed below, so a
+		// consumer tracking consecutive numbers sees the gap.
+		m.seq++
+		dc := DataChange{SubID: m.id, NodeID: id, Value: v, Seq: m.seq}
 		select {
-		case m.ch <- DataChange{SubID: m.id, NodeID: id, Value: v}:
+		case m.ch <- dc:
 		default:
 			// Slow consumer: drop the oldest by draining one, then retry.
 			select {
@@ -342,7 +351,7 @@ func (s *AddressSpace) notify(id NodeID, v Variant) {
 			default:
 			}
 			select {
-			case m.ch <- DataChange{SubID: m.id, NodeID: id, Value: v}:
+			case m.ch <- dc:
 			default:
 			}
 		}

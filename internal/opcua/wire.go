@@ -38,6 +38,7 @@ type Message struct {
 	Results []Variant `json:"results,omitempty"`
 	Node    *NodeInfo `json:"node,omitempty"`
 	SubID   int       `json:"subId,omitempty"`
+	Seq     uint64    `json:"seq,omitempty"`
 	// Hello payload.
 	Endpoint string `json:"endpoint,omitempty"`
 }

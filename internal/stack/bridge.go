@@ -41,6 +41,7 @@ type BridgeClient struct {
 	published  uint64
 	calls      uint64
 	reconnects uint64
+	lostClosed uint64 // Lost() totals of connections already torn down
 }
 
 // ServicePayload is the JSON body exchanged on service request topics.
@@ -139,6 +140,7 @@ func (b *BridgeClient) invalidate(server string, broken *opcua.Client) {
 	b.mu.Lock()
 	if b.opcua[server] == broken {
 		delete(b.opcua, server)
+		b.lostClosed += broken.Lost()
 	}
 	b.mu.Unlock()
 	broken.Close()
@@ -333,7 +335,12 @@ func (b *BridgeClient) wireService(cm codegen.ClientMachine, m codegen.MethodCon
 	b.mu.Lock()
 	bc := b.broker
 	b.mu.Unlock()
-	_, ch, err := bc.Subscribe(m.RequestTopic)
+	// Service requests ride an acked session: a request published while this
+	// bridge is down (or mid-restart) is redelivered once it reattaches under
+	// the same deterministic session name, instead of being dropped. The ack
+	// goes out only after the reply is published.
+	session := "svc/" + b.Config.Name + "/" + m.RequestTopic
+	subID, ch, err := bc.SubscribeSession(m.RequestTopic, session, 0)
 	if err != nil {
 		return fmt.Errorf("stack: client %s: subscribe %s: %w", b.Config.Name, m.RequestTopic, err)
 	}
@@ -352,6 +359,9 @@ func (b *BridgeClient) wireService(cm codegen.ClientMachine, m codegen.MethodCon
 				if err := b.publishJSON(m.ResponseTopic, reply); err != nil {
 					return
 				}
+				// Ack failure is survivable: the broker redelivers and the
+				// client-side session dedup absorbs the duplicate.
+				_ = bc.Ack(subID, msg.Seq)
 			}
 		}
 	}()
@@ -412,6 +422,19 @@ func (b *BridgeClient) Stats() (published, calls uint64) {
 	return b.published, b.calls
 }
 
+// LostSamples totals the monitored-item notifications this bridge knows it
+// missed across all its OPC UA connections, past and present. Telemetry is
+// the lossy tier — this makes the loss a number instead of a mystery.
+func (b *BridgeClient) LostSamples() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.lostClosed
+	for _, c := range b.opcua {
+		total += c.Lost()
+	}
+	return total
+}
+
 // Stop disconnects everything.
 func (b *BridgeClient) Stop() {
 	select {
@@ -421,6 +444,7 @@ func (b *BridgeClient) Stop() {
 	}
 	b.mu.Lock()
 	for name, c := range b.opcua {
+		b.lostClosed += c.Lost()
 		c.Close()
 		delete(b.opcua, name)
 	}
