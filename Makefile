@@ -3,12 +3,13 @@ GO ?= go
 # Tier-1 benchmark set tracked by the regression harness: the build side
 # (full model analysis + generation, the 1x-8x scale sweep, the language
 # front end), the data plane (broker fan-out, framed wire, historian
-# ingest) and the durability tier (WAL append, crash recovery).
-BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput|BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkWALAppend|BenchmarkHistorianRecovery
+# ingest), the durability tier (WAL append, crash recovery) and the
+# federated plant at 1000+ machines (cross-shard forward + bridge path).
+BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput|BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkWALAppend|BenchmarkHistorianRecovery|BenchmarkFederatedScale
 DATAPLANE_PATTERN = BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkWALAppend|BenchmarkHistorianRecovery
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test check soak bench benchdiff bench-full bench-dataplane
+.PHONY: build test check soak soak-federated bench benchdiff bench-full bench-dataplane
 
 build:
 	$(GO) build ./...
@@ -32,6 +33,20 @@ soak:
 	$(GO) test -race -count=1 -v \
 		-run 'TestChaosAuditZeroLoss|TestChaosSeededSoakConverges|TestReconfigureUnderPartitionConverges' \
 		./internal/deploy/
+
+# Federation soak: the multi-broker plant under the race detector — the
+# cross-shard chaos audit (ingress node killed + bridge link partitioned,
+# every sample exactly once), the federated deploy end-to-end, and the
+# broker-level federation suite (forwarding dedup, bridge replay, link
+# flaps). Run before touching the placement ring, the bridge links or the
+# sharded deploy path.
+soak-federated:
+	$(GO) test -race -count=1 -v \
+		-run 'TestFederatedChaosAuditZeroLoss|TestFederatedDeployEndToEnd' \
+		./internal/deploy/
+	$(GO) test -race -count=1 \
+		-run 'TestFederation|TestNode' ./internal/broker/
+	$(GO) test -race -count=1 ./internal/placement/
 
 # Tier-3: run the tier-1 benchmarks, snapshot them to BENCH_<date>.json,
 # and fail on a >15% ns/op regression against the latest committed snapshot.

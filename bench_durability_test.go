@@ -57,6 +57,17 @@ func BenchmarkWALAppend(b *testing.B) {
 	b.Run("fsync-parallel", func(b *testing.B) {
 		run(b, wal.Options{}, true)
 	})
+	// The widened commit window: the flusher yields until concurrent
+	// appenders quiesce, so everything racing toward the log rides one
+	// fsync instead of only the records that arrived while a previous
+	// fsync was in flight. Run at 32 appenders per core to model the
+	// broker's many publisher sessions — the batching win only exists
+	// when appends actually overlap, which GOMAXPROCS goroutines alone
+	// do not guarantee on small hosts.
+	b.Run("fsync-parallel-window", func(b *testing.B) {
+		b.SetParallelism(32)
+		run(b, wal.Options{CommitWindow: time.Millisecond}, true)
+	})
 }
 
 // BenchmarkHistorianRecovery measures historian.Open replaying persisted

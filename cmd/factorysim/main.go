@@ -43,6 +43,7 @@ func main() {
 		audit      = flag.Bool("audit", false, "publish numbered samples through the acked pipeline and verify exactly-once ingestion (exit 1 on loss or duplication)")
 		auditCount = flag.Int("audit-count", 1000, "number of audit samples to publish with -audit")
 		dataDir    = flag.String("data-dir", "", "durable historian state directory (WAL + snapshots); historians recover from it across restarts")
+		shards     = flag.Int("shards", 1, "federate the message broker across n nodes (workcells placed by consistent hash; with -audit the samples enter through a non-owner shard and cross a bridge)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,9 @@ func main() {
 	fmt.Printf("model built and extracted in %v: %s\n", time.Since(start).Round(time.Millisecond), factory)
 
 	genStart := time.Now()
-	bundle, err := codegen.Generate(factory, codegen.GenOptions{})
+	bundle, err := codegen.Generate(factory, codegen.GenOptions{
+		Options: codegen.Options{Shards: *shards},
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -62,6 +65,9 @@ func main() {
 	fmt.Printf("configuration generated in %v: %d servers, %d clients, %.1f KB in %d files\n",
 		time.Since(genStart).Round(time.Millisecond), s.Servers, s.Clients,
 		float64(s.ConfigBytes)/1024, s.Files)
+	if pl := bundle.Intermediate.Placement; pl != nil {
+		fmt.Printf("federation: %d broker shards over %d placed workcells\n", pl.Shards, len(pl.Workcells))
+	}
 
 	var inj *faultinject.Injector
 	var wrap func(name string, ln net.Listener) net.Listener
@@ -164,6 +170,11 @@ func main() {
 	published, delivered, dropped, subscriptions := cluster.BrokerStats()
 	fmt.Printf("broker: %d published, %d delivered, %d dropped, %d subscriptions\n",
 		published, delivered, dropped, subscriptions)
+	for _, ss := range cluster.BrokerShardStats() {
+		fmt.Printf("  shard %d: %d published, %d delivered, %d subscriptions; forwarded=%d bridgedIn=%d bridgeDups=%d reconnects=%d refused=%d\n",
+			ss.Shard, ss.Published, ss.Delivered, ss.Subscriptions,
+			ss.Forwarded, ss.BridgedIn, ss.BridgeDups, ss.Reconnects, ss.Refused)
+	}
 
 	totalSeries, totalPoints := 0, uint64(0)
 	for _, name := range cluster.Historians() {
@@ -264,9 +275,30 @@ func runProcess(cluster *deploy.Cluster, bundle *codegen.Bundle) {
 // connection loss (a chaos partition severs it) and republishes with the
 // same sequence number — the broker dedups the retries — so every sample is
 // handed to the broker exactly once no matter how rough the run is.
+//
+// On a federated plant the samples deliberately enter through a shard that
+// does NOT own the audit workcell: every sample crosses the federation —
+// forwarded from the ingress node to the owner shard, where the group's
+// historian ingests it — so the audit verdict covers the cross-shard
+// forwarding path, not just a single broker.
 func startAudit(cluster *deploy.Cluster, bundle *codegen.Bundle, count int) (string, chan error) {
 	sc := bundle.Intermediate.Storage[0]
 	topic := strings.TrimSuffix(sc.Topics[0], "#") + "audit/counter"
+	ingress := -1
+	if pl := bundle.Intermediate.Placement; pl != nil {
+		ingress = (sc.Shard + 1) % pl.Shards
+		fmt.Printf("audit: ingress shard %d, owner shard %d\n", ingress, sc.Shard)
+	}
+	dial := func() (*broker.Client, error) {
+		if ingress < 0 {
+			return broker.DialClient(cluster.BrokerAddr())
+		}
+		addr, err := cluster.BrokerShardAddr(ingress)
+		if err != nil {
+			return nil, err
+		}
+		return broker.DialClient(addr)
+	}
 	done := make(chan error, 1)
 	go func() {
 		var bc *broker.Client
@@ -288,7 +320,7 @@ func startAudit(cluster *deploy.Cluster, bundle *codegen.Bundle, count int) (str
 						bc.Close()
 					}
 					bc = nil
-					c, err := broker.DialClient(cluster.BrokerAddr())
+					c, err := dial()
 					if err != nil {
 						time.Sleep(10 * time.Millisecond)
 						continue
@@ -362,7 +394,20 @@ func verifyAudit(cluster *deploy.Cluster, bundle *codegen.Bundle, topic string, 
 func runChaos(cluster *deploy.Cluster, inj *faultinject.Injector, bundle *codegen.Bundle, seed int64, stop <-chan struct{}) {
 	rng := rand.New(rand.NewSource(seed))
 	var targets []string
-	targets = append(targets, "broker")
+	if pl := bundle.Intermediate.Placement; pl != nil {
+		// Federated broker tier: each node and each bridge/uplink edge is
+		// its own partition target.
+		for i := 0; i < pl.Shards; i++ {
+			targets = append(targets, fmt.Sprintf("broker-s%d", i))
+			for j := 0; j < pl.Shards; j++ {
+				if i != j {
+					targets = append(targets, fmt.Sprintf("bridge:s%d-s%d", i, j))
+				}
+			}
+		}
+	} else {
+		targets = append(targets, "broker")
+	}
 	for _, s := range bundle.Intermediate.Servers {
 		targets = append(targets, "opcua:"+s.Name)
 	}

@@ -104,6 +104,18 @@ type Broker struct {
 	// gives 100ms initial / 5s cap / factor 2.
 	RedeliveryBackoff resilience.Backoff
 
+	// Federation hooks, installed by NewNode before Serve (nil on a
+	// standalone broker). owns reports whether a topic is placed on this
+	// broker; forward routes a publish for a topic this broker does not
+	// own to the owner shard. onSubscribe/onUnsubscribe observe filter
+	// lifecycle (one call per plain subscription or acked session) so the
+	// node can bridge remote shards the local filter needs. All four are
+	// set before the broker serves traffic and never change.
+	owns          func(topic string) bool
+	forward       func(topic string, payload []byte, retain bool, session string, seq uint64) (bool, error)
+	onSubscribe   func(filter string)
+	onUnsubscribe func(filter string)
+
 	shards [numShards + 1]shard
 
 	// subMu guards the id registry, the session registry and close
@@ -172,12 +184,25 @@ func (b *Broker) shardForFilter(filter string) *shard {
 }
 
 // Publish delivers payload to every matching subscriber. When retain is
-// true the message is stored and replayed to future subscribers.
+// true the message is stored and replayed to future subscribers. On a
+// federated node, a topic placed on another shard is forwarded to its
+// owner instead of (not in addition to) being delivered locally.
+func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+	if b.forward != nil && !b.owns(topic) {
+		_, err := b.forward(topic, payload, retain, "", 0)
+		return err
+	}
+	return b.publishLocal(topic, payload, retain)
+}
+
+// publishLocal delivers payload to every matching local subscriber,
+// bypassing federation routing — the path bridge links use to republish
+// pulled messages without looping them back across the federation.
 //
 // The payload is copied only when the message is actually stored or
 // delivered: subscriptions are matched through the trie first, so a publish
 // nobody listens to costs a trie walk and nothing else.
-func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+func (b *Broker) publishLocal(topic string, payload []byte, retain bool) error {
 	if topic == "" || strings.ContainsAny(topic, "+#") {
 		return fmt.Errorf("broker: invalid publish topic %q", topic)
 	}
@@ -235,8 +260,8 @@ func (b *Broker) Subscribe(filter string) (int, <-chan Message, error) {
 		return 0, nil, err
 	}
 	b.subMu.Lock()
-	defer b.subMu.Unlock()
 	if b.closed.Load() {
+		b.subMu.Unlock()
 		return 0, nil, errors.New("broker: closed")
 	}
 	b.nextSub++
@@ -257,7 +282,13 @@ func (b *Broker) Subscribe(filter string) (int, <-chan Message, error) {
 			lit.mu.RUnlock()
 		}
 	}
+	b.subMu.Unlock()
 	go s.pump()
+	// Outside subMu: the node hook takes its own locks and must never
+	// nest inside the broker's registry lock.
+	if b.onSubscribe != nil {
+		b.onSubscribe(filter)
+	}
 	return s.id, s.out, nil
 }
 
@@ -290,6 +321,9 @@ func (b *Broker) Unsubscribe(id int) {
 	b.subMu.Unlock()
 	if ok {
 		s.close()
+		if b.onUnsubscribe != nil {
+			b.onUnsubscribe(s.filter)
+		}
 	}
 }
 

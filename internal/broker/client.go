@@ -56,6 +56,17 @@ func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("broker client: dial %s: %w", addr, err)
 	}
+	return NewClientConn(conn, timeout), nil
+}
+
+// NewClientConn wraps an already-established connection to a broker. The
+// path for callers that dial through an interposer — federation bridge
+// links dial through the fault injector so a chaos schedule can drop or
+// delay bridge frames like any other link.
+func NewClientConn(conn net.Conn, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	c := &Client{
 		conn:        conn,
 		w:           wire.NewWriter(conn),
@@ -67,23 +78,34 @@ func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
 		closing:     make(chan struct{}),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 // Err reports the connection's terminal state: nil while the connection is
-// usable, otherwise the read error that killed it (or a closed marker).
-// Components use this as their broker-liveness signal.
+// usable, otherwise the read or write error that killed it (or a closed
+// marker). Components use this as their broker-liveness signal.
 func (c *Client) Err() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.readErr != nil {
-		return fmt.Errorf("broker client: connection lost: %w", c.readErr)
+	readErr, closed := c.readErr, c.closed
+	c.mu.Unlock()
+	if readErr != nil {
+		return fmt.Errorf("broker client: connection lost: %w", readErr)
 	}
-	if c.closed {
+	if closed {
 		return errors.New("broker client: closed")
+	}
+	// A half-dead connection can fail writes long before the read side
+	// notices; the writer's sticky error is the earliest signal.
+	if err := c.w.Err(); err != nil {
+		return fmt.Errorf("broker client: connection lost: %w", err)
 	}
 	return nil
 }
+
+// Done is closed when the connection is no longer being read — after
+// Close or a read error. Reconnect loops select on it instead of polling
+// Err.
+func (c *Client) Done() <-chan struct{} { return c.done }
 
 // Close drops the connection; subscription channels close.
 func (c *Client) Close() error {

@@ -1,0 +1,378 @@
+package broker
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/faultinject"
+	"github.com/smartfactory/sysml2conf/internal/placement"
+	"github.com/smartfactory/sysml2conf/internal/resilience"
+)
+
+// fedWorkcells is a universe big enough that every shard owns at least
+// one workcell at the counts the tests use.
+func fedWorkcells(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("wc%02d", i)
+	}
+	return out
+}
+
+// wcOnShard finds a workcell owned by the given shard.
+func wcOnShard(t *testing.T, shards, want int) string {
+	t.Helper()
+	ring := placement.NewRing(shards)
+	for _, wc := range fedWorkcells(12) {
+		if ring.Owner(wc) == want {
+			return wc
+		}
+	}
+	t.Fatalf("no workcell of 12 owned by shard %d/%d", want, shards)
+	return ""
+}
+
+func fastFederation(t *testing.T, shards int, configure func(int, *NodeOptions)) *Federation {
+	t.Helper()
+	f, err := NewFederation(shards, fedWorkcells(12), func(s int, o *NodeOptions) {
+		o.ReconnectBackoff = resilience.Backoff{Initial: 10 * time.Millisecond, Max: 100 * time.Millisecond}
+		o.RedeliveryBackoff = resilience.Backoff{Initial: 50 * time.Millisecond, Max: 500 * time.Millisecond}
+		if configure != nil {
+			configure(s, o)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func dialShard(t *testing.T, f *Federation, shard int) *Client {
+	t.Helper()
+	addr, err := f.Addr(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// ackedConsumer is an acked-session subscriber that acknowledges every
+// message it consumes (without acks, delivery stalls at the in-flight
+// window — exactly as it should).
+type ackedConsumer struct {
+	t     *testing.T
+	c     *Client
+	subID int
+	ch    <-chan Message
+}
+
+func newAckedConsumer(t *testing.T, f *Federation, shard int, filter, session string) *ackedConsumer {
+	t.Helper()
+	c := dialShard(t, f, shard)
+	subID, ch, err := c.SubscribeSession(filter, session, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ackedConsumer{t: t, c: c, subID: subID, ch: ch}
+}
+
+// next returns the next non-probe message (acking everything consumed),
+// or nil after timeout.
+func (a *ackedConsumer) next(timeout time.Duration) *Message {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case m := <-a.ch:
+			_ = a.c.Ack(a.subID, m.Seq)
+			if !strings.HasPrefix(string(m.Payload), "probe-") {
+				return &m
+			}
+		case <-deadline:
+			return nil
+		}
+	}
+}
+
+// waitBridge publishes probes through pub until one crosses to the
+// consumer: bridge pulls attach asynchronously after the subscription,
+// and a zero-loss stream must start only once the acked session chain
+// exists end to end.
+func (a *ackedConsumer) waitBridge(pub *Client, topic string) {
+	a.t.Helper()
+	deadline := time.After(10 * time.Second)
+	for i := 0; ; i++ {
+		_ = pub.Publish(topic, []byte(fmt.Sprintf("probe-%d", i)), false)
+		select {
+		case m := <-a.ch:
+			_ = a.c.Ack(a.subID, m.Seq)
+			if strings.HasPrefix(string(m.Payload), "probe-") {
+				return
+			}
+			a.t.Fatalf("unexpected pre-stream message %q", m.Payload)
+		case <-time.After(20 * time.Millisecond):
+		case <-deadline:
+			a.t.Fatal("bridge never came up")
+		}
+	}
+}
+
+// TestFederationCrossShardExactlyOnce: numbered samples published on an
+// ingress shard, owned by a second, consumed on a third — every sample
+// arrives exactly once through forward + bridge, in order.
+func TestFederationCrossShardExactlyOnce(t *testing.T) {
+	const shards = 3
+	f := fastFederation(t, shards, nil)
+	wc := wcOnShard(t, shards, 0)
+	const ingress, egress = 1, 2
+	topic := "factory/line1/" + wc + "/machA/values/axes/x"
+
+	consumer := newAckedConsumer(t, f, egress, "factory/+/"+wc+"/#", "test-consumer")
+	pub := dialShard(t, f, ingress)
+	consumer.waitBridge(pub, topic)
+
+	const n = 200
+	go func() {
+		for i := 1; i <= n; i++ {
+			if _, err := pub.PublishSeq(topic, []byte(fmt.Sprintf("s-%d", i)), false, "test-pub", uint64(i)); err != nil {
+				return
+			}
+		}
+	}()
+
+	for next := 1; next <= n; next++ {
+		m := consumer.next(5 * time.Second)
+		if m == nil {
+			t.Fatalf("stream stalled at sample %d", next)
+		}
+		want := fmt.Sprintf("s-%d", next)
+		if string(m.Payload) != want {
+			t.Fatalf("got %q, want %q (loss or duplication)", m.Payload, want)
+		}
+	}
+	if f.Nodes[ingress].NodeStats().Forwarded == 0 {
+		t.Error("ingress node forwarded nothing; stream did not cross the uplink")
+	}
+	if f.Nodes[egress].NodeStats().BridgedIn == 0 {
+		t.Error("egress node bridged nothing; stream did not cross the bridge")
+	}
+}
+
+// TestFederationForwardDedup: the same (session, seq) retried through
+// two different ingress nodes must deliver once — the owner's high-water
+// mark is the single dedup point, so an ingress-node death mid-retry
+// cannot double-deliver.
+func TestFederationForwardDedup(t *testing.T) {
+	const shards = 3
+	f := fastFederation(t, shards, nil)
+	wc := wcOnShard(t, shards, 0)
+	topic := "factory/line1/" + wc + "/machA/values/axes/x"
+
+	// Consume on the owner: no bridge in play, just the forward path.
+	consumer := newAckedConsumer(t, f, 0, "factory/+/"+wc+"/#", "dedup-consumer")
+
+	pubA := dialShard(t, f, 1)
+	pubB := dialShard(t, f, 2)
+	if dup, err := pubA.PublishSeq(topic, []byte("once"), false, "retry-pub", 7); err != nil || dup {
+		t.Fatalf("first publish: dup=%v err=%v", dup, err)
+	}
+	if dup, err := pubB.PublishSeq(topic, []byte("once"), false, "retry-pub", 7); err != nil || !dup {
+		t.Fatalf("cross-ingress retry: dup=%v err=%v, want dup=true", dup, err)
+	}
+
+	m := consumer.next(5 * time.Second)
+	if m == nil {
+		t.Fatal("message never arrived")
+	}
+	if string(m.Payload) != "once" {
+		t.Fatalf("got %q", m.Payload)
+	}
+	if m2 := consumer.next(200 * time.Millisecond); m2 != nil {
+		t.Fatalf("duplicate delivery %q", m2.Payload)
+	}
+}
+
+// TestFederationBridgeSeverReplay: a bridge partitioned mid-stream must
+// replay the gap on heal — zero loss, zero duplication — with the
+// publisher never noticing (it publishes to the owner shard directly;
+// only the consumer's pull is severed).
+func TestFederationBridgeSeverReplay(t *testing.T) {
+	const shards = 2
+	inj := faultinject.New(31)
+	f := fastFederation(t, shards, func(s int, o *NodeOptions) {
+		o.Dial = func(link, addr string) (net.Conn, error) {
+			return inj.Dial(link, addr, time.Second)
+		}
+	})
+	wc := wcOnShard(t, shards, 0)
+	topic := "factory/line1/" + wc + "/machA/values/axes/x"
+	link := "bridge:s1-s0"
+
+	consumer := newAckedConsumer(t, f, 1, "factory/+/"+wc+"/#", "sever-consumer")
+	pub := dialShard(t, f, 0)
+	consumer.waitBridge(pub, topic)
+
+	const n = 300
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= n; i++ {
+			if _, err := pub.PublishSeq(topic, []byte(fmt.Sprintf("s-%d", i)), false, "sever-pub", uint64(i)); err != nil {
+				t.Errorf("publish %d: %v", i, err)
+				return
+			}
+			if i == n/3 {
+				inj.Partition(link, true)
+			}
+			if i == 2*n/3 {
+				inj.Partition(link, false)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for next := 1; next <= n; next++ {
+		m := consumer.next(10 * time.Second)
+		if m == nil {
+			t.Fatalf("stream stalled at sample %d (partition healed but gap never replayed?)", next)
+		}
+		want := fmt.Sprintf("s-%d", next)
+		if string(m.Payload) != want {
+			t.Fatalf("got %q, want %q", m.Payload, want)
+		}
+	}
+	<-done
+	if got := f.Nodes[1].NodeStats().Reconnects; got == 0 {
+		t.Error("bridge never reconnected; partition did not bite")
+	}
+	if _, refused := f.Nodes[0].Broker.AckStats(); refused != 0 {
+		t.Errorf("owner refused %d messages", refused)
+	}
+}
+
+// TestFederationWildcardPullsAllShards: a filter spanning workcells
+// pulls every remote-owned workcell, so a plant-wide subscriber on one
+// shard still sees traffic from every shard.
+func TestFederationWildcardPullsAllShards(t *testing.T) {
+	const shards = 3
+	f := fastFederation(t, shards, nil)
+	consumer := newAckedConsumer(t, f, 2, "factory/#", "wild-consumer")
+
+	// One workcell per shard, each published through its own owner so
+	// only the bridge (not the forward path) is under test. Retained, so
+	// publish order cannot race bridge attachment: the pull session
+	// replays retained state whenever it comes up.
+	seen := map[string]bool{}
+	for s := 0; s < shards; s++ {
+		wc := wcOnShard(t, shards, s)
+		topic := "factory/line1/" + wc + "/m/values/v/x"
+		payload := "from-" + wc
+		pub := dialShard(t, f, s)
+		if err := pub.Publish(topic, []byte(payload), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(seen) < shards {
+		m := consumer.next(time.Until(deadline))
+		if m == nil {
+			t.Fatalf("saw only %v of %d shards' workcells", seen, shards)
+		}
+		seen[string(m.Payload)] = true
+	}
+}
+
+// TestFederationNonPlantTopicsStayLocal: topics outside the generated
+// factory layout have no owner shard — they are node-local, and a
+// subscriber on another shard does not see them.
+func TestFederationNonPlantTopicsStayLocal(t *testing.T) {
+	const shards = 2
+	f := fastFederation(t, shards, nil)
+	local := dialShard(t, f, 0)
+	remote := dialShard(t, f, 1)
+
+	_, localCh, err := local.Subscribe("telemetry/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, remoteCh, err := remote.Subscribe("telemetry/#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Publish("telemetry/node/load", []byte("0.7"), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-localCh:
+		if string(m.Payload) != "0.7" {
+			t.Fatalf("got %q", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("local subscriber missed a local topic")
+	}
+	select {
+	case m := <-remoteCh:
+		t.Fatalf("node-local topic crossed shards: %q on %q", m.Payload, m.Topic)
+	case <-time.After(200 * time.Millisecond):
+	}
+	if st := f.Nodes[0].NodeStats(); st.Forwarded != 0 {
+		t.Errorf("node-local publish was forwarded (%d)", st.Forwarded)
+	}
+}
+
+// TestFederationPullReleasedOnUnsubscribe: when the last local filter
+// needing a workcell unsubscribes, the remote pull session ends — the
+// owner must not queue (and eventually refuse) for a consumer that is
+// gone for good.
+func TestFederationPullReleasedOnUnsubscribe(t *testing.T) {
+	const shards = 2
+	f := fastFederation(t, shards, nil)
+	wc := wcOnShard(t, shards, 0)
+	topic := "factory/line1/" + wc + "/m/values/v/x"
+
+	consumer := newAckedConsumer(t, f, 1, "factory/+/"+wc+"/#", "release-consumer")
+	pub := dialShard(t, f, 0)
+	consumer.waitBridge(pub, topic)
+
+	if err := consumer.c.Unsubscribe(consumer.subID); err != nil {
+		t.Fatal(err)
+	}
+	// The owner-side pull session must disappear (async round trip).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, _, subs := f.Nodes[0].Broker.Stats()
+		if subs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("owner still has %d subscriptions; pull session leaked", subs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNodeRoutingMatchesPlacement: the runtime router and the placement
+// package must agree on every topic — the codegen side of this property
+// is pinned in internal/codegen.
+func TestNodeRoutingMatchesPlacement(t *testing.T) {
+	const shards = 4
+	f := fastFederation(t, shards, nil)
+	ring := placement.NewRing(shards)
+	for _, wc := range fedWorkcells(12) {
+		topic := "factory/line9/" + wc + "/m/values/v/x"
+		want := ring.Owner(wc)
+		for _, n := range f.Nodes {
+			if got := n.OwnerOf(topic); got != want {
+				t.Fatalf("node s%d routes %s to %d, placement says %d", n.Shard(), topic, got, want)
+			}
+		}
+	}
+}

@@ -125,6 +125,12 @@ func (b *Broker) SubscribeOpts(filter string, opts SubOptions) (int, <-chan Mess
 	}
 	b.subMu.Unlock()
 	go s.pumpAcked(0, s.out, s.ack.detach)
+	// One hook call per session lifetime: reattach resumes don't re-fire,
+	// and the matching onUnsubscribe fires when Unsubscribe ends the
+	// session (detach keeps it registered, so no hook).
+	if b.onSubscribe != nil {
+		b.onSubscribe(filter)
+	}
 	return s.id, s.out, nil
 }
 
@@ -254,9 +260,25 @@ func (b *Broker) detachOwned(id int, ch <-chan Message) {
 // again. Publishers that must not lose data republish after an uncertain
 // outcome (timeout, dropped conn) with the same seq; the broker makes the
 // retry idempotent. An empty session falls back to plain Publish.
+//
+// On a federated node, a topic owned by another shard forwards to the
+// owner carrying the origin (session, seq) verbatim, so the owner's
+// high-water mark is the single dedup point no matter which ingress node
+// a retry lands on. Forwarding is therefore stateless: an ingress node
+// can die mid-retry without widening the dup window.
 func (b *Broker) PublishSeq(topic string, payload []byte, retain bool, session string, seq uint64) (dup bool, err error) {
+	if b.forward != nil && !b.owns(topic) {
+		return b.forward(topic, payload, retain, session, seq)
+	}
+	return b.publishLocalSeq(topic, payload, retain, session, seq)
+}
+
+// publishLocalSeq is PublishSeq without federation routing; bridge links
+// use it to republish pulled messages with the bridge session as the
+// dedup key.
+func (b *Broker) publishLocalSeq(topic string, payload []byte, retain bool, session string, seq uint64) (dup bool, err error) {
 	if session == "" || seq == 0 {
-		return false, b.Publish(topic, payload, retain)
+		return false, b.publishLocal(topic, payload, retain)
 	}
 	b.pubMu.Lock()
 	last := b.pubSeqs[session]
@@ -264,7 +286,7 @@ func (b *Broker) PublishSeq(topic string, payload []byte, retain bool, session s
 	if seq <= last {
 		return true, nil
 	}
-	if err := b.Publish(topic, payload, retain); err != nil {
+	if err := b.publishLocal(topic, payload, retain); err != nil {
 		return false, err
 	}
 	b.pubMu.Lock()

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/smartfactory/sysml2conf/internal/core"
+	"github.com/smartfactory/sysml2conf/internal/placement"
 )
 
 // Topic layout: factory/<line>/<workcell>/<machine>/values/<category>/<var>
@@ -100,6 +101,9 @@ type ServerConfig struct {
 	Line     string   `json:"line"`
 	Port     int      `json:"port"`
 	Machines []string `json:"machines"` // machine config names hosted here
+	// Shard is the broker shard owning this workcell's topics (federated
+	// plants only; absent means the single-broker layout).
+	Shard int `json:"shard,omitempty"`
 }
 
 // ClientMachine is one machine bridged by an OPC UA client module.
@@ -117,6 +121,10 @@ type ClientConfig struct {
 	Machines  []ClientMachine `json:"machines"`
 	Variables int             `json:"variables"` // capacity accounting
 	Methods   int             `json:"methods"`
+	// Shard is the broker shard the module publishes to. Sharded grouping
+	// never packs machines from two shards into one module, so every
+	// publish lands on its owner broker without a forwarding hop.
+	Shard int `json:"shard,omitempty"`
 }
 
 // StorageConfig is the per-group historian JSON (step 1 output).
@@ -124,6 +132,32 @@ type StorageConfig struct {
 	Name      string   `json:"name"`
 	Topics    []string `json:"topics"`
 	Retention int      `json:"retentionPerSeries"`
+	// Shard is the broker shard owning every topic in Topics (federated
+	// plants only), so the historian subscribes on the owner directly.
+	Shard int `json:"shard,omitempty"`
+}
+
+// PlacementConfig is the emitted workcell → broker-shard assignment of a
+// federated plant: the single source the runtime router, the bridge
+// links and the per-component Shard fields all agree with (the emitted
+// values come from the same consistent-hash ring the brokers run).
+type PlacementConfig struct {
+	Shards    int            `json:"shards"`
+	Workcells map[string]int `json:"workcells"`
+}
+
+// BrokerShardConfig is one broker node's slice of the placement: its own
+// shard index, the shard count, and the full workcell universe it needs
+// to expand wildcard filters into per-workcell bridge pulls.
+type BrokerShardConfig struct {
+	Shard     int            `json:"shard"`
+	Shards    int            `json:"shards"`
+	Workcells map[string]int `json:"workcells"`
+}
+
+// BrokerShardName returns the deployment/service name of a broker shard.
+func BrokerShardName(shard int) string {
+	return fmt.Sprintf("message-broker-s%d", shard)
 }
 
 // Intermediate is the complete step-1 output.
@@ -135,6 +169,9 @@ type Intermediate struct {
 	Storage  []StorageConfig
 	Monitors []MonitorConfig
 	Grouping GroupingReport
+	// Placement is the broker-shard assignment (nil for single-broker
+	// plants, i.e. Options.Shards <= 1).
+	Placement *PlacementConfig
 }
 
 // ServerNameFor returns the OPC UA server name of a workcell.
@@ -181,6 +218,11 @@ type Options struct {
 	HistorianRetention int
 	// MonitorPeriodMs is the workcell monitors' publish period (0: 500).
 	MonitorPeriodMs int
+	// Shards federates the message broker across this many nodes, placing
+	// each workcell's topics on a shard by consistent hash and grouping
+	// client modules shard-locally. 0 or 1 keeps the single-broker layout
+	// and produces byte-identical output to earlier versions.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -223,6 +265,30 @@ func BuildIntermediate(f *core.Factory, opts Options) (*Intermediate, error) {
 			}
 			out.Servers = append(out.Servers, srv)
 			port++
+		}
+	}
+
+	// Broker-shard placement: hash every workcell onto the ring the broker
+	// nodes themselves run, so the emitted assignment and the runtime
+	// router cannot disagree. Line-level monitors publish under the
+	// "_monitor" pseudo-workcell segment, which therefore needs a place on
+	// the ring too.
+	var shardOf map[string]int
+	if opts.Shards > 1 {
+		keys := make([]string, 0, len(serverOf)+1)
+		for wc := range serverOf {
+			keys = append(keys, wc)
+		}
+		for _, line := range f.Lines {
+			if len(line.Monitors) > 0 {
+				keys = append(keys, "_monitor")
+				break
+			}
+		}
+		shardOf = placement.NewRing(opts.Shards).Assign(keys)
+		out.Placement = &PlacementConfig{Shards: opts.Shards, Workcells: shardOf}
+		for i := range out.Servers {
+			out.Servers[i].Shard = shardOf[out.Servers[i].Workcell]
 		}
 	}
 
@@ -274,20 +340,42 @@ func BuildIntermediate(f *core.Factory, opts Options) (*Intermediate, error) {
 		out.Machines = append(out.Machines, mc)
 	}
 
-	// Workcell monitors.
+	// Workcell monitors. A workcell monitor lands on its workcell's shard
+	// (its source filter is workcell-keyed, so the owner serves it without
+	// a bridge hop); line monitors aggregate across workcells and sit on
+	// the shard owning their "_monitor" publish topics.
 	monitors, err := buildMonitors(f, opts.MonitorPeriodMs)
 	if err != nil {
 		return nil, err
 	}
+	if shardOf != nil {
+		for i := range monitors {
+			if wc := monitors[i].Workcell; wc != "" {
+				monitors[i].Shard = shardOf[wc]
+			} else {
+				monitors[i].Shard = shardOf["_monitor"]
+			}
+		}
+	}
 	out.Monitors = monitors
 
-	// Group machines into OPC UA client modules.
-	groups, report := Group(out.Machines, opts)
-	out.Grouping = report
+	// Group machines into OPC UA client modules; federated plants group
+	// within each shard so no module publishes across shard boundaries.
+	var groups [][]MachineConfig
+	var groupShards []int
+	if shardOf == nil {
+		groups, out.Grouping = Group(out.Machines, opts)
+	} else {
+		groups, groupShards, out.Grouping = GroupSharded(out.Machines, opts, shardOf)
+	}
 	for i, g := range groups {
 		name := fmt.Sprintf("opcua-client-%d", i+1)
 		cc := ClientConfig{Name: name}
 		sc := StorageConfig{Name: fmt.Sprintf("historian-%d", i+1), Retention: opts.HistorianRetention}
+		if groupShards != nil {
+			cc.Shard = groupShards[i]
+			sc.Shard = groupShards[i]
+		}
 		for _, mc := range g {
 			cm := ClientMachine{
 				Machine:       mc.Machine,
@@ -354,6 +442,11 @@ func (in *Intermediate) JSONFiles() (map[string][]byte, error) {
 	}
 	for _, mc := range in.Monitors {
 		if err := put("monitors/"+sanitizeName(mc.Name)+".json", mc); err != nil {
+			return nil, err
+		}
+	}
+	if in.Placement != nil {
+		if err := put("placement.json", in.Placement); err != nil {
 			return nil, err
 		}
 	}

@@ -139,8 +139,17 @@ func GenerateWithCache(f *core.Factory, opts GenOptions, cache *Cache) (*Bundle,
 // Every unit hash folds in optsHash so that a namespace/image/port change
 // invalidates the whole cache generation-wide.
 func buildUnits(in *Intermediate, opts GenOptions) []genUnit {
-	optsHash := hashUnit(opts.Namespace, opts.Images, opts.BrokerPort)
+	// Placement folds into the generation-wide hash: flipping a plant
+	// between single-broker and federated changes every component's broker
+	// address, so no cached unit may survive the switch.
+	optsHash := hashUnit(opts.Namespace, opts.Images, opts.BrokerPort, in.Placement)
 	brokerAddr := fmt.Sprintf("message-broker.%s.svc:%d", opts.Namespace, opts.BrokerPort)
+	brokerAddrFor := func(shard int) string {
+		if in.Placement == nil {
+			return brokerAddr
+		}
+		return fmt.Sprintf("%s.%s.svc:%d", BrokerShardName(shard), opts.Namespace, opts.BrokerPort)
+	}
 
 	units := make([]genUnit, 0, 2+len(in.Machines)+len(in.Servers)+len(in.Clients)+len(in.Storage)+len(in.Monitors))
 
@@ -157,16 +166,46 @@ func buildUnits(in *Intermediate, opts GenOptions) []genUnit {
 			return wrapUnit(nf, err)
 		},
 	})
-	units = append(units, genUnit{
-		key:  "broker",
-		hash: optsHash,
-		build: func() ([]NamedFile, error) {
-			nf, err := manifestFile("01-broker.yaml", brokerTmpl, map[string]any{
-				"Namespace": opts.Namespace, "Images": opts.Images, "BrokerPort": opts.BrokerPort,
+	if in.Placement == nil {
+		units = append(units, genUnit{
+			key:  "broker",
+			hash: optsHash,
+			build: func() ([]NamedFile, error) {
+				nf, err := manifestFile("01-broker.yaml", brokerTmpl, map[string]any{
+					"Namespace": opts.Namespace, "Images": opts.Images, "BrokerPort": opts.BrokerPort,
+				})
+				return wrapUnit(nf, err)
+			},
+		})
+	} else {
+		units = append(units, genUnit{
+			key:  "placement",
+			hash: hashUnit(optsHash, in.Placement),
+			build: func() ([]NamedFile, error) {
+				nf, err := jsonFile("placement.json", in.Placement)
+				return wrapUnit(nf, err)
+			},
+		})
+		for s := 0; s < in.Placement.Shards; s++ {
+			shardCfg := BrokerShardConfig{
+				Shard:     s,
+				Shards:    in.Placement.Shards,
+				Workcells: in.Placement.Workcells,
+			}
+			name := BrokerShardName(s)
+			units = append(units, genUnit{
+				key:  "broker/" + name,
+				hash: hashUnit(optsHash, shardCfg),
+				build: func() ([]NamedFile, error) {
+					nf, err := manifestFile(fmt.Sprintf("01-%s.yaml", name), brokerShardTmpl, map[string]any{
+						"Namespace": opts.Namespace, "Images": opts.Images,
+						"BrokerPort": opts.BrokerPort, "Name": name, "Config": shardCfg,
+					})
+					return wrapUnit(nf, err)
+				},
 			})
-			return wrapUnit(nf, err)
-		},
-	})
+		}
+	}
 
 	machinesByServer := map[string][]MachineConfig{}
 	for _, mc := range in.Machines {
@@ -218,7 +257,7 @@ func buildUnits(in *Intermediate, opts GenOptions) []genUnit {
 				}
 				mf, err := manifestFile(fmt.Sprintf("20-%s.yaml", sanitizeName(cc.Name)), clientTmpl, map[string]any{
 					"Namespace": opts.Namespace, "Images": opts.Images,
-					"Client": cc, "BrokerAddr": brokerAddr,
+					"Client": cc, "BrokerAddr": brokerAddrFor(cc.Shard),
 				})
 				if err != nil {
 					return nil, err
@@ -239,7 +278,7 @@ func buildUnits(in *Intermediate, opts GenOptions) []genUnit {
 				}
 				mf, err := manifestFile(fmt.Sprintf("30-%s.yaml", sanitizeName(st.Name)), historianTmpl, map[string]any{
 					"Namespace": opts.Namespace, "Images": opts.Images,
-					"Storage": st, "BrokerAddr": brokerAddr,
+					"Storage": st, "BrokerAddr": brokerAddrFor(st.Shard),
 				})
 				if err != nil {
 					return nil, err
@@ -260,7 +299,7 @@ func buildUnits(in *Intermediate, opts GenOptions) []genUnit {
 				}
 				mf, err := manifestFile(fmt.Sprintf("40-%s.yaml", sanitizeName(mo.Name)), monitorTmpl, map[string]any{
 					"Namespace": opts.Namespace, "Images": opts.Images,
-					"Monitor": mo, "BrokerAddr": brokerAddr,
+					"Monitor": mo, "BrokerAddr": brokerAddrFor(mo.Shard),
 				})
 				if err != nil {
 					return nil, err

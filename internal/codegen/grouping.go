@@ -79,6 +79,50 @@ func Group(machines []MachineConfig, opts Options) ([][]MachineConfig, GroupingR
 	return groups, report
 }
 
+// GroupSharded packs machines into client modules with the constraint
+// that a module never spans broker shards: machines are partitioned by
+// their workcell's shard (per shardOf, the emitted placement) and each
+// partition is grouped independently with the configured strategy. The
+// cost is the usual sharding tax — bin packing cannot mix machines from
+// different shards, so the module count can exceed the unsharded
+// grouping's — in exchange every module's publishes land directly on
+// their owner broker. Returns the groups, each group's shard (parallel
+// slice), and the aggregated report.
+func GroupSharded(machines []MachineConfig, opts Options, shardOf map[string]int) ([][]MachineConfig, []int, GroupingReport) {
+	opts = opts.withDefaults()
+	parts := map[int][]MachineConfig{}
+	var shards []int
+	for _, m := range machines {
+		s := shardOf[m.Workcell]
+		if _, seen := parts[s]; !seen {
+			shards = append(shards, s)
+		}
+		parts[s] = append(parts[s], m)
+	}
+	sort.Ints(shards)
+
+	var groups [][]MachineConfig
+	var groupShards []int
+	report := GroupingReport{
+		Strategy:   opts.Strategy.String(),
+		MaxVars:    opts.MaxVarsPerClient,
+		MaxMethods: opts.MaxMethodsPerClient,
+	}
+	for _, s := range shards {
+		g, r := Group(parts[s], opts)
+		groups = append(groups, g...)
+		for range g {
+			groupShards = append(groupShards, s)
+		}
+		report.Machines += r.Machines
+		report.Clients += r.Clients
+		report.Oversized += r.Oversized
+		report.TotalVars += r.TotalVars
+		report.TotalMethods += r.TotalMethods
+	}
+	return groups, groupShards, report
+}
+
 type bin struct {
 	vars, methods int
 	items         []MachineConfig

@@ -42,6 +42,10 @@ type MonitorConfig struct {
 	SourceFilter string        `json:"sourceFilter"` // broker filter for the workcell's values
 	Attributes   []MonitorAttr `json:"attributes"`
 	PeriodMs     int           `json:"periodMs"`
+	// Shard is the broker shard the monitor connects to (federated plants
+	// only): its workcell's owner, or the "_monitor" pseudo-workcell's
+	// shard for line-scope monitors.
+	Shard int `json:"shard,omitempty"`
 }
 
 // classifyMonitor derives the aggregation from the modeled attribute name.

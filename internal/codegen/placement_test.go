@@ -1,0 +1,162 @@
+package codegen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/smartfactory/sysml2conf/internal/broker"
+	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/placement"
+)
+
+// TestPlacementMatchesRuntimeRouter is the wire between codegen and the
+// federated runtime: the workcell → shard assignment BuildIntermediate
+// emits must equal what a fresh placement ring computes AND what a broker
+// node actually routes, for every shard count. If this drifts, a client
+// module publishes to a broker that forwards every message — or worse,
+// a bridge pull watches the wrong shard.
+func TestPlacementMatchesRuntimeRouter(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	for _, shards := range []int{2, 3, 8} {
+		in, err := BuildIntermediate(factory, Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Placement == nil || in.Placement.Shards != shards {
+			t.Fatalf("shards=%d: placement not emitted: %+v", shards, in.Placement)
+		}
+		ring := placement.NewRing(shards)
+		node := broker.NewNode(0, shards, broker.NodeOptions{Workcells: in.Placement.Workcells})
+		defer node.Close()
+		for wc, got := range in.Placement.Workcells {
+			if want := ring.Owner(wc); got != want {
+				t.Errorf("shards=%d: emitted shard %d for %q, ring says %d", shards, got, wc, want)
+			}
+			topic := "factory/line/" + wc + "/machine/values/v"
+			if want := node.OwnerOf(topic); got != want {
+				t.Errorf("shards=%d: emitted shard %d for %q, node routes %s to %d", shards, got, wc, topic, want)
+			}
+		}
+		// Every component's Shard field agrees with the placement.
+		for _, srv := range in.Servers {
+			if srv.Shard != in.Placement.Workcells[srv.Workcell] {
+				t.Errorf("shards=%d: server %s on shard %d, workcell %s placed on %d",
+					shards, srv.Name, srv.Shard, srv.Workcell, in.Placement.Workcells[srv.Workcell])
+			}
+		}
+		for _, cc := range in.Clients {
+			for _, m := range cc.Machines {
+				if cc.Shard != in.Placement.Workcells[m.Workcell] {
+					t.Errorf("shards=%d: client %s on shard %d holds machine %s of workcell %s (shard %d)",
+						shards, cc.Name, cc.Shard, m.Machine, m.Workcell, in.Placement.Workcells[m.Workcell])
+				}
+			}
+		}
+		for _, mo := range in.Monitors {
+			wc := mo.Workcell
+			if wc == "" {
+				wc = "_monitor"
+			}
+			if mo.Shard != in.Placement.Workcells[wc] {
+				t.Errorf("shards=%d: monitor %s on shard %d, expected %d", shards, mo.Name, mo.Shard, in.Placement.Workcells[wc])
+			}
+		}
+	}
+}
+
+// TestShardedGroupingNeverSpansShards: GroupSharded keeps every module's
+// machines on one shard and still covers each machine exactly once.
+func TestShardedGroupingNeverSpansShards(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	in, err := BuildIntermediate(factory, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardOf := map[string]int{}
+	for _, m := range in.Machines {
+		shardOf[m.Workcell] = placement.NewRing(4).Owner(m.Workcell)
+	}
+	groups, groupShards, report := GroupSharded(in.Machines, Options{MaxVarsPerClient: 20, MaxMethodsPerClient: 8}, shardOf)
+	if len(groups) != len(groupShards) {
+		t.Fatalf("groups/shards length mismatch: %d vs %d", len(groups), len(groupShards))
+	}
+	seen := map[string]int{}
+	for i, g := range groups {
+		for _, m := range g {
+			seen[m.Machine]++
+			if shardOf[m.Workcell] != groupShards[i] {
+				t.Errorf("group %d on shard %d holds %s of workcell %s (shard %d)",
+					i, groupShards[i], m.Machine, m.Workcell, shardOf[m.Workcell])
+			}
+		}
+	}
+	if len(seen) != len(in.Machines) {
+		t.Fatalf("grouping covers %d machines, want %d", len(seen), len(in.Machines))
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("machine %s appears in %d groups", name, n)
+		}
+	}
+	if report.Machines != len(in.Machines) || report.Clients != len(groups) {
+		t.Errorf("report %+v does not match %d machines / %d groups", report, len(in.Machines), len(groups))
+	}
+}
+
+// TestFederatedBundleManifests: a sharded generation emits one broker
+// deployment per shard with its broker.json, points every client,
+// historian and monitor at its shard's service, and stays byte-identical
+// to the single-broker output when Shards is 1.
+func TestFederatedBundleManifests(t *testing.T) {
+	factory := icelab.MustBuild(icelab.ICELab())
+	fed, err := Generate(factory, GenOptions{Options: Options{Shards: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		name := "manifests/01-" + BrokerShardName(s) + ".yaml"
+		data, ok := fed.Manifests[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if !strings.Contains(string(data), "broker.json") {
+			t.Errorf("%s lacks the broker.json ConfigMap entry", name)
+		}
+	}
+	if _, ok := fed.Manifests["manifests/01-broker.yaml"]; ok {
+		t.Error("federated bundle still emits the singleton broker manifest")
+	}
+	var pl PlacementConfig
+	if err := json.Unmarshal(fed.JSON["placement.json"], &pl); err != nil {
+		t.Fatalf("placement.json: %v", err)
+	}
+	if pl.Shards != 3 || len(pl.Workcells) == 0 {
+		t.Fatalf("placement.json content: %+v", pl)
+	}
+	for _, cc := range fed.Intermediate.Clients {
+		manifest := string(fed.Manifests["manifests/20-"+sanitizeName(cc.Name)+".yaml"])
+		want := BrokerShardName(cc.Shard) + "."
+		if !strings.Contains(manifest, want) {
+			t.Errorf("client %s (shard %d) manifest does not dial %s", cc.Name, cc.Shard, want)
+		}
+	}
+
+	single, err := Generate(factory, GenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single1, err := Generate(factory, GenOptions{Options: Options{Shards: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := single.AllFiles(), single1.AllFiles()
+	if len(a) != len(b) {
+		t.Fatalf("Shards=1 changed the file set: %d vs %d files", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || string(a[i].Data) != string(b[i].Data) {
+			t.Fatalf("Shards=1 changed output file %s", a[i].Name)
+		}
+	}
+}

@@ -89,6 +89,77 @@ spec:
     protocol: TCP
 `)
 
+// brokerShardTmpl renders one broker node of a federated plant: unlike
+// the singleton broker it carries a ConfigMap (broker.json) telling the
+// node its shard index and the workcell placement universe, and a
+// per-shard Service so components address their owner shard directly.
+var brokerShardTmpl = mustTemplate("broker-shard", `apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ q (printf "%s-config" .Name) }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Name }}
+data:
+  broker.json: {{ jsonq .Config }}
+---
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ q .Name }}
+  namespace: {{ q .Namespace }}
+  labels:
+    app: {{ q .Name }}
+    factory.io/component: message-broker
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: {{ q .Name }}
+  template:
+    metadata:
+      labels:
+        app: {{ q .Name }}
+        factory.io/component: message-broker
+    spec:
+      containers:
+      - name: broker
+        image: {{ q .Images.Broker }}
+        args:
+        - "--config=/etc/factory/broker.json"
+        ports:
+        - containerPort: {{ .BrokerPort }}
+          name: mqtt
+        volumeMounts:
+        - name: config
+          mountPath: /etc/factory
+          readOnly: true
+        livenessProbe:
+          tcpSocket:
+            port: {{ .BrokerPort }}
+          periodSeconds: 5
+          failureThreshold: 3
+        readinessProbe:
+          tcpSocket:
+            port: {{ .BrokerPort }}
+          periodSeconds: 5
+      restartPolicy: Always
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ q .Name }}
+  namespace: {{ q .Namespace }}
+spec:
+  selector:
+    app: {{ q .Name }}
+  ports:
+  - name: mqtt
+    port: {{ .BrokerPort }}
+    targetPort: {{ .BrokerPort }}
+    protocol: TCP
+`)
+
 var serverTmpl = mustTemplate("server", `apiVersion: v1
 kind: ConfigMap
 metadata:

@@ -96,8 +96,14 @@ type Cluster struct {
 	// restarts via historianStores.
 	DataDir string
 
-	broker      *broker.Broker
-	brokerAddr  string
+	broker     *broker.Broker
+	brokerAddr string
+	// Federated plants run one broker.Node per shard instead of the
+	// singleton above: brokers is keyed by deployment name
+	// ("message-broker-s<i>"), brokerAddrs by shard index (the map nodes
+	// and components resolve each other through, refreshed on restart).
+	brokers     map[string]*broker.Node
+	brokerAddrs map[int]string
 	servers     map[string]*stack.MachineServer
 	serverAddrs map[string]string
 	clients     map[string]*stack.BridgeClient
@@ -123,6 +129,8 @@ func NewCluster(n, capacity int) *Cluster {
 	}
 	c := &Cluster{
 		pods:            map[string]*Pod{},
+		brokers:         map[string]*broker.Node{},
+		brokerAddrs:     map[int]string{},
 		servers:         map[string]*stack.MachineServer{},
 		serverAddrs:     map[string]string{},
 		clients:         map[string]*stack.BridgeClient{},
@@ -292,6 +300,19 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 
 	switch component {
 	case "message-broker":
+		// A broker.json ConfigMap marks a federated broker node; the
+		// singleton broker deployment has no ConfigMap at all.
+		if _, ok := configMaps[o.Namespace()+"/"+o.Name()+"-config"]; ok {
+			raw, err := cfg("broker.json")
+			if err != nil {
+				return err
+			}
+			var bc codegen.BrokerShardConfig
+			if err := json.Unmarshal(raw, &bc); err != nil {
+				return fmt.Errorf("deploy: bad broker.json for %s: %w", o.Name(), err)
+			}
+			return c.startBrokerNode(o.Name(), bc)
+		}
 		b := broker.New()
 		if inj := c.FaultInjector; inj != nil {
 			b.ListenWrapper = func(ln net.Listener) net.Listener {
@@ -355,11 +376,9 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 		if err := json.Unmarshal(raw, &cc); err != nil {
 			return fmt.Errorf("deploy: bad client.json for %s: %w", o.Name(), err)
 		}
-		c.mu.Lock()
-		brokerAddr := c.brokerAddr
-		c.mu.Unlock()
-		if brokerAddr == "" {
-			return fmt.Errorf("deploy: client %s started before the broker", cc.Name)
+		brokerAddr, err := c.brokerAddrFor(cc.Shard)
+		if err != nil {
+			return fmt.Errorf("deploy: client %s started before the broker: %w", cc.Name, err)
 		}
 		client := stack.NewBridgeClient(cc, c.resolveServer, brokerAddr)
 		if err := client.Start(); err != nil {
@@ -378,14 +397,14 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 		if err := json.Unmarshal(raw, &sc); err != nil {
 			return fmt.Errorf("deploy: bad storage.json for %s: %w", o.Name(), err)
 		}
+		brokerAddr, err := c.brokerAddrFor(sc.Shard)
+		if err != nil {
+			return fmt.Errorf("deploy: historian %s started before the broker: %w", sc.Name, err)
+		}
 		c.mu.Lock()
-		brokerAddr := c.brokerAddr
 		store := c.historianStores[sc.Name]
 		dataDir := c.DataDir
 		c.mu.Unlock()
-		if brokerAddr == "" {
-			return fmt.Errorf("deploy: historian %s started before the broker", sc.Name)
-		}
 		if dataDir != "" {
 			// Durable mode: every restart goes through the crash-recovery
 			// path — open snapshot + WAL, replay, resubscribe from the
@@ -425,11 +444,9 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 		if err := json.Unmarshal(raw, &mc); err != nil {
 			return fmt.Errorf("deploy: bad monitor.json for %s: %w", o.Name(), err)
 		}
-		c.mu.Lock()
-		brokerAddr := c.brokerAddr
-		c.mu.Unlock()
-		if brokerAddr == "" {
-			return fmt.Errorf("deploy: monitor %s started before the broker", mc.Name)
+		brokerAddr, err := c.brokerAddrFor(mc.Shard)
+		if err != nil {
+			return fmt.Errorf("deploy: monitor %s started before the broker: %w", mc.Name, err)
 		}
 		mon := stack.NewWorkcellMonitor(mc, brokerAddr)
 		if err := mon.Start(); err != nil {
@@ -445,6 +462,71 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 	return nil
 }
 
+// startBrokerNode starts one federated broker shard: a broker.Node that
+// forwards non-owned publishes to owner shards and pulls remote-owned
+// subscriptions over acked bridge links. Addresses resolve through the
+// cluster's live brokerAddrs map, so a restarted peer's new port is
+// found on the next (re)dial.
+func (c *Cluster) startBrokerNode(name string, bc codegen.BrokerShardConfig) error {
+	opts := broker.NodeOptions{
+		Workcells: bc.Workcells,
+		Resolve:   c.BrokerShardAddr,
+	}
+	if inj := c.FaultInjector; inj != nil {
+		opts.Dial = func(link, addr string) (net.Conn, error) {
+			return inj.Dial(link, addr, 2*time.Second)
+		}
+	}
+	n := broker.NewNode(bc.Shard, bc.Shards, opts)
+	if inj := c.FaultInjector; inj != nil {
+		injName := fmt.Sprintf("broker-s%d", bc.Shard)
+		n.Broker.ListenWrapper = func(ln net.Listener) net.Listener {
+			return inj.Wrap(injName, ln)
+		}
+	}
+	if err := n.Serve("127.0.0.1:0"); err != nil {
+		n.Close()
+		return err
+	}
+	c.mu.Lock()
+	c.brokers[name] = n
+	c.brokerAddrs[bc.Shard] = n.Addr()
+	c.mu.Unlock()
+	return nil
+}
+
+// brokerAddrFor resolves the broker address a component dials: its
+// shard's node in a federated cluster, the singleton broker otherwise.
+func (c *Cluster) brokerAddrFor(shard int) (string, error) {
+	c.mu.Lock()
+	federated := len(c.brokers) > 0
+	addr := c.brokerAddrs[shard]
+	legacy := c.brokerAddr
+	c.mu.Unlock()
+	if federated {
+		if addr == "" {
+			return "", fmt.Errorf("broker shard %d is not running", shard)
+		}
+		return addr, nil
+	}
+	if legacy == "" {
+		return "", fmt.Errorf("no broker is running")
+	}
+	return legacy, nil
+}
+
+// BrokerShardAddr returns the live address of one broker shard of a
+// federated cluster ("" plus an error while that node is down).
+func (c *Cluster) BrokerShardAddr(shard int) (string, error) {
+	c.mu.Lock()
+	addr := c.brokerAddrs[shard]
+	c.mu.Unlock()
+	if addr == "" {
+		return "", fmt.Errorf("deploy: broker shard %d is not running", shard)
+	}
+	return addr, nil
+}
+
 // stopComponent tears down the component behind a Deployment without
 // touching pod bookkeeping (the supervisor uses it mid-restart, KillPod
 // uses it to simulate a crash).
@@ -452,6 +534,13 @@ func (c *Cluster) stopComponent(component, name string) {
 	switch component {
 	case "message-broker":
 		c.mu.Lock()
+		if n := c.brokers[name]; n != nil {
+			delete(c.brokers, name)
+			delete(c.brokerAddrs, n.Shard())
+			c.mu.Unlock()
+			n.Close()
+			return
+		}
 		b := c.broker
 		c.broker = nil
 		c.brokerAddr = ""
@@ -532,38 +621,109 @@ func (c *Cluster) AllRunning() bool {
 	return true
 }
 
-// BrokerAddr returns the running broker's address ("" if absent).
+// BrokerAddr returns the running broker's address ("" if absent). On a
+// federated cluster it returns the lowest-numbered live shard — any node
+// accepts publishes and forwards them to their owners, so this keeps
+// single-broker callers (the factorysim orchestrator, older tests)
+// working unchanged.
 func (c *Cluster) BrokerAddr() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.brokerAddr
+	if c.brokerAddr != "" {
+		return c.brokerAddr
+	}
+	best := -1
+	for shard := range c.brokerAddrs {
+		if best < 0 || shard < best {
+			best = shard
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return c.brokerAddrs[best]
 }
 
-// BrokerStats returns the running broker's lifetime counters (all zero if
-// no broker pod is up). dropped counts messages shed by subscriber ring
-// buffers — the loss signal chaos soaks and the factorysim monitor report.
+// brokerNodes snapshots the live federated nodes (empty on single-broker
+// clusters).
+func (c *Cluster) brokerNodes() []*broker.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*broker.Node, 0, len(c.brokers))
+	for _, n := range c.brokers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// BrokerStats returns the broker tier's lifetime counters (all zero if no
+// broker pod is up), summed across every node of a federated cluster.
+// dropped counts messages shed by subscriber ring buffers — the loss
+// signal chaos soaks and the factorysim monitor report.
 func (c *Cluster) BrokerStats() (published, delivered, dropped uint64, subscriptions int) {
 	c.mu.Lock()
 	b := c.broker
 	c.mu.Unlock()
-	if b == nil {
-		return 0, 0, 0, 0
+	if b != nil {
+		return b.Stats()
 	}
-	return b.Stats()
+	for _, n := range c.brokerNodes() {
+		p, d, dr, s := n.Broker.Stats()
+		published += p
+		delivered += d
+		dropped += dr
+		subscriptions += s
+	}
+	return published, delivered, dropped, subscriptions
 }
 
-// BrokerAckStats returns the broker's acked-delivery counters: redelivered
-// is retries of unacked messages (benign — consumers dedup), refused is
+// BrokerAckStats returns the broker tier's acked-delivery counters,
+// summed across every node of a federated cluster: redelivered is
+// retries of unacked messages (benign — consumers dedup), refused is
 // messages rejected because a session's backlog was full (real loss; a
 // healthy deployment keeps this at zero).
 func (c *Cluster) BrokerAckStats() (redelivered, refused uint64) {
 	c.mu.Lock()
 	b := c.broker
 	c.mu.Unlock()
-	if b == nil {
-		return 0, 0
+	if b != nil {
+		return b.AckStats()
 	}
-	return b.AckStats()
+	for _, n := range c.brokerNodes() {
+		rd, rf := n.Broker.AckStats()
+		redelivered += rd
+		refused += rf
+	}
+	return redelivered, refused
+}
+
+// ShardBrokerStats is one federated broker node's breakdown: the core
+// pub/sub and acked-delivery counters plus the federation traffic
+// counters (forwards out, bridged messages in, deduped redeliveries,
+// link reconnects).
+type ShardBrokerStats struct {
+	broker.NodeStats
+	Published     uint64
+	Delivered     uint64
+	Dropped       uint64
+	Subscriptions int
+	Redelivered   uint64
+	Refused       uint64
+}
+
+// BrokerShardStats returns per-shard broker counters sorted by shard
+// (empty on single-broker clusters).
+func (c *Cluster) BrokerShardStats() []ShardBrokerStats {
+	nodes := c.brokerNodes()
+	out := make([]ShardBrokerStats, 0, len(nodes))
+	for _, n := range nodes {
+		s := ShardBrokerStats{NodeStats: n.NodeStats()}
+		s.Published, s.Delivered, s.Dropped, s.Subscriptions = n.Broker.Stats()
+		s.Redelivered, s.Refused = n.Broker.AckStats()
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
 }
 
 // Historian returns a running historian service by name, or nil.
@@ -647,16 +807,19 @@ func (c *Cluster) Shutdown() {
 	historians := c.historians
 	monitors := c.monitors
 	b := c.broker
+	nodes := c.brokers
 	c.clients = map[string]*stack.BridgeClient{}
 	c.servers = map[string]*stack.MachineServer{}
 	c.historians = map[string]*historian.Service{}
 	c.monitors = map[string]*stack.WorkcellMonitor{}
 	c.broker = nil
 	c.brokerAddr = ""
+	c.brokers = map[string]*broker.Node{}
+	c.brokerAddrs = map[int]string{}
 	c.mu.Unlock()
 
 	// 2. Components in order: clients → servers → monitors → historians →
-	// broker.
+	// broker tier.
 	for _, cl := range clients {
 		cl.Stop()
 	}
@@ -671,6 +834,9 @@ func (c *Cluster) Shutdown() {
 	}
 	if b != nil {
 		b.Close()
+	}
+	for _, n := range nodes {
+		n.Close()
 	}
 
 	c.mu.Lock()

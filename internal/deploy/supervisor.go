@@ -236,10 +236,14 @@ func (c *Cluster) componentHealth(component, name string) error {
 	switch component {
 	case "message-broker":
 		c.mu.Lock()
+		n := c.brokers[name]
 		b := c.broker
 		c.mu.Unlock()
+		if n != nil {
+			return n.Broker.Health()
+		}
 		if b == nil {
-			return fmt.Errorf("deploy: broker not running")
+			return fmt.Errorf("deploy: broker %s not running", name)
 		}
 		return b.Health()
 	case "opcua-server":

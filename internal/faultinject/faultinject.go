@@ -11,6 +11,7 @@
 package faultinject
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
 	"sort"
@@ -219,6 +220,35 @@ func (in *Injector) untrack(name string, c *faultConn) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	delete(in.conns[name], c)
+}
+
+// Dial opens a client connection subject to the named component's fault
+// rule — the client-side counterpart of Wrap, for links the plant
+// originates itself (federation bridge pulls and cross-shard publish
+// uplinks). A partitioned name refuses new dials and severs the live
+// connections dialed under it, so Partition isolates one bridge link
+// without touching the broker nodes behind it; DropRate, Latency and
+// TruncateRate apply to the dialed connection's frames exactly as they
+// do on the listener side.
+func (in *Injector) Dial(name, addr string, timeout time.Duration) (net.Conn, error) {
+	st := in.statsFor(name)
+	rule, part := in.rule(name)
+	if part || in.roll(rule.RefuseRate) {
+		in.mu.Lock()
+		st.Refusals++
+		in.mu.Unlock()
+		return nil, fmt.Errorf("faultinject: dial %s: connection refused (injected)", name)
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{Conn: conn, name: name, in: in}
+	in.track(name, fc)
+	in.mu.Lock()
+	st.Accepts++
+	in.mu.Unlock()
+	return fc, nil
 }
 
 // Wrap decorates a listener so that connections accepted through it are

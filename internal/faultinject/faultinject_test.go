@@ -218,3 +218,60 @@ func TestSeededDecisionsAreDeterministic(t *testing.T) {
 		t.Error("different seeds produced identical decision sequences")
 	}
 }
+
+// TestDialSubjectToRules: the client-side Dial wrapper must honor the
+// named rule — partitions refuse new dials and sever dialed connections,
+// and healing restores the link. The bridge-link fault path.
+func TestDialSubjectToRules(t *testing.T) {
+	in := New(9)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	echoServer(t, raw)
+
+	conn, err := in.Dial("bridge:a-b", raw.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, err := roundTrip(conn, "up"); err != nil || got != "up" {
+		t.Fatalf("echo through dialed conn = %q err=%v", got, err)
+	}
+
+	in.Partition("bridge:a-b", true)
+	conn.SetDeadline(time.Now().Add(time.Second))
+	if _, err := roundTrip(conn, "down"); err == nil {
+		t.Fatal("dialed connection survived the partition")
+	}
+	if _, err := in.Dial("bridge:a-b", raw.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial crossed the partition")
+	}
+	st := in.Stats()["bridge:a-b"]
+	if st.Refusals == 0 {
+		t.Fatal("refused dial not counted")
+	}
+
+	in.Partition("bridge:a-b", false)
+	conn2, err := in.Dial("bridge:a-b", raw.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if got, err := roundTrip(conn2, "healed"); err != nil || got != "healed" {
+		t.Fatalf("post-heal echo = %q err=%v", got, err)
+	}
+
+	// Rules apply to dialed connections exactly as to accepted ones.
+	in.Set("bridge:a-b", Rule{DropRate: 1})
+	conn3, err := in.Dial("bridge:a-b", raw.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	conn3.SetDeadline(time.Now().Add(time.Second))
+	if _, err := roundTrip(conn3, "dropped"); err == nil {
+		t.Fatal("DropRate=1 connection delivered traffic")
+	}
+}

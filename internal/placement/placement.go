@@ -1,0 +1,186 @@
+// Package placement assigns plant topics to broker shards with a
+// consistent-hash ring keyed on the ISA-95 hierarchy. The unit of
+// placement is the workcell: every topic under
+// factory/<line>/<workcell>/... hashes by its workcell segment, so one
+// workcell's machines, services, and monitor streams always live on one
+// shard and the codegen grouping pass can keep client modules
+// shard-local.
+//
+// The ring is stateless and deterministic: Owner depends only on the key
+// and the shard count, never on which other keys exist. Adding or
+// removing workcells therefore never moves the survivors, and growing
+// the shard count moves only ~1/shards of the keys (the classic
+// consistent-hashing bound) because each shard projects the same virtual
+// points onto the ring regardless of how many other shards join them.
+//
+// Both the codegen emitter and the runtime broker router build their
+// rings through this package with DefaultReplicas, which is what makes
+// the emitted workcell→shard table and the live routing decision agree
+// by construction (and what the property tests in this package and in
+// internal/codegen pin down).
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// DefaultReplicas is the number of virtual points each shard projects
+// onto the ring. 64 keeps the assignment spread within a few percent of
+// uniform for plant-scale workcell counts while the ring stays small
+// enough to rebuild per process without caching.
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring over a fixed number of shards.
+// Construction is cheap and rings are immutable afterwards, so callers
+// share one ring freely across goroutines.
+type Ring struct {
+	shards   int
+	replicas int
+	points   []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring for shards shards with DefaultReplicas virtual
+// points per shard. shards < 1 is clamped to 1 (a single-shard ring owns
+// everything, which keeps the unsharded paths trivially correct).
+func NewRing(shards int) *Ring {
+	return NewRingReplicas(shards, DefaultReplicas)
+}
+
+// NewRingReplicas builds a ring with an explicit virtual-point count.
+// Exposed for tests that probe distribution behaviour; production code
+// uses NewRing so every component agrees on the geometry.
+func NewRingReplicas(shards, replicas int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &Ring{shards: shards, replicas: replicas}
+	r.points = make([]ringPoint, 0, shards*replicas)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashKey(fmt.Sprintf("shard-%d#%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties resolve by shard index so the ring order is total and
+		// deterministic across processes.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the shard count the ring was built for.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning key: the first virtual point at or
+// clockwise after the key's hash.
+func (r *Ring) Owner(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Assign maps every key to its owner. Convenience for emitting the
+// workcell→shard table in one shot.
+func (r *Ring) Assign(keys []string) map[string]int {
+	out := make(map[string]int, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owner(k)
+	}
+	return out
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the murmur3 finalizer. Raw FNV-1a of short sequential names
+// ("wc001", "wc002", …) yields nearly sequential hashes, which clumps
+// ring points and key positions into same-shard runs; the finalizer
+// restores full avalanche so the spread stays near uniform.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// workcellSegment is the index of the workcell in the generated topic
+// layout factory/<line>/<workcell>/<machine>/....
+const workcellSegment = 2
+
+// TopicKey extracts the placement key (the workcell segment) from a
+// concrete topic. It returns ok=false for topics outside the generated
+// factory/<line>/<workcell>/... layout; the federation treats those as
+// node-local (no owner shard, no cross-shard routing), mirroring how
+// MQTT brokers scope $SYS-style topics.
+func TopicKey(topic string) (string, bool) {
+	return nthSegment(topic, workcellSegment, "factory")
+}
+
+// FilterKey extracts the placement key from a subscription filter when
+// the filter pins a single workcell: the first segment is the literal
+// "factory" and the workcell segment is a literal (not + or #). Filters
+// that span workcells (wildcards at or before the workcell segment)
+// return ok=false and the caller bridges every remote workcell instead.
+func FilterKey(filter string) (string, bool) {
+	seg, ok := nthSegment(filter, workcellSegment, "factory")
+	if !ok || seg == "+" || seg == "#" {
+		return "", false
+	}
+	return seg, true
+}
+
+// nthSegment returns segment n of a slash-separated topic whose first
+// segment equals root, without allocating. A "#" at or before segment n
+// means the path to the workcell is not pinned down.
+func nthSegment(topic string, n int, root string) (string, bool) {
+	rest := topic
+	for i := 0; ; i++ {
+		var seg string
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			seg, rest = rest[:j], rest[j+1:]
+		} else {
+			seg, rest = rest, ""
+		}
+		switch {
+		case i == 0 && seg != root:
+			return "", false
+		case seg == "#":
+			return "", false
+		case i == n:
+			if seg == "" {
+				return "", false
+			}
+			return seg, true
+		case rest == "":
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func workcellNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("wc%03d", i)
+	}
+	return out
+}
+
+// Adding or removing workcells must never move the survivors: the ring
+// is stateless, so Owner is a pure function of (key, shards). This is
+// the property that makes plant growth cheap — commissioning a new
+// workcell never re-homes an existing one.
+func TestOwnerStableUnderAddRemove(t *testing.T) {
+	ring := NewRing(5)
+	all := workcellNames(300)
+	before := ring.Assign(all)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		// Random subset: simulates an arbitrary add/remove history.
+		subset := make([]string, 0, len(all))
+		for _, wc := range all {
+			if rng.Intn(2) == 0 {
+				subset = append(subset, wc)
+			}
+		}
+		after := ring.Assign(subset)
+		for wc, shard := range after {
+			if shard != before[wc] {
+				t.Fatalf("trial %d: workcell %s moved %d -> %d after removing unrelated workcells",
+					trial, wc, before[wc], shard)
+			}
+		}
+	}
+}
+
+// Growing the shard count moves only roughly 1/newShards of the keys —
+// the consistent-hashing bound. A modulo assignment would move ~80% on
+// 4→5; the ring must stay far under half.
+func TestShardGrowthMovesBoundedFraction(t *testing.T) {
+	keys := workcellNames(1000)
+	for _, tc := range []struct{ from, to int }{{4, 5}, {8, 9}, {8, 16}} {
+		before := NewRing(tc.from).Assign(keys)
+		after := NewRing(tc.to).Assign(keys)
+		moved := 0
+		for k, s := range after {
+			if s != before[k] {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		// The theoretical expectation is (to-from)/to; allow 2x slack for
+		// the finite virtual-point count.
+		expect := float64(tc.to-tc.from) / float64(tc.to)
+		if frac > 2*expect+0.05 {
+			t.Errorf("%d->%d shards moved %.0f%% of keys, expected about %.0f%%",
+				tc.from, tc.to, 100*frac, 100*expect)
+		}
+		if moved == 0 && tc.from != tc.to {
+			t.Errorf("%d->%d shards moved nothing; ring ignoring shard count?", tc.from, tc.to)
+		}
+	}
+}
+
+// The assignment must not collapse onto a few shards: every shard owns
+// some keys and no shard owns a wildly outsized share.
+func TestAssignmentSpread(t *testing.T) {
+	const shards = 8
+	keys := workcellNames(800)
+	counts := make([]int, shards)
+	ring := NewRing(shards)
+	for _, k := range keys {
+		counts[ring.Owner(k)]++
+	}
+	mean := float64(len(keys)) / shards
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d owns no workcells", s)
+		}
+		if float64(c) > 2.5*mean || float64(c) < mean/2.5 {
+			t.Errorf("shard %d owns %d keys (mean %.0f): spread too uneven", s, c, mean)
+		}
+	}
+}
+
+// Owner is deterministic across independently built rings — the
+// codegen emitter and every broker node must reach identical decisions
+// from just the shard count.
+func TestIndependentRingsAgree(t *testing.T) {
+	a, b := NewRing(7), NewRing(7)
+	for _, k := range workcellNames(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("independently built rings disagree on %s", k)
+		}
+	}
+}
+
+func TestSingleShardOwnsEverything(t *testing.T) {
+	ring := NewRing(1)
+	for _, k := range []string{"wc01", "anything", ""} {
+		if got := ring.Owner(k); got != 0 {
+			t.Fatalf("single-shard ring sent %q to shard %d", k, got)
+		}
+	}
+	if NewRing(0).Owner("x") != 0 {
+		t.Fatal("shards<1 must clamp to a single shard")
+	}
+}
+
+func TestTopicKey(t *testing.T) {
+	cases := []struct {
+		topic string
+		key   string
+		ok    bool
+	}{
+		{"factory/line1/wc02/emco/values/axes/actualX", "wc02", true},
+		{"factory/line1/wc02/emco/services/drill/request", "wc02", true},
+		{"factory/line1/wc02", "wc02", true},
+		{"factory/line1", "", false},
+		{"factory", "", false},
+		{"other/line1/wc02/m", "", false},
+		{"factory/line1//m", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		key, ok := TopicKey(c.topic)
+		if key != c.key || ok != c.ok {
+			t.Errorf("TopicKey(%q) = %q,%v want %q,%v", c.topic, key, ok, c.key, c.ok)
+		}
+	}
+}
+
+func TestFilterKey(t *testing.T) {
+	cases := []struct {
+		filter string
+		key    string
+		ok     bool
+	}{
+		{"factory/line1/wc02/emco/values/#", "wc02", true},
+		{"factory/+/wc02/#", "wc02", true},
+		{"factory/+/wc02/+/values/+/actualX", "wc02", true},
+		{"factory/line1/+/emco/values/#", "", false},
+		{"factory/#", "", false},
+		{"factory/line1/#", "", false},
+		{"#", "", false},
+		{"+/line1/wc02/#", "", false},
+		{"telemetry/#", "", false},
+	}
+	for _, c := range cases {
+		key, ok := FilterKey(c.filter)
+		if key != c.key || ok != c.ok {
+			t.Errorf("FilterKey(%q) = %q,%v want %q,%v", c.filter, key, ok, c.key, c.ok)
+		}
+	}
+}

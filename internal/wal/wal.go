@@ -27,10 +27,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/smartfactory/sysml2conf/internal/wire"
 )
@@ -70,9 +72,9 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 	}
 	return names, nil
 }
-func (osFS) Remove(name string) error                { return os.Remove(name) }
-func (osFS) Rename(oldpath, newpath string) error    { return os.Rename(oldpath, newpath) }
-func (osFS) Truncate(name string, size int64) error  { return os.Truncate(name, size) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
 func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
 
 // OS is the real filesystem.
@@ -89,6 +91,16 @@ type Options struct {
 	// the append path without paying disk latency. Never use it for data
 	// that must survive a crash.
 	NoSync bool
+	// CommitWindow widens group commit: before fsyncing, the flushing
+	// appender yields to in-flight appenders until the log quiesces (no
+	// new bytes staged across a yield) or the window elapses, so
+	// everything already racing toward the log shares one fsync instead
+	// of only the records that happen to arrive while a previous fsync
+	// is in flight. Gathering is yield-based, not timer-based: a lone
+	// appender pays roughly one scheduler yield, not the window, so the
+	// window is a bound on gathering under sustained load rather than
+	// added latency. Zero keeps the sync-immediately behaviour.
+	CommitWindow time.Duration
 }
 
 func (o Options) segmentBytes() int64 {
@@ -318,6 +330,31 @@ func (l *Log) commitLocked(pos uint64) error {
 			continue
 		}
 		l.syncing = true
+		if w := l.opts.CommitWindow; w > 0 {
+			// Gather the batch: yield to appenders already racing toward
+			// the log until no new bytes get staged across a yield, or the
+			// window elapses under sustained load. Yielding instead of
+			// sleeping keeps a lone appender's added cost at roughly one
+			// scheduler pass — important on hosts whose minimum sleep is
+			// milliseconds. Rotation cannot move l.active meanwhile: it
+			// only runs after a commit returns, and every other appender
+			// is parked in this loop.
+			deadline := time.Now().Add(w)
+			for {
+				staged := l.written
+				l.mu.Unlock()
+				runtime.Gosched()
+				l.mu.Lock()
+				if l.err != nil {
+					l.syncing = false
+					l.cond.Broadcast()
+					return l.err
+				}
+				if l.written == staged || !time.Now().Before(deadline) {
+					break
+				}
+			}
+		}
 		target := l.written
 		f := l.active
 		l.mu.Unlock()

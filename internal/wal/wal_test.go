@@ -7,7 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func replayAll(t *testing.T, dir string, opts Options) (map[uint64]string, *Log) {
@@ -353,4 +355,70 @@ func TestLSNEncoding(t *testing.T) {
 		t.Errorf("first LSN = %d, want 1", lsn)
 	}
 	l.Close()
+}
+
+type countFile struct {
+	File
+	syncs *atomic.Int64
+}
+
+func (f *countFile) Sync() error {
+	f.syncs.Add(1)
+	return f.File.Sync()
+}
+
+type countFS struct {
+	FS
+	syncs atomic.Int64
+}
+
+func (fs *countFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := fs.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &countFile{File: f, syncs: &fs.syncs}, nil
+}
+
+// TestCommitWindowBatchesFsyncs: with a commit window, concurrent
+// appenders share fsyncs — far fewer syncs than appends — and every
+// record is still durable on replay.
+func TestCommitWindowBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	fs := &countFS{FS: OS}
+	l, err := Open(dir, Options{FS: fs, CommitWindow: 2 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 16, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	syncs := fs.syncs.Load()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const total = writers * perWriter
+	if syncs >= total/2 {
+		t.Errorf("%d fsyncs for %d appends; the commit window batched almost nothing", syncs, total)
+	}
+	if syncs == 0 {
+		t.Error("no fsyncs at all")
+	}
+	got, l2 := replayAll(t, dir, Options{})
+	defer l2.Close()
+	if len(got) != total {
+		t.Fatalf("replayed %d records, want %d", len(got), total)
+	}
 }

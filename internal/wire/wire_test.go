@@ -195,11 +195,17 @@ func (s *slowWriter) Write(p []byte) (int, error) {
 // subsequent WriteFrame.
 func TestWriterStickyError(t *testing.T) {
 	w := NewWriter(&failWriter{})
+	if err := w.Err(); err != nil {
+		t.Fatalf("fresh writer reports error: %v", err)
+	}
 	if err := w.WriteFrame(&testMsg{Op: "pub"}); err == nil {
 		t.Fatal("want error from failing writer")
 	}
 	if err := w.WriteFrame(&testMsg{Op: "pub"}); err == nil {
 		t.Fatal("error must be sticky")
+	}
+	if err := w.Err(); err == nil {
+		t.Fatal("Err must report the sticky write failure")
 	}
 }
 

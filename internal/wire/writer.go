@@ -17,13 +17,13 @@ import (
 // goroutine and every subsequent WriteFrame, which is the signal the
 // connection pumps use to stop.
 type Writer struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	w       io.Writer
-	pending []byte
-	spare   []byte
+	mu       sync.Mutex
+	cond     *sync.Cond
+	w        io.Writer
+	pending  []byte
+	spare    []byte
 	flushing bool
-	err     error
+	err      error
 }
 
 // maxPending is the soft cap on staged bytes: producers block (waiting on
@@ -71,6 +71,15 @@ func (w *Writer) WriteFrame(v any) error {
 	w.cond.Broadcast()
 	w.mu.Unlock()
 	return err
+}
+
+// Err returns the writer's sticky error: nil until a batch write fails,
+// then that first failure forever. Connection health checks consult it to
+// catch a write-dead connection whose read side has not yet noticed.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Flush writes any staged frames. WriteFrame flushes on its own; Flush only
