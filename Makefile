@@ -9,7 +9,7 @@ BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughpu
 DATAPLANE_PATTERN = BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkWALAppend|BenchmarkHistorianRecovery
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 
-.PHONY: build test check soak soak-federated bench benchdiff bench-full bench-dataplane
+.PHONY: build test check soak soak-federated bench benchdiff bench-full bench-dataplane bench-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,20 @@ test: build
 
 # Tier-2: vet + the full suite under the race detector (the supervision,
 # chaos, snapshot and codegen worker-pool layers are concurrency-heavy).
+# `go test` also replays the binary-decoder fuzz seed corpus (the f.Add
+# seeds in internal/broker/fuzz_test.go) as regular tests.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Exploratory fuzzing of the binary wire decoder — corrupt, truncated and
+# oversized frames against the mixed-framing reader and the frame codec.
+# CI runs only the seed corpus (via `make check`); run this for minutes or
+# hours when touching internal/wire framing or a protocol codec.
+FUZZ_TIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzBinaryFrameDecode -fuzztime=$(FUZZ_TIME) -run='^$$' ./internal/broker/
+	$(GO) test -fuzz=FuzzBinaryBodyRoundTrip -fuzztime=$(FUZZ_TIME) -run='^$$' ./internal/broker/
 
 # Durability soak: the seeded chaos suites under the race detector — the
 # zero-loss audit (historian crashes + broker partition, every sequence
@@ -66,6 +77,13 @@ benchdiff:
 # feedback when iterating on the message path.
 bench-dataplane:
 	$(GO) test -run='^$$' -bench='$(DATAPLANE_PATTERN)' -benchmem -benchtime=1s .
+
+# Smoke-run the hot-path benchmarks at a fixed tiny iteration count — PR CI
+# uses this to prove the wire and fan-out paths still execute end to end
+# (a hang or Fatal fails fast) without paying for a statistically
+# meaningful -benchtime on shared runners.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkBrokerWire|BenchmarkBrokerFanout' -benchtime=100x -benchmem .
 
 # Every benchmark in the repo, including the slow end-to-end deploy loops.
 bench-full:

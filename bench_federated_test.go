@@ -42,6 +42,7 @@ func BenchmarkFederatedScale(b *testing.B) {
 		{4, 1000},
 		{8, 1000},
 		{4, 2000},
+		{8, 2000},
 	} {
 		b.Run(fmt.Sprintf("shards=%d/machines=%d", cfg.shards, cfg.machines), func(b *testing.B) {
 			benchFederatedScale(b, cfg.shards, cfg.machines)

@@ -164,8 +164,11 @@ func readSnapshot(path string) (*Snapshot, error) {
 }
 
 // compare prints a per-benchmark delta table and reports whether any shared
-// benchmark regressed more than threshold percent in ns/op. New or removed
-// benchmarks are informational only.
+// benchmark regressed more than threshold percent in ns/op. Benchmarks
+// absent from the baseline are reported as "(new)" and benchmarks that
+// disappeared as "(removed)" — both informational, never a failure, so a
+// growing benchmark suite can land new cells against an older committed
+// snapshot without breaking `make bench`.
 func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed bool) {
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
@@ -173,6 +176,7 @@ func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed boo
 	}
 	sort.Strings(names)
 	fmt.Fprintf(w, "benchdiff: comparing against %s (threshold %.0f%%)\n", prev.Date, threshold)
+	var added, shared int
 	for _, name := range names {
 		curNs, ok := cur.Benchmarks[name]["ns/op"]
 		if !ok {
@@ -180,6 +184,7 @@ func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed boo
 		}
 		prevMetrics, ok := prev.Benchmarks[name]
 		if !ok {
+			added++
 			fmt.Fprintf(w, "  %-50s %12.0f ns/op  (new)\n", name, curNs)
 			continue
 		}
@@ -187,6 +192,7 @@ func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed boo
 		if prevNs <= 0 {
 			continue
 		}
+		shared++
 		delta := (curNs - prevNs) / prevNs * 100
 		mark := ""
 		if delta > threshold {
@@ -194,6 +200,19 @@ func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed boo
 			regressed = true
 		}
 		fmt.Fprintf(w, "  %-50s %12.0f ns/op  %+7.1f%%%s\n", name, curNs, delta, mark)
+	}
+	var removed []string
+	for name := range prev.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "  %-50s %12s  (removed)\n", name, "-")
+	}
+	if added > 0 || len(removed) > 0 {
+		fmt.Fprintf(w, "benchdiff: %d compared, %d new, %d removed\n", shared, added, len(removed))
 	}
 	if regressed {
 		fmt.Fprintf(w, "benchdiff: FAIL — ns/op regression beyond %.0f%%\n", threshold)

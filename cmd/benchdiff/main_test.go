@@ -77,4 +77,29 @@ func TestCompareIgnoresNewAndRemoved(t *testing.T) {
 	if !strings.Contains(buf.String(), "(new)") {
 		t.Errorf("new benchmark not reported:\n%s", buf.String())
 	}
+	if !strings.Contains(buf.String(), "(removed)") {
+		t.Errorf("removed benchmark not reported:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 compared, 1 new, 1 removed") {
+		t.Errorf("summary counts missing:\n%s", buf.String())
+	}
+}
+
+// TestCompareMixedNewAndShared: a snapshot that adds benchmarks next to an
+// existing regressed one must still fail on the shared benchmark and still
+// report the additions as informational.
+func TestCompareMixedNewAndShared(t *testing.T) {
+	prev := snapWith(100)
+	cur := &Snapshot{Benchmarks: map[string]map[string]float64{
+		"BenchmarkX": {"ns/op": 200},
+		"BenchmarkY": {"ns/op": 50},
+	}}
+	var buf bytes.Buffer
+	if regressed := compare(&buf, prev, cur, 15); !regressed {
+		t.Errorf("shared regression masked by new benchmark:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "(new)") || !strings.Contains(out, "1 compared, 1 new, 0 removed") {
+		t.Errorf("new benchmark accounting wrong:\n%s", out)
+	}
 }

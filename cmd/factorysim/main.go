@@ -170,10 +170,13 @@ func main() {
 	published, delivered, dropped, subscriptions := cluster.BrokerStats()
 	fmt.Printf("broker: %d published, %d delivered, %d dropped, %d subscriptions\n",
 		published, delivered, dropped, subscriptions)
+	binConns, jsonConns := cluster.BrokerWireStats()
+	fmt.Printf("broker: wire protocol %d binary / %d json connections\n", binConns, jsonConns)
 	for _, ss := range cluster.BrokerShardStats() {
-		fmt.Printf("  shard %d: %d published, %d delivered, %d subscriptions; forwarded=%d bridgedIn=%d bridgeDups=%d reconnects=%d refused=%d\n",
+		fmt.Printf("  shard %d: %d published, %d delivered, %d subscriptions; forwarded=%d bridgedIn=%d bridgeDups=%d reconnects=%d refused=%d wire=%db/%dj\n",
 			ss.Shard, ss.Published, ss.Delivered, ss.Subscriptions,
-			ss.Forwarded, ss.BridgedIn, ss.BridgeDups, ss.Reconnects, ss.Refused)
+			ss.Forwarded, ss.BridgedIn, ss.BridgeDups, ss.Reconnects, ss.Refused,
+			ss.BinaryConns, ss.JSONConns)
 	}
 
 	totalSeries, totalPoints := 0, uint64(0)

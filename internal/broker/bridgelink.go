@@ -184,7 +184,7 @@ func (l *bridgeLink) run() {
 			}
 			connected = true
 			attempt = -1 // a live connection resets the backoff
-			l.pump(NewClientConn(conn, l.n.opts.DialTimeout))
+			l.pump(NewClientConnOpts(conn, ClientOptions{Timeout: l.n.opts.DialTimeout, ForceJSON: l.n.opts.ForceJSON}))
 		}
 		select {
 		case <-l.stop:

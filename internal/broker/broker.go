@@ -17,7 +17,6 @@
 package broker
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -39,6 +38,11 @@ type Message struct {
 	Payload  []byte `json:"payload"`
 	Retained bool   `json:"retained,omitempty"`
 	Seq      uint64 `json:"seq,omitempty"`
+
+	// enc memoizes the message's shared binary wire encoding (wirecodec.go).
+	// Set by the broker at publish time and shared by every fan-out copy;
+	// nil on client-side messages.
+	enc *msgEnc
 }
 
 // MatchTopic reports whether an MQTT-style filter matches a topic.
@@ -104,6 +108,12 @@ type Broker struct {
 	// gives 100ms initial / 5s cap / factor 2.
 	RedeliveryBackoff resilience.Backoff
 
+	// ForceJSON pins every connection to the legacy JSON framing: the
+	// broker neither advertises the binary protocol nor switches a writer
+	// after a binary frame arrives. Set before Serve. Exists to stand in
+	// for a pre-binary peer in mixed-version tests and audits.
+	ForceJSON bool
+
 	// Federation hooks, installed by NewNode before Serve (nil on a
 	// standalone broker). owns reports whether a topic is placed on this
 	// broker; forward routes a publish for a topic this broker does not
@@ -142,6 +152,9 @@ type Broker struct {
 	dropped      atomic.Uint64
 	redelivered  atomic.Uint64
 	ackedRefused atomic.Uint64
+	binaryConns  atomic.Uint64 // connections that negotiated binary framing
+	jsonConns    atomic.Uint64 // connections that ended on JSON framing
+	liveBinary   atomic.Int64  // binary connections currently open (gates msgEnc)
 }
 
 // New creates a broker.
@@ -203,6 +216,15 @@ func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 // delivered: subscriptions are matched through the trie first, so a publish
 // nobody listens to costs a trie walk and nothing else.
 func (b *Broker) publishLocal(topic string, payload []byte, retain bool) error {
+	return b.publish(topic, payload, retain, false)
+}
+
+// publish is publishLocal with an ownership bit: when owned is true the
+// payload is a freshly decoded (or otherwise never-again-touched) buffer
+// that the broker may keep without the defensive copy — the wire ingress
+// path decodes every payload into a fresh slice, so copying it again here
+// would be pure overhead on the hottest path in the broker.
+func (b *Broker) publish(topic string, payload []byte, retain, owned bool) error {
 	if topic == "" || strings.ContainsAny(topic, "+#") {
 		return fmt.Errorf("broker: invalid publish topic %q", topic)
 	}
@@ -217,12 +239,26 @@ func (b *Broker) publishLocal(topic string, payload []byte, retain bool) error {
 		matchPool.Put(matched)
 	}()
 
+	keep := func() []byte {
+		if owned {
+			return payload
+		}
+		return append([]byte(nil), payload...)
+	}
+	// The shared encode-once holder is only worth its allocation when a
+	// binary connection might deliver this message; with none live, sendMsg
+	// takes the regular per-frame path on a nil enc. A connection that flips
+	// to binary mid-publish just encodes those in-flight frames itself.
+	var enc *msgEnc
+	if b.liveBinary.Load() > 0 {
+		enc = &msgEnc{}
+	}
 	var msg Message
-	copied := false
+	built := false
 	sh := b.shardForTopic(topic)
 	if retain {
-		msg = Message{Topic: topic, Payload: append([]byte(nil), payload...), Retained: true}
-		copied = true
+		msg = Message{Topic: topic, Payload: keep(), Retained: true, enc: enc}
+		built = true
 		sh.mu.Lock()
 		if len(payload) == 0 {
 			delete(sh.retained, topic) // empty retained payload clears
@@ -244,8 +280,8 @@ func (b *Broker) publishLocal(topic string, payload []byte, retain bool) error {
 	if len(*matched) == 0 {
 		return nil
 	}
-	if !copied {
-		msg = Message{Topic: topic, Payload: append([]byte(nil), payload...), Retained: retain}
+	if !built {
+		msg = Message{Topic: topic, Payload: keep(), Retained: retain, enc: enc}
 	}
 	for _, s := range *matched {
 		s.enqueue(msg)
@@ -327,6 +363,15 @@ func (b *Broker) Unsubscribe(id int) {
 	}
 }
 
+// WireStats reports how connections negotiated their framing: binary is
+// the lifetime count of connections that switched to the compact binary
+// protocol, json the count of completed connections that stayed on the
+// legacy JSON framing. Their sum trails the accept count while
+// still-negotiating connections are live.
+func (b *Broker) WireStats() (binary, json uint64) {
+	return b.binaryConns.Load(), b.jsonConns.Load()
+}
+
 // Stats returns lifetime counters: messages published, accepted for
 // delivery, and dropped because a subscriber's ring buffer overflowed,
 // plus the live subscription count. delivered counts ring accepts, so
@@ -404,6 +449,7 @@ const (
 	opAck    = "ack"
 	opMsgAck = "mack" // consumer → broker: cumulative ack of an acked sub
 	opErr    = "err"
+	opHello  = "hello" // capability advert/ack for binary-framing negotiation
 )
 
 // frame is the broker's wire message, carried by the shared length-prefixed
@@ -425,6 +471,18 @@ type frame struct {
 	Session string `json:"session,omitempty"`
 	Seq     uint64 `json:"seq,omitempty"`
 	FromSeq uint64 `json:"fromSeq,omitempty"`
+
+	// NoAck on opPub requests fire-and-forget: the broker suppresses the
+	// ack response. Pre-binary brokers ignore the field and answer anyway
+	// with the frame's ID (0), which pre-binary clients already discard —
+	// the field is safe in both directions.
+	NoAck bool `json:"noAck,omitempty"`
+	// Binary on opHello advertises (broker → client) or acknowledges
+	// (client → broker) the compact binary framing. The advert is a normal
+	// JSON frame with ID 0 that pre-binary clients provably ignore, which
+	// is what makes negotiation transparent: no handshake round trip, no
+	// version split — a peer that never answers just stays on JSON.
+	Binary bool `json:"binary,omitempty"`
 }
 
 // Serve starts the TCP listener at addr (port 0 picks a free port).
@@ -481,7 +539,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	r := bufio.NewReader(conn)
+	r := wire.NewReader(conn)
 	// One coalescing writer per connection: acks and subscription pushes
 	// from every pump goroutine batch into shared flushes.
 	w := wire.NewWriter(conn)
@@ -498,6 +556,11 @@ func (b *Broker) handleConn(conn net.Conn) {
 	mySubs := map[int]connSub{}
 	var pumpWG sync.WaitGroup
 	defer func() {
+		if !w.Binary() {
+			b.jsonConns.Add(1)
+		} else {
+			b.liveBinary.Add(-1)
+		}
 		for id, cs := range mySubs {
 			if cs.acked {
 				b.detachOwned(id, cs.ch)
@@ -508,17 +571,40 @@ func (b *Broker) handleConn(conn net.Conn) {
 		pumpWG.Wait()
 	}()
 
+	// Advertise the binary framing. The advert is an ID-0 JSON frame a
+	// pre-binary client silently discards; a binary-capable client answers
+	// with a binary hello, and the peerBinary check below flips this
+	// connection's writer. mySubs is only touched on this goroutine, and
+	// piggybacked acks are delivered on it too (inside ReadFrame), so OnAck
+	// needs no locking.
+	if !b.ForceJSON {
+		_ = send(&frame{Op: opHello, Binary: true})
+	}
+	r.OnAck = func(subID int, seq uint64) {
+		if cs, ok := mySubs[subID]; ok && cs.acked {
+			b.Ack(subID, seq)
+		}
+	}
+
+	var f frame
 	for {
-		var f frame
-		if err := wire.ReadFrame(r, &f); err != nil {
+		f = frame{}
+		if err := r.ReadFrame(&f); err != nil {
 			return
+		}
+		if !w.Binary() && r.PeerBinary() && !b.ForceJSON {
+			w.SetBinary(true)
+			b.binaryConns.Add(1)
+			b.liveBinary.Add(1)
 		}
 		switch f.Op {
 		case opPub:
-			dup, err := b.PublishSeq(f.Topic, f.Payload, f.Retain, f.Session, f.Seq)
-			if err != nil {
+			// The decoded payload is a fresh buffer; ownership transfers.
+			dup, err := b.publishSeqOwned(f.Topic, f.Payload, f.Retain, f.Session, f.Seq)
+			switch {
+			case err != nil:
 				_ = send(&frame{ID: f.ID, Op: opErr, Error: err.Error()})
-			} else {
+			case !f.NoAck:
 				_ = send(&frame{ID: f.ID, Op: opAck, Acked: dup})
 			}
 		case opSub:
@@ -533,7 +619,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 			go func(id int, ch <-chan Message) {
 				defer pumpWG.Done()
 				for m := range ch {
-					if err := send(&frame{Op: opMsg, SubID: id, Topic: m.Topic, Payload: m.Payload, Retain: m.Retained, Seq: m.Seq}); err != nil {
+					if err := sendMsg(w, id, &m); err != nil {
 						return
 					}
 				}
@@ -542,6 +628,9 @@ func (b *Broker) handleConn(conn net.Conn) {
 			if cs, ok := mySubs[f.SubID]; ok && cs.acked {
 				b.Ack(f.SubID, f.Seq)
 			}
+		case opHello:
+			// Capability ack from a binary-capable client; the peerBinary
+			// check above has already switched the writer. Nothing to answer.
 		case opUnsub:
 			if _, ok := mySubs[f.SubID]; ok {
 				b.Unsubscribe(f.SubID)

@@ -1,10 +1,10 @@
 package broker
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,8 +13,9 @@ import (
 
 // Client is a TCP connection to a Broker.
 type Client struct {
-	conn net.Conn
-	w    *wire.Writer
+	conn      net.Conn
+	w         *wire.Writer
+	forceJSON bool
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -52,11 +53,31 @@ func DialClient(addr string) (*Client, error) {
 // DialClientTimeout connects with an explicit timeout used for dialing and
 // for each request/ack round trip.
 func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
+	return DialClientWith(addr, ClientOptions{Timeout: timeout})
+}
+
+// ClientOptions configures a broker client connection.
+type ClientOptions struct {
+	// Timeout bounds dialing and each request/ack round trip; zero means
+	// 5 seconds.
+	Timeout time.Duration
+	// ForceJSON pins the connection to the legacy JSON framing: the client
+	// ignores the broker's binary advert. Exists to stand in for a
+	// pre-binary peer in mixed-version tests and audits.
+	ForceJSON bool
+}
+
+// DialClientWith connects with explicit options.
+func DialClientWith(addr string, opts ClientOptions) (*Client, error) {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("broker client: dial %s: %w", addr, err)
 	}
-	return NewClientConn(conn, timeout), nil
+	return NewClientConnOpts(conn, opts), nil
 }
 
 // NewClientConn wraps an already-established connection to a broker. The
@@ -64,12 +85,20 @@ func DialClientTimeout(addr string, timeout time.Duration) (*Client, error) {
 // links dial through the fault injector so a chaos schedule can drop or
 // delay bridge frames like any other link.
 func NewClientConn(conn net.Conn, timeout time.Duration) *Client {
+	return NewClientConnOpts(conn, ClientOptions{Timeout: timeout})
+}
+
+// NewClientConnOpts wraps an already-established connection with explicit
+// options.
+func NewClientConnOpts(conn net.Conn, opts ClientOptions) *Client {
+	timeout := opts.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
 	c := &Client{
 		conn:        conn,
 		w:           wire.NewWriter(conn),
+		forceJSON:   opts.ForceJSON,
 		pending:     map[uint64]chan *frame{},
 		pendingSubs: map[uint64]*clientSub{},
 		subs:        map[int]*clientSub{},
@@ -124,10 +153,16 @@ func (c *Client) Close() error {
 
 func (c *Client) readLoop() {
 	defer close(c.done)
-	r := bufio.NewReader(c.conn)
+	r := wire.NewReader(c.conn)
+	// The hot path (opMsg pushes) decodes into one reused frame struct —
+	// Message below copies the string/slice headers out, so the struct
+	// itself never escapes. Response frames are copied fresh because
+	// roundTrip waiters hold them past this iteration.
+	var fr frame
 	for {
-		f := new(frame)
-		if err := wire.ReadFrame(r, f); err != nil {
+		fr = frame{}
+		f := &fr
+		if err := r.ReadFrame(f); err != nil {
 			c.mu.Lock()
 			c.readErr = err
 			for id, ch := range c.pending {
@@ -171,6 +206,17 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			continue
 		}
+		if f.Op == opHello && f.ID == 0 {
+			// The broker's binary-capability advert. Answer with a binary
+			// hello (the broker switches its writer when it arrives) unless
+			// this client is pinned to JSON. Writes from the read loop are
+			// safe: the coalescing writer never blocks on the peer reading.
+			if f.Binary && !c.forceJSON && !c.w.Binary() {
+				c.w.SetBinary(true)
+				_ = c.w.WriteFrame(&frame{Op: opHello, Binary: true})
+			}
+			continue
+		}
 		c.mu.Lock()
 		if st, ok := c.pendingSubs[f.ID]; ok {
 			delete(c.pendingSubs, f.ID)
@@ -182,7 +228,8 @@ func (c *Client) readLoop() {
 		delete(c.pending, f.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- f
+			resp := fr // waiters hold the response past this iteration
+			ch <- &resp
 			close(ch)
 		}
 	}
@@ -284,6 +331,37 @@ func (c *Client) Publish(topic string, payload []byte, retain bool) error {
 	return err
 }
 
+// PublishAsync queues a fire-and-forget publish: it returns once the frame
+// is staged with the coalescing writer and never waits for the broker's
+// ack (the broker suppresses it). Pipelined publishers use it to keep many
+// messages in flight over one connection; delivery failures surface as the
+// connection's sticky write error (here, on Err, or on the next call).
+// The topic is validated locally since no error frame will come back.
+func (c *Client) PublishAsync(topic string, payload []byte, retain bool) error {
+	if topic == "" || strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("broker client: invalid publish topic %q", topic)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("broker client: closed")
+	}
+	c.mu.Unlock()
+	// WriteFrame encodes synchronously, so the frame can go straight back
+	// to the pool — keeps the fire-and-forget path allocation-free.
+	f := pubFramePool.Get().(*frame)
+	*f = frame{Op: opPub, Topic: topic, Payload: payload, Retain: retain, NoAck: true}
+	err := c.w.WriteFrame(f)
+	*f = frame{}
+	pubFramePool.Put(f)
+	if err != nil {
+		return fmt.Errorf("broker client: publish: %w", err)
+	}
+	return nil
+}
+
+var pubFramePool = sync.Pool{New: func() any { return new(frame) }}
+
 // PublishSeq publishes with publisher-side dedup: retrying an uncertain
 // publish (timeout, dropped conn) with the same session and seq is
 // idempotent — the broker acknowledges without delivering twice. It reports
@@ -326,7 +404,10 @@ func (c *Client) subscribe(f *frame, acked bool, fromSeq uint64) (int, <-chan Me
 
 // Ack cumulatively acknowledges every sequence up to and including seq on
 // an acked subscription. Fire-and-forget: the broker does not reply, and a
-// lost ack only costs a redelivery the client dedups.
+// lost ack only costs a redelivery the client dedups. On a binary
+// connection the ack is staged with the writer — coalesced per
+// subscription and piggybacked on the next outgoing frame's header — so a
+// fast consumer stops paying a full frame per window advance.
 func (c *Client) Ack(subID int, seq uint64) error {
 	c.mu.Lock()
 	if c.closed {
@@ -334,6 +415,12 @@ func (c *Client) Ack(subID int, seq uint64) error {
 		return errors.New("broker client: closed")
 	}
 	c.mu.Unlock()
+	if ok, err := c.w.QueueAck(subID, seq); ok {
+		if err != nil {
+			return fmt.Errorf("broker client: ack: %w", err)
+		}
+		return nil
+	}
 	if err := c.w.WriteFrame(&frame{Op: opMsgAck, SubID: subID, Seq: seq}); err != nil {
 		return fmt.Errorf("broker client: ack: %w", err)
 	}

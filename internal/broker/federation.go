@@ -63,6 +63,12 @@ type NodeOptions struct {
 	// 2s cap).
 	ReconnectBackoff resilience.Backoff
 
+	// ForceJSON pins the node's broker and every link client it dials
+	// (uplinks, bridge pulls) to the legacy JSON framing — a whole shard
+	// standing in for a pre-binary federation member in mixed-version
+	// tests.
+	ForceJSON bool
+
 	// RedeliveryBackoff is handed to the wrapped broker.
 	RedeliveryBackoff resilience.Backoff
 }
@@ -121,6 +127,7 @@ func NewNode(shard, shards int, opts NodeOptions) *Node {
 		links:   map[int]*bridgeLink{},
 	}
 	n.Broker.RedeliveryBackoff = opts.RedeliveryBackoff
+	n.Broker.ForceJSON = opts.ForceJSON
 	n.Broker.owns = n.owns
 	n.Broker.forward = n.forwardPublish
 	n.Broker.onSubscribe = n.onSubscribe
@@ -199,7 +206,7 @@ func (n *Node) uplinkClient(shard int) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	u.c = NewClientConn(conn, n.opts.DialTimeout)
+	u.c = NewClientConnOpts(conn, ClientOptions{Timeout: n.opts.DialTimeout, ForceJSON: n.opts.ForceJSON})
 	return u.c, nil
 }
 

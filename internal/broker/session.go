@@ -270,15 +270,32 @@ func (b *Broker) PublishSeq(topic string, payload []byte, retain bool, session s
 	if b.forward != nil && !b.owns(topic) {
 		return b.forward(topic, payload, retain, session, seq)
 	}
-	return b.publishLocalSeq(topic, payload, retain, session, seq)
+	return b.publishSeq(topic, payload, retain, session, seq, false)
+}
+
+// publishSeqOwned is PublishSeq for wire ingress: the payload is a freshly
+// decoded buffer whose ownership transfers to the broker, so publishLocal
+// skips the defensive copy it makes for caller-owned slices. Connection
+// handlers and bridge republishers (whose payloads are never mutated after
+// delivery) use it; everything caller-facing keeps the copying path.
+func (b *Broker) publishSeqOwned(topic string, payload []byte, retain bool, session string, seq uint64) (dup bool, err error) {
+	if b.forward != nil && !b.owns(topic) {
+		return b.forward(topic, payload, retain, session, seq)
+	}
+	return b.publishSeq(topic, payload, retain, session, seq, true)
 }
 
 // publishLocalSeq is PublishSeq without federation routing; bridge links
 // use it to republish pulled messages with the bridge session as the
-// dedup key.
+// dedup key. Pulled payloads are fresh decodes never touched again by the
+// link, so ownership transfers.
 func (b *Broker) publishLocalSeq(topic string, payload []byte, retain bool, session string, seq uint64) (dup bool, err error) {
+	return b.publishSeq(topic, payload, retain, session, seq, true)
+}
+
+func (b *Broker) publishSeq(topic string, payload []byte, retain bool, session string, seq uint64, owned bool) (dup bool, err error) {
 	if session == "" || seq == 0 {
-		return false, b.publishLocal(topic, payload, retain)
+		return false, b.publish(topic, payload, retain, owned)
 	}
 	b.pubMu.Lock()
 	last := b.pubSeqs[session]
@@ -286,7 +303,7 @@ func (b *Broker) publishLocalSeq(topic string, payload []byte, retain bool, sess
 	if seq <= last {
 		return true, nil
 	}
-	if err := b.publishLocal(topic, payload, retain); err != nil {
+	if err := b.publish(topic, payload, retain, owned); err != nil {
 		return false, err
 	}
 	b.pubMu.Lock()

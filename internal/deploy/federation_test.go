@@ -232,7 +232,11 @@ func TestFederatedChaosAuditZeroLoss(t *testing.T) {
 						time.Sleep(5 * time.Millisecond)
 						continue
 					}
-					c2, err := broker.DialClient(addr)
+					// A JSON-pinned publisher in an otherwise binary
+					// federation: ingress decode, cross-shard forward and
+					// bridge replication must stay exactly-once across the
+					// framing boundary.
+					c2, err := broker.DialClientWith(addr, broker.ClientOptions{ForceJSON: true})
 					if err != nil {
 						time.Sleep(5 * time.Millisecond)
 						continue

@@ -1,7 +1,6 @@
 package opcua
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -17,8 +16,9 @@ import (
 // requests over one TCP connection and dispatches subscription
 // notifications to per-subscription channels.
 type Client struct {
-	conn net.Conn
-	w    *wire.Writer
+	conn      net.Conn
+	w         *wire.Writer
+	forceJSON bool
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -47,17 +47,37 @@ func Dial(addr string) (*Client, error) {
 
 // DialTimeout connects with an explicit dial and request timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	return DialWith(addr, DialOptions{Timeout: timeout})
+}
+
+// DialOptions configures an OPC UA client connection.
+type DialOptions struct {
+	// Timeout bounds dialing and each request round trip; zero means 5s.
+	Timeout time.Duration
+	// ForceJSON pins the connection to the legacy JSON framing: the client
+	// ignores the server's binary advert. Exists to stand in for a
+	// pre-binary peer in mixed-version tests.
+	ForceJSON bool
+}
+
+// DialWith connects with explicit options.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("opcua client: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		conn:    conn,
-		w:       wire.NewWriter(conn),
-		pending: map[uint64]chan *Message{},
-		subs:    map[int]*clientMonitor{},
-		timeout: timeout,
-		done:    make(chan struct{}),
+		conn:      conn,
+		w:         wire.NewWriter(conn),
+		forceJSON: opts.ForceJSON,
+		pending:   map[uint64]chan *Message{},
+		subs:      map[int]*clientMonitor{},
+		timeout:   timeout,
+		done:      make(chan struct{}),
 	}
 	go c.readLoop()
 	if _, err := c.roundTrip(&Message{Op: OpHello}); err != nil {
@@ -117,10 +137,15 @@ func (c *Client) Close() error {
 
 func (c *Client) readLoop() {
 	defer close(c.done)
-	r := bufio.NewReader(c.conn)
+	r := wire.NewReader(c.conn)
+	// Notifications (the hot push path) decode into one reused struct; the
+	// DataChange below copies what it keeps. Responses escape to roundTrip
+	// waiters and are copied fresh.
+	var mr Message
 	for {
-		m, err := readFrame(r)
-		if err != nil {
+		mr = Message{}
+		m := &mr
+		if err := r.ReadFrame(m); err != nil {
 			c.mu.Lock()
 			c.readErr = err
 			for id, ch := range c.pending {
@@ -158,12 +183,23 @@ func (c *Client) readLoop() {
 			c.mu.Unlock()
 			continue
 		}
+		if m.Op == OpHello && m.ID == 0 {
+			// The server's binary-capability advert: answer with a binary
+			// hello (the server switches its writer when it arrives) unless
+			// this client is pinned to JSON.
+			if m.Binary && !c.forceJSON && !c.w.Binary() {
+				c.w.SetBinary(true)
+				_ = c.w.WriteFrame(&Message{Op: OpHello, Binary: true})
+			}
+			continue
+		}
 		c.mu.Lock()
 		ch := c.pending[m.ID]
 		delete(c.pending, m.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- m
+			resp := mr // waiters hold the response past this iteration
+			ch <- &resp
 			close(ch)
 		}
 	}

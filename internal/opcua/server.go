@@ -1,7 +1,6 @@
 package opcua
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"log"
@@ -23,6 +22,11 @@ type Server struct {
 	// the hook the fault-injection layer uses to interpose on OPC UA
 	// connections.
 	ListenWrapper func(net.Listener) net.Listener
+
+	// ForceJSON pins every connection to the legacy JSON framing (no
+	// binary advert, no writer switch) — a pre-binary server stand-in for
+	// mixed-version tests. Set before Listen.
+	ForceJSON bool
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -136,7 +140,7 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 
-	r := bufio.NewReader(conn)
+	r := wire.NewReader(conn)
 	// One coalescing writer per connection: responses and notification
 	// pushes from every subscription goroutine batch into shared flushes.
 	w := wire.NewWriter(conn)
@@ -152,10 +156,24 @@ func (s *Server) handle(conn net.Conn) {
 		subWG.Wait()
 	}()
 
+	// Advertise the binary framing; pre-binary clients discard the ID-0
+	// frame, binary-capable ones answer with a binary hello and the
+	// peerBinary check below switches this connection's writer.
+	if !s.ForceJSON {
+		_ = send(&Message{Op: OpHello, OK: true, Binary: true})
+	}
+
 	for {
-		req, err := readFrame(r)
-		if err != nil {
+		req := new(Message)
+		if err := r.ReadFrame(req); err != nil {
 			return
+		}
+		if !w.Binary() && r.PeerBinary() && !s.ForceJSON {
+			w.SetBinary(true)
+		}
+		if req.Op == OpHello && req.ID == 0 {
+			// The client's capability ack; nothing to answer.
+			continue
 		}
 		resp := &Message{ID: req.ID, Op: req.Op, OK: true}
 		switch req.Op {

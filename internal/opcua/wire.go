@@ -1,17 +1,11 @@
 package opcua
 
-import (
-	"bufio"
-	"io"
-
-	"github.com/smartfactory/sysml2conf/internal/wire"
-)
-
-// The wire protocol frames JSON messages with a 4-byte big-endian length
-// prefix — the shared framing of internal/wire, which owns the pooled
-// encode/read buffers and the frame-size bound. Requests carry an operation
-// and a correlation id; the server answers with the same id. Subscription
-// notifications are pushed with id 0 and op "notify".
+// The wire protocol is the shared framing of internal/wire: legacy JSON
+// frames (4-byte big-endian length prefix) plus the compact binary frames
+// negotiated per connection (wirecodec.go), with the pooled encode/read
+// buffers and the frame-size bound owned there. Requests carry an
+// operation and a correlation id; the server answers with the same id.
+// Subscription notifications are pushed with id 0 and op "notify".
 
 // Op names of the protocol.
 const (
@@ -41,18 +35,9 @@ type Message struct {
 	Seq     uint64    `json:"seq,omitempty"`
 	// Hello payload.
 	Endpoint string `json:"endpoint,omitempty"`
-}
-
-// writeFrame writes one length-prefixed JSON message.
-func writeFrame(w io.Writer, m *Message) error {
-	return wire.WriteFrame(w, m)
-}
-
-// readFrame reads one length-prefixed JSON message.
-func readFrame(r *bufio.Reader) (*Message, error) {
-	m := new(Message)
-	if err := wire.ReadFrame(r, m); err != nil {
-		return nil, err
-	}
-	return m, nil
+	// Binary advertises (server → client, ID 0) or acknowledges (client →
+	// server) the compact binary framing of internal/wire; pre-binary
+	// peers ignore the field and the ID-0 advert frame entirely, so
+	// negotiation is transparent (see wirecodec.go).
+	Binary bool `json:"binary,omitempty"`
 }

@@ -1,0 +1,159 @@
+package opcua
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"github.com/smartfactory/sysml2conf/internal/wire"
+)
+
+// Binary op bytes for the OPC UA protocol (op 0 is reserved by
+// internal/wire). The op tables are per-protocol: these bytes are unrelated
+// to the broker's.
+const (
+	mopHello byte = iota + 1
+	mopRead
+	mopWrite
+	mopCall
+	mopBrowse
+	mopSubscribe
+	mopUnsubscribe
+	mopNotify
+)
+
+var byteToOp = [...]string{
+	mopHello:       OpHello,
+	mopRead:        OpRead,
+	mopWrite:       OpWrite,
+	mopCall:        OpCall,
+	mopBrowse:      OpBrowse,
+	mopSubscribe:   OpSubscribe,
+	mopUnsubscribe: OpUnsubscribe,
+	mopNotify:      OpNotify,
+}
+
+var opToByte = func() map[string]byte {
+	m := map[string]byte{}
+	for b, op := range byteToOp {
+		if op != "" {
+			m[op] = byte(b)
+		}
+	}
+	return m
+}()
+
+// Binary body flag bits.
+const (
+	mfOK byte = 1 << iota
+	mfValue
+	mfNode
+	mfBinary
+)
+
+// WireOp implements wire.BinaryFrame.
+func (m *Message) WireOp() byte { return opToByte[m.Op] }
+
+// AppendBinaryBody implements wire.BinaryFrame. Variants encode natively
+// (their Value is already raw JSON bytes — no base64 detour); the rarely
+// shipped NodeInfo (browse responses only) is embedded as a JSON blob
+// rather than given its own schema.
+func (m *Message) AppendBinaryBody(dst []byte) []byte {
+	var flags byte
+	if m.OK {
+		flags |= mfOK
+	}
+	if m.Value != nil {
+		flags |= mfValue
+	}
+	if m.Node != nil {
+		flags |= mfNode
+	}
+	if m.Binary {
+		flags |= mfBinary
+	}
+	dst = binary.AppendUvarint(dst, m.ID)
+	dst = binary.AppendUvarint(dst, uint64(m.SubID))
+	dst = binary.AppendUvarint(dst, m.Seq)
+	dst = append(dst, flags)
+	dst = wire.AppendString(dst, string(m.NodeID))
+	dst = wire.AppendString(dst, m.Error)
+	dst = wire.AppendString(dst, m.Endpoint)
+	if m.Value != nil {
+		dst = appendVariant(dst, *m.Value)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Args)))
+	for _, v := range m.Args {
+		dst = appendVariant(dst, v)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Results)))
+	for _, v := range m.Results {
+		dst = appendVariant(dst, v)
+	}
+	if m.Node != nil {
+		blob, _ := json.Marshal(m.Node) // plain struct; cannot fail
+		dst = wire.AppendBytes(dst, blob)
+	}
+	return dst
+}
+
+func appendVariant(dst []byte, v Variant) []byte {
+	dst = wire.AppendString(dst, v.Type)
+	return wire.AppendBytes(dst, v.Value)
+}
+
+// maxVariants bounds Args/Results counts while decoding, so a corrupt
+// frame cannot ask for a huge allocation before the length checks bite.
+const maxVariants = 1 << 16
+
+// DecodeBinaryBody implements wire.BinaryFrame.
+func (m *Message) DecodeBinaryBody(op byte, body []byte) error {
+	if int(op) >= len(byteToOp) || byteToOp[op] == "" {
+		return fmt.Errorf("unknown binary op %d", op)
+	}
+	m.Op = byteToOp[op]
+	d := wire.NewDec(body)
+	m.ID = d.Uvarint()
+	m.SubID = int(d.Uvarint())
+	m.Seq = d.Uvarint()
+	flags := d.Byte()
+	m.NodeID = NodeID(d.String())
+	m.Error = d.String()
+	m.Endpoint = d.String()
+	m.OK = flags&mfOK != 0
+	m.Binary = flags&mfBinary != 0
+	if flags&mfValue != 0 {
+		var v Variant
+		decodeVariant(&d, &v)
+		m.Value = &v
+	}
+	m.Args = decodeVariants(&d)
+	m.Results = decodeVariants(&d)
+	if flags&mfNode != 0 {
+		blob := d.Bytes()
+		if d.Err() == nil && len(blob) > 0 {
+			m.Node = new(NodeInfo)
+			if err := json.Unmarshal(blob, m.Node); err != nil {
+				return err
+			}
+		}
+	}
+	return d.Finish()
+}
+
+func decodeVariant(d *wire.Dec, v *Variant) {
+	v.Type = d.String()
+	v.Value = d.Bytes()
+}
+
+func decodeVariants(d *wire.Dec) []Variant {
+	n := d.Uvarint()
+	if n == 0 || n > maxVariants || d.Err() != nil {
+		return nil
+	}
+	vs := make([]Variant, n)
+	for i := range vs {
+		decodeVariant(d, &vs[i])
+	}
+	return vs
+}

@@ -1,0 +1,258 @@
+// Binary framing: the compact wire encoding negotiated per connection
+// alongside the legacy JSON frames. A binary frame is
+//
+//	magic(0xB7) version(1) op(1) hflags(1)
+//	[hflags&hdrAck: uvarint ackSubID, uvarint ackSeq]
+//	uvarint bodyLen, body
+//
+// and a JSON frame is a 4-byte big-endian length followed by a JSON body.
+// MaxFrame (4 MiB) is far below 1<<24, so a JSON frame's first byte is
+// always 0x00 — the magic byte 0xB7 cleanly discriminates the two framings
+// per frame on the same stream. That property is what makes negotiation
+// transparent: either side may switch to binary frames at any point and a
+// Reader keeps decoding both, so no handshake round trip gates traffic.
+//
+// Op 0 is reserved for ack-only frames (an empty body carrying just the
+// piggyback-ack header); protocol packages number their ops from 1.
+// DESIGN.md §12 documents the grammar, the op tables and the handshake.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// Magic is the first byte of every binary frame.
+	Magic byte = 0xB7
+	// BinaryVersion is the framing version carried in every binary header.
+	BinaryVersion byte = 1
+	// hdrAck marks a header carrying a piggybacked cumulative ack.
+	hdrAck byte = 1 << 0
+	// opNone is the reserved ack-only op.
+	opNone byte = 0
+)
+
+// BinaryFrame is implemented by protocol envelope types (broker frames,
+// OPC UA messages) that have a compact binary encoding alongside their JSON
+// form. WireOp returns the frame's op byte, or 0 when the frame has no
+// binary form (the Writer then falls back to a JSON frame, which a Reader
+// on the other side decodes transparently).
+type BinaryFrame interface {
+	WireOp() byte
+	AppendBinaryBody(dst []byte) []byte
+	DecodeBinaryBody(op byte, body []byte) error
+}
+
+// Reader decodes a stream that may interleave JSON and binary frames,
+// dispatching on the first byte of each frame.
+type Reader struct {
+	br *bufio.Reader
+
+	// OnAck, when set, receives piggybacked cumulative acks (both those
+	// riding a data frame's header and ack-only frames). It is called on
+	// the goroutine driving ReadFrame, before the frame body is decoded.
+	OnAck func(subID int, seq uint64)
+
+	peerBinary bool
+}
+
+// NewReader wraps r (typically a net.Conn) for mixed-framing reads.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// PeerBinary reports whether the peer has sent at least one binary frame —
+// the signal that it negotiated the binary protocol and this side may
+// switch its writer to binary too. Only valid from the goroutine calling
+// ReadFrame.
+func (r *Reader) PeerBinary() bool { return r.peerBinary }
+
+// ReadFrame reads one frame — JSON or binary — and decodes it into v.
+// Ack-only binary frames are consumed internally (reported via OnAck) and
+// never surface. Binary frames require v to implement BinaryFrame.
+func (r *Reader) ReadFrame(v any) error {
+	for {
+		first, err := r.br.Peek(1)
+		if err != nil {
+			return err
+		}
+		if first[0] != Magic {
+			// A JSON frame: its 4-byte length prefix is bounded by MaxFrame,
+			// so the first byte is always 0x00 and never the magic.
+			return ReadFrame(r.br, v)
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+			return err
+		}
+		if hdr[1] != BinaryVersion {
+			return fmt.Errorf("wire: unsupported binary frame version %d", hdr[1])
+		}
+		op, hflags := hdr[2], hdr[3]
+		if hflags&^hdrAck != 0 {
+			return fmt.Errorf("wire: unknown binary header flags %#x", hflags)
+		}
+		if hflags&hdrAck != 0 {
+			sub, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return err
+			}
+			seq, err := binary.ReadUvarint(r.br)
+			if err != nil {
+				return err
+			}
+			if r.OnAck != nil {
+				r.OnAck(int(sub), seq)
+			}
+		}
+		n, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return err
+		}
+		if n > MaxFrame {
+			return fmt.Errorf("wire: oversized frame (%d bytes)", n)
+		}
+		r.peerBinary = true
+		if op == opNone {
+			// Ack-only frame; a nonzero body is skipped for forward compat.
+			if n > 0 {
+				if _, err := r.br.Discard(int(n)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		bf, ok := v.(BinaryFrame)
+		if !ok {
+			return fmt.Errorf("wire: %T cannot decode binary frames", v)
+		}
+		bp := getBuf(int(n))
+		buf := (*bp)[:n]
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			putBuf(bp)
+			return err
+		}
+		err = bf.DecodeBinaryBody(op, buf)
+		putBuf(bp)
+		if err != nil {
+			return fmt.Errorf("wire: decode frame: %w", err)
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Encode/decode helpers for protocol codecs.
+
+// AppendString appends a uvarint length followed by the string bytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBytes appends a uvarint length followed by the raw bytes.
+func AppendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+var errTruncated = errors.New("truncated binary frame")
+
+// Dec is a cursor over a binary frame body. Every accessor copies what it
+// returns (the body buffer is pooled), returns the zero value after the
+// first decode error, and the terminal Err surfaces that error once.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec returns a decode cursor over body.
+func NewDec(body []byte) Dec { return Dec{b: body} }
+
+// Uvarint decodes one varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = errTruncated
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+// Byte decodes one raw byte.
+func (d *Dec) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.err = errTruncated
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// take consumes a length-prefixed field and returns its bytes (a view into
+// the body; callers copy).
+func (d *Dec) take() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.err = errTruncated
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+// String decodes a length-prefixed string.
+func (d *Dec) String() string { return string(d.take()) }
+
+// Bytes decodes a length-prefixed byte field, copied out of the body.
+// An empty field decodes as nil.
+func (d *Dec) Bytes() []byte {
+	v := d.take()
+	if len(v) == 0 {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// Rest copies whatever remains of the body (nil when empty) — the
+// convention for a frame's trailing raw payload.
+func (d *Dec) Rest() []byte {
+	if d.err != nil || len(d.b) == 0 {
+		return nil
+	}
+	v := append([]byte(nil), d.b...)
+	d.b = nil
+	return v
+}
+
+// Err returns the first decode error (nil while decoding is on track).
+func (d *Dec) Err() error { return d.err }
+
+// Finish returns the first decode error, or an error if the body has
+// undecoded bytes left (Rest consumes them legitimately) — the terminal
+// check of a DecodeBinaryBody implementation.
+func (d *Dec) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("binary frame has %d trailing bytes", len(d.b))
+	}
+	return nil
+}

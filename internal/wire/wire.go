@@ -1,9 +1,13 @@
-// Package wire implements the length-prefixed JSON framing shared by the
-// broker and OPC UA transports: every message is a 4-byte big-endian length
-// followed by a JSON body. The package owns the hot-path mechanics both
-// transports used to duplicate — pooled encode buffers, a single Write per
-// frame (header and body in one syscall on unbuffered writers), pooled read
-// buffers — and a flush-coalescing Writer for connection fan-out paths.
+// Package wire implements the framing shared by the broker and OPC UA
+// transports. Two framings coexist on the same stream: the legacy
+// length-prefixed JSON frames (4-byte big-endian length + JSON body) and
+// the compact binary frames of binary.go, negotiated per connection with
+// transparent fallback — a Reader decodes both, dispatching on the first
+// byte of each frame. The package owns the hot-path mechanics both
+// transports used to duplicate — size-classed pooled encode/read buffers,
+// a single Write per frame (header and body in one syscall on unbuffered
+// writers) — and a flush-coalescing Writer for connection fan-out paths
+// that batch-coalesces piggybacked acks.
 package wire
 
 import (
@@ -38,12 +42,61 @@ var encPool = sync.Pool{New: func() any {
 }}
 
 // maxPooledBuf caps the capacity of buffers returned to the pools so one
-// jumbo frame does not pin megabytes for the connection's lifetime.
-const maxPooledBuf = 1 << 16
+// jumbo frame does not pin megabytes for the connection's lifetime. It is
+// also the largest read-buffer size class: frames up to 1 MiB (batch
+// replays, browse trees) reuse pooled buffers instead of allocating fresh
+// on every encode/read.
+const maxPooledBuf = 1 << 20
 
 func putEncBuf(b *encBuf) {
 	if b.buf.Cap() <= maxPooledBuf {
 		encPool.Put(b)
+	}
+}
+
+// bufClasses are the read/scratch buffer size classes. getBuf picks the
+// smallest class that fits; putBuf files a buffer under the largest class
+// its capacity covers, so a buffer that grew mid-class is promoted rather
+// than dropped. Buffers beyond the largest class are never pooled.
+var bufClasses = [...]int{4 << 10, 64 << 10, maxPooledBuf}
+
+var bufPools [len(bufClasses)]sync.Pool
+
+func init() {
+	for i := range bufPools {
+		size := bufClasses[i]
+		bufPools[i].New = func() any {
+			b := make([]byte, 0, size)
+			return &b
+		}
+	}
+}
+
+// getBuf returns a pooled buffer with capacity ≥ n (zero length). Buffers
+// larger than the top size class are freshly allocated and never pooled.
+func getBuf(n int) *[]byte {
+	for i, c := range bufClasses {
+		if n <= c {
+			return bufPools[i].Get().(*[]byte)
+		}
+	}
+	b := make([]byte, 0, n)
+	return &b
+}
+
+// putBuf returns a buffer obtained from getBuf (possibly regrown) to the
+// pool serving its capacity class.
+func putBuf(bp *[]byte) {
+	c := cap(*bp)
+	if c > 2*maxPooledBuf {
+		return
+	}
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if c >= bufClasses[i] {
+			*bp = (*bp)[:0]
+			bufPools[i].Put(bp)
+			return
+		}
 	}
 }
 
@@ -80,14 +133,10 @@ func WriteFrame(w io.Writer, v any) error {
 	return err
 }
 
-var readPool = sync.Pool{New: func() any {
-	b := make([]byte, 0, 4096)
-	return &b
-}}
-
-// ReadFrame reads one framed message and unmarshals it into v. The body
-// buffer is pooled: json.Unmarshal copies everything it keeps (strings,
-// []byte, RawMessage), so v holds no reference to it afterwards.
+// ReadFrame reads one framed JSON message and unmarshals it into v. The
+// body buffer is pooled (size-classed): json.Unmarshal copies everything it
+// keeps (strings, []byte, RawMessage), so v holds no reference to it
+// afterwards. For streams that may carry binary frames, use Reader.
 func ReadFrame(r *bufio.Reader, v any) error {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -97,22 +146,14 @@ func ReadFrame(r *bufio.Reader, v any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("wire: oversized frame (%d bytes)", n)
 	}
-	bp := readPool.Get().(*[]byte)
-	buf := *bp
-	if cap(buf) < n {
-		buf = make([]byte, n)
-	} else {
-		buf = buf[:n]
-	}
+	bp := getBuf(n)
+	buf := (*bp)[:n]
 	_, err := io.ReadFull(r, buf)
 	if err == nil {
 		if uerr := json.Unmarshal(buf, v); uerr != nil {
 			err = fmt.Errorf("wire: decode frame: %w", uerr)
 		}
 	}
-	if cap(buf) <= maxPooledBuf {
-		*bp = buf[:0]
-		readPool.Put(bp)
-	}
+	putBuf(bp)
 	return err
 }

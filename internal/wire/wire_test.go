@@ -191,15 +191,18 @@ func (s *slowWriter) Write(p []byte) (int, error) {
 	return s.buf.Write(p)
 }
 
-// TestWriterStickyError: the first write failure must surface on every
-// subsequent WriteFrame.
+// TestWriterStickyError: a write failure must stick — Flush surfaces it,
+// and every WriteFrame after the failed batch fails too. (WriteFrame
+// itself stages asynchronously, so the frame that triggered the failing
+// batch may still return nil; the error lands on the next call.)
 func TestWriterStickyError(t *testing.T) {
 	w := NewWriter(&failWriter{})
 	if err := w.Err(); err != nil {
 		t.Fatalf("fresh writer reports error: %v", err)
 	}
-	if err := w.WriteFrame(&testMsg{Op: "pub"}); err == nil {
-		t.Fatal("want error from failing writer")
+	_ = w.WriteFrame(&testMsg{Op: "pub"})
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush must surface the write failure")
 	}
 	if err := w.WriteFrame(&testMsg{Op: "pub"}); err == nil {
 		t.Fatal("error must be sticky")

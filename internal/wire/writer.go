@@ -1,17 +1,28 @@
 package wire
 
 import (
+	"encoding/binary"
+	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Writer is a concurrency-safe framed writer with flush coalescing: frames
-// are staged in a pending buffer, and whichever goroutine finds no flush in
-// flight becomes the flusher, repeatedly swapping the pending buffer out
-// and writing it with one Write (= one Flush) per batch. Frames queued by
-// other goroutines while a Write syscall is in flight ride the next batch,
-// so under fan-out load the batch window adapts to the downstream write
-// latency without adding any latency when the connection is idle.
+// are staged in a pending buffer, and the first stage with no flush in
+// flight spawns a short-lived flusher goroutine that repeatedly swaps the
+// pending buffer out and writes it with one Write (= one Flush) per batch.
+// Frames queued while a Write syscall is in flight ride the next batch, so
+// under fan-out load the batch window adapts to the downstream write
+// latency without adding more than a scheduler hop of latency when the
+// connection is idle.
+//
+// A Writer starts in JSON mode; SetBinary(true) switches it to the compact
+// binary framing once the peer is known to decode it. In binary mode,
+// cumulative acks staged with QueueAck coalesce (max seq per subscription)
+// and ride the next data frame's header as a piggyback, or flush as tiny
+// ack-only frames when no data frame is due — acked sessions stop paying a
+// full frame per window advance.
 //
 // Write errors are sticky: the first failure is returned to the flushing
 // goroutine and every subsequent WriteFrame, which is the signal the
@@ -24,6 +35,9 @@ type Writer struct {
 	spare    []byte
 	flushing bool
 	err      error
+
+	binary atomic.Bool
+	acks   map[int]uint64 // staged cumulative acks: subID → max seq
 }
 
 // maxPending is the soft cap on staged bytes: producers block (waiting on
@@ -38,39 +52,181 @@ func NewWriter(w io.Writer) *Writer {
 	return cw
 }
 
+// SetBinary switches the writer's framing. The switch is one-way in
+// practice (JSON → binary after negotiation) and safe at any time: the
+// peer's Reader dispatches per frame, so in-flight JSON frames and
+// subsequent binary frames interleave correctly.
+func (w *Writer) SetBinary(on bool) { w.binary.Store(on) }
+
+// Binary reports whether the writer emits binary frames.
+func (w *Writer) Binary() bool { return w.binary.Load() }
+
 // WriteFrame encodes v as one framed message and queues it for writing.
+// In binary mode, a v implementing BinaryFrame with a nonzero op is
+// encoded as a binary frame; anything else falls back to a JSON frame.
 // It returns once the frame is staged and a flusher is responsible for it;
 // a sticky write error from a previous batch fails the call.
 func (w *Writer) WriteFrame(v any) error {
+	if w.binary.Load() {
+		if bf, ok := v.(BinaryFrame); ok {
+			if op := bf.WireOp(); op != opNone {
+				return w.writeBinary(op, bf)
+			}
+		}
+	}
 	b := encPool.Get().(*encBuf)
 	frame, err := appendFrame(b, v)
 	if err != nil {
 		putEncBuf(b)
 		return err
 	}
+	err = w.stage(func() {
+		w.pending = append(w.pending, frame...)
+	})
+	putEncBuf(b)
+	return err
+}
 
+// writeBinary encodes bf's body outside the lock, then stages one binary
+// frame.
+func (w *Writer) writeBinary(op byte, bf BinaryFrame) error {
+	bp := getBuf(512)
+	body := bf.AppendBinaryBody((*bp)[:0])
+	*bp = body
+	if len(body) > MaxFrame {
+		putBuf(bp)
+		return fmt.Errorf("wire: frame too large (%d bytes)", len(body))
+	}
+	err := w.stage(func() {
+		w.appendBinaryLocked(op, body)
+	})
+	putBuf(bp)
+	return err
+}
+
+// WriteFrameParts stages one binary frame assembled from segments — the
+// encode-once fan-out path: the shared segment of a published message is
+// encoded once and every subscriber connection appends only its tiny
+// per-subscriber prefix around it. The writer must be in binary mode.
+func (w *Writer) WriteFrameParts(op byte, segs ...[]byte) error {
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame too large (%d bytes)", n)
+	}
+	return w.stage(func() {
+		w.appendBinaryLocked(op, segs...)
+	})
+}
+
+// QueueAck stages a cumulative ack for subID, coalescing with any ack
+// already staged for it (max seq wins — acks are cumulative). The ack
+// piggybacks on the next staged binary frame's header or flushes as an
+// ack-only frame. It reports false when the connection has not negotiated
+// binary framing, in which case the caller sends a legacy ack frame.
+func (w *Writer) QueueAck(subID int, seq uint64) (bool, error) {
+	if !w.binary.Load() {
+		return false, nil
+	}
+	w.mu.Lock()
+	if w.err != nil {
+		w.mu.Unlock()
+		return true, w.err
+	}
+	if w.acks == nil {
+		w.acks = map[int]uint64{}
+	}
+	if seq > w.acks[subID] {
+		w.acks[subID] = seq
+	}
+	if !w.flushing {
+		w.flushing = true
+		go w.flusher()
+	}
+	w.mu.Unlock()
+	return true, nil
+}
+
+// stage runs enc (which appends one complete frame to w.pending) under the
+// lock, after waiting out backpressure, then ensures a flusher goroutine is
+// responsible for the staged bytes. The flush is asynchronous on purpose:
+// the staging goroutine keeps producing while the flusher batches whatever
+// accumulated into one Write, so even a single-producer connection (and a
+// single-core box, where an inline flush would mean one syscall per frame)
+// amortizes syscalls across the natural backlog. Write errors are sticky
+// and surface on the next call.
+func (w *Writer) stage(enc func()) error {
 	w.mu.Lock()
 	for w.err == nil && w.flushing && len(w.pending) >= maxPending {
 		w.cond.Wait()
 	}
 	if w.err != nil {
 		w.mu.Unlock()
-		putEncBuf(b)
 		return w.err
 	}
-	w.pending = append(w.pending, frame...)
-	putEncBuf(b)
-	if w.flushing {
-		// The in-flight flusher will pick this frame up in its next batch.
-		w.mu.Unlock()
-		return nil
+	enc()
+	if !w.flushing {
+		w.flushing = true
+		go w.flusher()
 	}
-	w.flushing = true
-	err = w.flushLocked()
+	w.mu.Unlock()
+	return nil
+}
+
+// flusher drains pending frames and staged acks, then exits; stage spawns a
+// new one whenever frames are staged with no flusher in flight. The
+// goroutine is short-lived by design — no lifecycle to manage on close, and
+// its spawn cost is amortized over the whole batch.
+func (w *Writer) flusher() {
+	w.mu.Lock()
+	w.flushLocked()
 	w.flushing = false
 	w.cond.Broadcast()
 	w.mu.Unlock()
-	return err
+}
+
+// appendBinaryLocked appends one framed binary message to pending,
+// piggybacking one staged cumulative ack in the header when available.
+// Callers hold w.mu.
+func (w *Writer) appendBinaryLocked(op byte, segs ...[]byte) {
+	var hflags byte
+	var ackSub int
+	var ackSeq uint64
+	if len(w.acks) > 0 {
+		for id, seq := range w.acks {
+			ackSub, ackSeq = id, seq
+			delete(w.acks, id)
+			break
+		}
+		hflags |= hdrAck
+	}
+	n := 0
+	for _, s := range segs {
+		n += len(s)
+	}
+	w.pending = append(w.pending, Magic, BinaryVersion, op, hflags)
+	if hflags&hdrAck != 0 {
+		w.pending = binary.AppendUvarint(w.pending, uint64(ackSub))
+		w.pending = binary.AppendUvarint(w.pending, ackSeq)
+	}
+	w.pending = binary.AppendUvarint(w.pending, uint64(n))
+	for _, s := range segs {
+		w.pending = append(w.pending, s...)
+	}
+}
+
+// drainAcksLocked flushes every staged ack that found no data frame to
+// piggyback on as an ack-only frame (op 0, empty body). Callers hold w.mu.
+func (w *Writer) drainAcksLocked() {
+	for id, seq := range w.acks {
+		w.pending = append(w.pending, Magic, BinaryVersion, opNone, hdrAck)
+		w.pending = binary.AppendUvarint(w.pending, uint64(id))
+		w.pending = binary.AppendUvarint(w.pending, seq)
+		w.pending = binary.AppendUvarint(w.pending, 0)
+		delete(w.acks, id)
+	}
 }
 
 // Err returns the writer's sticky error: nil until a batch write fails,
@@ -82,8 +238,9 @@ func (w *Writer) Err() error {
 	return w.err
 }
 
-// Flush writes any staged frames. WriteFrame flushes on its own; Flush only
-// matters for graceful teardown paths that must not leave frames staged.
+// Flush writes any staged frames and acks. WriteFrame flushes on its own;
+// Flush only matters for graceful teardown paths that must not leave
+// frames staged.
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -100,11 +257,12 @@ func (w *Writer) Flush() error {
 	return err
 }
 
-// flushLocked drains the pending buffer, one Write per batch, releasing the
-// lock around each syscall so producers stage the next batch concurrently.
-// Callers hold w.mu and have set w.flushing.
+// flushLocked drains the pending buffer and staged acks, one Write per
+// batch, releasing the lock around each syscall so producers stage the
+// next batch concurrently. Callers hold w.mu and have set w.flushing.
 func (w *Writer) flushLocked() error {
-	for len(w.pending) > 0 && w.err == nil {
+	for (len(w.pending) > 0 || len(w.acks) > 0) && w.err == nil {
+		w.drainAcksLocked()
 		batch := w.pending
 		w.pending = w.spare[:0]
 		w.spare = nil
