@@ -11,6 +11,8 @@ package sysml2conf
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -75,42 +77,70 @@ func BenchmarkWALAppend(b *testing.B) {
 // The records=N axis sets how many batches are on disk; snapshots are
 // disabled so every record replays from the WAL (the worst case).
 func BenchmarkHistorianRecovery(b *testing.B) {
-	for _, records := range []int{256, 2048} {
-		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
-			dir := b.TempDir()
-			st, err := historian.Open(dir, historian.DurableOptions{
-				NoSync: true, SnapshotEvery: 1 << 30,
-			})
+	run := func(b *testing.B, records int, payload func(i int) []byte) {
+		dir := b.TempDir()
+		st, err := historian.Open(dir, historian.DurableOptions{
+			NoSync: true, SnapshotEvery: 1 << 30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := time.Unix(0, 0)
+		for i := 0; i < records; i++ {
+			series := fmt.Sprintf("factory/line/wc%02d/m/values/v", i%8)
+			err := st.AppendAcked("bench", uint64(i+1), base.Add(time.Duration(i)*time.Millisecond),
+				[]historian.Sample{{Series: series, Payload: payload(i)}})
 			if err != nil {
 				b.Fatal(err)
 			}
-			base := time.Unix(0, 0)
-			for i := 0; i < records; i++ {
-				series := fmt.Sprintf("factory/line/wc%02d/m/values/v", i%8)
-				err := st.AppendAcked("bench", uint64(i+1), base.Add(time.Duration(i)*time.Millisecond),
-					[]historian.Sample{{Series: series, Payload: walPayload}})
-				if err != nil {
-					b.Fatal(err)
-				}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		onDisk := dirBytes(b, dir)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := historian.Open(dir, historian.DurableOptions{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
 			}
+			if st.TotalAppended() != uint64(records) {
+				b.Fatalf("recovered %d records, want %d", st.TotalAppended(), records)
+			}
+			b.StopTimer()
 			if err := st.Close(); err != nil {
 				b.Fatal(err)
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				st, err := historian.Open(dir, historian.DurableOptions{NoSync: true})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if st.TotalAppended() != uint64(records) {
-					b.Fatalf("recovered %d records, want %d", st.TotalAppended(), records)
-				}
-				b.StopTimer()
-				if err := st.Close(); err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-			}
+			b.StartTimer()
+		}
+		// After ResetTimer: it deletes user-reported metrics.
+		b.ReportMetric(float64(onDisk)/float64(records), "diskB/rec")
+	}
+	for _, records := range []int{256, 2048} {
+		// Object payloads: the WAL's raw path (and raw blocks in memory).
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			run(b, records, func(int) []byte { return walPayload })
+		})
+		// Canonical numeric payloads: the float-packed record path.
+		b.Run(fmt.Sprintf("records=%d-numeric", records), func(b *testing.B) {
+			run(b, records, func(i int) []byte { return []byte(fmt.Sprintf("%d.25", i%997)) })
 		})
 	}
+}
+
+// dirBytes sums the on-disk size of a durable store's directory — the
+// bytes-per-record metric the binary WAL codec is meant to shrink.
+func dirBytes(b *testing.B, dir string) int64 {
+	b.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return total
 }

@@ -17,7 +17,7 @@ ok  	github.com/smartfactory/sysml2conf	6.929s
 `
 
 func TestParseBenchOutput(t *testing.T) {
-	snap, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	snap, err := parseBenchOutput(strings.NewReader(sampleOutput), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,6 +40,38 @@ func TestParseBenchOutput(t *testing.T) {
 	lex := snap.Benchmarks["BenchmarkParserThroughput/lexer"]
 	if lex["ns/op"] != 11014431 {
 		t.Errorf("lexer ns/op = %v", lex["ns/op"])
+	}
+}
+
+// TestParseBenchOutputBestOf: `-count=3` output repeats each benchmark;
+// best-of mode must keep the fastest run's full metric set, while the
+// default keeps the last run.
+func TestParseBenchOutputBestOf(t *testing.T) {
+	const repeated = `goos: linux
+BenchmarkX 	 100	 300 ns/op	 64 B/op	 3 allocs/op
+BenchmarkX 	 100	 100 ns/op	 48 B/op	 1 allocs/op
+BenchmarkX 	 100	 200 ns/op	 32 B/op	 2 allocs/op
+BenchmarkY 	 100	 900 ns/op
+PASS
+`
+	snap, err := parseBenchOutput(strings.NewReader(repeated), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := snap.Benchmarks["BenchmarkX"]
+	if x["ns/op"] != 100 || x["B/op"] != 48 || x["allocs/op"] != 1 {
+		t.Errorf("best-of kept %v, want the 100 ns/op run's metrics", x)
+	}
+	if snap.Benchmarks["BenchmarkY"]["ns/op"] != 900 {
+		t.Errorf("single-run benchmark mangled: %v", snap.Benchmarks["BenchmarkY"])
+	}
+
+	snap, err = parseBenchOutput(strings.NewReader(repeated), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := snap.Benchmarks["BenchmarkX"]["ns/op"]; ns != 200 {
+		t.Errorf("default mode kept %v ns/op, want the last run (200)", ns)
 	}
 }
 

@@ -44,6 +44,7 @@ func main() {
 		auditCount = flag.Int("audit-count", 1000, "number of audit samples to publish with -audit")
 		dataDir    = flag.String("data-dir", "", "durable historian state directory (WAL + snapshots); historians recover from it across restarts")
 		shards     = flag.Int("shards", 1, "federate the message broker across n nodes (workcells placed by consistent hash; with -audit the samples enter through a non-owner shard and cross a bridge)")
+		queryAddr  = flag.String("query-addr", "", "serve the historian HTTP query API (/series, /range, /aggregate) on this address, e.g. 127.0.0.1:9090 or :0 for an ephemeral port")
 	)
 	flag.Parse()
 
@@ -106,6 +107,14 @@ func main() {
 	}
 	if !cluster.AllRunning() {
 		fatal(fmt.Errorf("not all pods are running"))
+	}
+
+	if *queryAddr != "" {
+		bound, err := cluster.StartQueryServer(*queryAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("query API: http://%s  (try /series, /aggregate?series=<name>&window=10s, /stats)\n", bound)
 	}
 
 	// A SIGINT drains the cluster in dependency order instead of dying
@@ -188,6 +197,10 @@ func main() {
 		fmt.Printf("  %s: %d series, %d points\n", name, len(series), h.Store.TotalAppended())
 	}
 	fmt.Printf("historians: %d series total, %d points ingested\n", totalSeries, totalPoints)
+	if qs := cluster.QueryServer(); qs != nil {
+		hits, misses := qs.CacheStats()
+		fmt.Printf("query API: served at http://%s, window cache %d hits / %d misses\n", cluster.QueryAddr(), hits, misses)
+	}
 
 	if *browse != "" {
 		browseServer(cluster, *browse)

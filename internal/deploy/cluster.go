@@ -114,6 +114,12 @@ type Cluster struct {
 	// does not lose accumulated time-series data.
 	historianStores map[string]*historian.Store
 
+	// queryServer, once started, serves the historian HTTP query API.
+	// Historians register their stores on start and unregister on stop, so
+	// supervised restarts (which re-open durable stores) re-resolve.
+	queryServer *historian.QueryServer
+	queryAddr   string
+
 	runtimes map[string]*podRuntime // pod name -> supervision runtime
 	events   []Event
 	down     bool // Shutdown ran; supervisors must not resurrect pods
@@ -420,7 +426,11 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 			}
 			c.mu.Lock()
 			c.historians[sc.Name] = svc
+			qs := c.queryServer
 			c.mu.Unlock()
+			if qs != nil {
+				qs.Register(sc.Name, svc.Store)
+			}
 			return nil
 		}
 		if store == nil {
@@ -433,7 +443,11 @@ func (c *Cluster) startComponent(component string, o k8s.Object, configMaps map[
 		c.mu.Lock()
 		c.historians[sc.Name] = svc
 		c.historianStores[sc.Name] = store
+		qs := c.queryServer
 		c.mu.Unlock()
+		if qs != nil {
+			qs.Register(sc.Name, store)
+		}
 
 	case "monitor":
 		raw, err := cfg("monitor.json")
@@ -569,7 +583,11 @@ func (c *Cluster) stopComponent(component, name string) {
 		c.mu.Lock()
 		h := c.historians[name]
 		delete(c.historians, name)
+		qs := c.queryServer
 		c.mu.Unlock()
+		if qs != nil {
+			qs.Unregister(name)
+		}
 		if h != nil {
 			h.Close()
 		}
@@ -749,6 +767,57 @@ func (c *Cluster) BrokerWireStats() (binaryConns, jsonConns uint64) {
 	return binaryConns, jsonConns
 }
 
+// StartQueryServer starts the historian HTTP query API on addr (":0" for
+// an ephemeral port) and registers every running historian's store. It
+// returns the bound address. Historians started or restarted afterwards
+// register themselves; stopped ones unregister. Idempotent — a second call
+// returns the already-bound address.
+func (c *Cluster) StartQueryServer(addr string) (string, error) {
+	c.mu.Lock()
+	if c.queryServer != nil {
+		bound := c.queryAddr
+		c.mu.Unlock()
+		return bound, nil
+	}
+	qs := historian.NewQueryServer()
+	c.queryServer = qs
+	stores := make(map[string]*historian.Store, len(c.historians))
+	for name, h := range c.historians {
+		stores[name] = h.Store
+	}
+	c.mu.Unlock()
+
+	for name, st := range stores {
+		qs.Register(name, st)
+	}
+	bound, err := qs.Serve(addr)
+	if err != nil {
+		c.mu.Lock()
+		c.queryServer = nil
+		c.mu.Unlock()
+		return "", err
+	}
+	c.mu.Lock()
+	c.queryAddr = bound
+	c.mu.Unlock()
+	return bound, nil
+}
+
+// QueryServer returns the running query server, or nil if StartQueryServer
+// was never called.
+func (c *Cluster) QueryServer() *historian.QueryServer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queryServer
+}
+
+// QueryAddr returns the query API's bound address ("" until started).
+func (c *Cluster) QueryAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queryAddr
+}
+
 // Historian returns a running historian service by name, or nil.
 func (c *Cluster) Historian(name string) *historian.Service {
 	c.mu.Lock()
@@ -831,6 +900,9 @@ func (c *Cluster) Shutdown() {
 	monitors := c.monitors
 	b := c.broker
 	nodes := c.brokers
+	qs := c.queryServer
+	c.queryServer = nil
+	c.queryAddr = ""
 	c.clients = map[string]*stack.BridgeClient{}
 	c.servers = map[string]*stack.MachineServer{}
 	c.historians = map[string]*historian.Service{}
@@ -841,8 +913,11 @@ func (c *Cluster) Shutdown() {
 	c.brokerAddrs = map[int]string{}
 	c.mu.Unlock()
 
-	// 2. Components in order: clients → servers → monitors → historians →
-	// broker tier.
+	// 2. Components in order: query front end → clients → servers →
+	// monitors → historians → broker tier.
+	if qs != nil {
+		qs.Close()
+	}
 	for _, cl := range clients {
 		cl.Stop()
 	}

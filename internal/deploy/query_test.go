@@ -1,0 +1,270 @@
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/smartfactory/sysml2conf/internal/faultinject"
+	"github.com/smartfactory/sysml2conf/internal/historian"
+)
+
+// queryJSON issues a GET against the cluster query API and decodes the JSON
+// body into out. Non-2xx responses are returned as errors with the status.
+func queryJSON(client *http.Client, base, path string, out any) (int, error) {
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	if out == nil {
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// TestQueryAPIOverDeployedCluster drives the full path: machine emulator ->
+// driver poll -> OPC UA -> bridge -> broker -> historian -> HTTP query API.
+func TestQueryAPIOverDeployedCluster(t *testing.T) {
+	cluster, _ := deployICELab(t)
+	bound, err := cluster.StartQueryServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: a second start returns the same address.
+	if again, err := cluster.StartQueryServer("127.0.0.1:0"); err != nil || again != bound {
+		t.Fatalf("second StartQueryServer = (%q, %v), want (%q, nil)", again, err, bound)
+	}
+	base := "http://" + bound
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Wait for the EMCO actualX series to land in some historian.
+	series := "factory/ICEProductionLine/workCell02/emco/values/AxesPositions/actualX"
+	var store string
+	waitFor(t, 10*time.Second, "EMCO actualX samples in a historian", func() bool {
+		for _, name := range cluster.Historians() {
+			if h := cluster.Historian(name); h != nil && h.Store.Count(series) >= 3 {
+				store = name
+				return true
+			}
+		}
+		return false
+	})
+
+	// /series for that store must list the series.
+	var sres struct {
+		Series []string `json:"series"`
+	}
+	if _, err := queryJSON(client, base, "/series?store="+store, &sres); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range sres.Series {
+		if s == series {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/series for %s lacks %s (got %d series)", store, series, len(sres.Series))
+	}
+
+	// /range returns numeric JSON payloads with timestamps.
+	var rres struct {
+		Points []struct {
+			Time    time.Time       `json:"time"`
+			Payload json.RawMessage `json:"payload"`
+		} `json:"points"`
+	}
+	if _, err := queryJSON(client, base, "/range?store="+store+"&series="+series, &rres); err != nil {
+		t.Fatal(err)
+	}
+	if len(rres.Points) < 3 {
+		t.Fatalf("/range returned %d points, want >= 3", len(rres.Points))
+	}
+	var payload struct {
+		Value *float64 `json:"value"`
+	}
+	if err := json.Unmarshal(rres.Points[0].Payload, &payload); err != nil || payload.Value == nil {
+		t.Fatalf("range payload %s has no numeric value field: %v", rres.Points[0].Payload, err)
+	}
+
+	// /aggregate windows must cover those points consistently. The window
+	// grid is bounded, so give the query an explicit from bound.
+	from := fmt.Sprintf("&from=%d", time.Now().Add(-time.Minute).UnixNano())
+	var ares struct {
+		Windows []historian.WindowAggregate `json:"windows"`
+	}
+	if _, err := queryJSON(client, base, "/aggregate?store="+store+"&series="+series+"&window=1s"+from, &ares); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range ares.Windows {
+		total += w.Count
+		if w.Min > w.Mean || w.Mean > w.Max {
+			t.Fatalf("window %+v violates min <= mean <= max", w)
+		}
+	}
+	if total < 3 {
+		t.Fatalf("/aggregate windows cover %d points, want >= 3", total)
+	}
+
+	// /stats reflects the aggregate traffic.
+	var stats struct {
+		CacheHits   uint64   `json:"cacheHits"`
+		CacheMisses uint64   `json:"cacheMisses"`
+		Stores      []string `json:"stores"`
+	}
+	if _, err := queryJSON(client, base, "/stats", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits+stats.CacheMisses == 0 {
+		t.Error("stats show no cache traffic after an aggregate query")
+	}
+	if len(stats.Stores) != len(cluster.Historians()) {
+		t.Errorf("stats list %d stores, want %d", len(stats.Stores), len(cluster.Historians()))
+	}
+}
+
+// TestQueryUnderChaosSoak keeps query traffic running against the HTTP API
+// while the broker partitions and a historian pod is killed. Queries must
+// always terminate — success, or a clean HTTP error while the target
+// historian is down — and data must be queryable again after the heal.
+func TestQueryUnderChaosSoak(t *testing.T) {
+	bundle := chaosBundle(t)
+	inj := faultinject.New(7)
+	fleet, resolver, err := StartFleetWrapped(bundle.Intermediate.Machines, 5*time.Millisecond,
+		func(name string, ln net.Listener) net.Listener {
+			return inj.Wrap("machine:"+name, ln)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	cluster := NewCluster(2, 32)
+	cluster.MachineEndpoints = resolver
+	cluster.FaultInjector = inj
+	fastProbes(cluster)
+	if err := cluster.ApplyBundle(bundle); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	bound, err := cluster.StartQueryServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + bound
+
+	series := "factory/ICEProductionLine/workCell01/speaATE/values/TestStatus/testProgress"
+	count := func() int {
+		total := 0
+		for _, h := range cluster.Historians() {
+			if svc := cluster.Historian(h); svc != nil && svc.Store != nil {
+				total += svc.Store.Count(series)
+			}
+		}
+		return total
+	}
+	waitFor(t, 15*time.Second, "initial ingest", func() bool { return count() > 0 })
+
+	// Query loop: every few milliseconds, hit /aggregate for each historian
+	// and /stats. Requests carry a hard timeout — a hang is a failure.
+	var (
+		stop      atomic.Bool
+		successes atomic.Uint64
+		notFound  atomic.Uint64
+		badStatus atomic.Uint64
+	)
+	client := &http.Client{Timeout: 3 * time.Second}
+	from := fmt.Sprintf("&from=%d", time.Now().Add(-time.Minute).UnixNano())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			for _, name := range cluster.Historians() {
+				code, err := queryJSON(client, base, "/aggregate?store="+name+"&series="+series+"&window=1s"+from, nil)
+				switch {
+				case err == nil:
+					successes.Add(1)
+				case code == http.StatusNotFound: // historian mid-restart: unregistered
+					notFound.Add(1)
+				default:
+					badStatus.Add(1)
+				}
+			}
+			if _, err := queryJSON(client, base, "/stats", nil); err == nil {
+				successes.Add(1)
+			} else {
+				badStatus.Add(1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Chaos: partition the broker, kill one historian pod, heal, repeat.
+	historians := cluster.Historians()
+	if len(historians) == 0 {
+		t.Fatal("no historians deployed")
+	}
+	for round := 0; round < 3; round++ {
+		if err := cluster.PartitionComponent("broker", true); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(60 * time.Millisecond)
+		if err := cluster.PartitionComponent("broker", false); err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.KillPod(historians[round%len(historians)]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	inj.ClearAll()
+
+	waitFor(t, 30*time.Second, "convergence after chaos", func() bool {
+		return cluster.AllReady()
+	})
+	before := count()
+	waitFor(t, 15*time.Second, "fresh samples after chaos", func() bool {
+		return count() > before
+	})
+
+	stop.Store(true)
+	wg.Wait()
+
+	t.Logf("query soak: %d ok, %d not-found (restart windows), %d other errors",
+		successes.Load(), notFound.Load(), badStatus.Load())
+	if successes.Load() == 0 {
+		t.Fatal("no query ever succeeded during the chaos soak")
+	}
+	if badStatus.Load() > 0 {
+		t.Errorf("%d queries failed with unexpected errors (want only 404s during restarts)", badStatus.Load())
+	}
+
+	// The API serves the recovered data: some historian answers with counts.
+	total := 0
+	for _, name := range cluster.Historians() {
+		var ares struct {
+			Windows []historian.WindowAggregate `json:"windows"`
+		}
+		if _, err := queryJSON(client, base, "/aggregate?store="+name+"&series="+series+"&window=10s"+from, &ares); err != nil {
+			t.Fatalf("post-chaos aggregate on %s: %v", name, err)
+		}
+		for _, w := range ares.Windows {
+			total += w.Count
+		}
+	}
+	if total == 0 {
+		t.Fatal("no aggregate data queryable after chaos heal")
+	}
+}

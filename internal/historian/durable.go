@@ -54,7 +54,9 @@ func (o DurableOptions) fs() wal.FS {
 	return wal.OS
 }
 
-// walRecord is the WAL payload of one stored batch.
+// walRecord is the WAL payload of one stored batch. New records are
+// written in the binary format (walcodec.go); the JSON tags remain so logs
+// written before the binary codec still replay.
 type walRecord struct {
 	T       time.Time   `json:"t"`
 	Session string      `json:"session,omitempty"`
@@ -65,6 +67,19 @@ type walRecord struct {
 type walSample struct {
 	Series  string `json:"s"`
 	Payload []byte `json:"p"`
+}
+
+// decodeAnyWALRecord dispatches on the first payload byte: binary records
+// carry the version tag, legacy JSON records open with '{'.
+func decodeAnyWALRecord(payload []byte) (walRecord, error) {
+	if len(payload) > 0 && payload[0] == walBinaryVersion {
+		return decodeWALRecord(payload)
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("decode record: %w", err)
+	}
+	return rec, nil
 }
 
 // Open opens (or creates) a durable store in dir, recovering exact
@@ -101,9 +116,9 @@ func Open(dir string, opts DurableOptions) (*Store, error) {
 		if lsn <= snapLSN {
 			return nil // leftover of a crash mid-compaction; snapshot covers it
 		}
-		var rec walRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return fmt.Errorf("decode record: %w", err)
+		rec, err := decodeAnyWALRecord(payload)
+		if err != nil {
+			return err
 		}
 		store.applyRecord(rec, lsn)
 		return nil
@@ -145,15 +160,9 @@ func (s *Store) appendDurable(session string, seq uint64, t time.Time, samples [
 	s.appendMu.Lock()
 	defer s.appendMu.Unlock()
 
-	rec := walRecord{T: t, Session: session, Seq: seq, Samples: make([]walSample, len(samples))}
-	for i, sm := range samples {
-		rec.Samples[i] = walSample{Series: sm.Series, Payload: sm.Payload}
-	}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("historian: encode record: %w", err)
-	}
-	lsn, err := s.wal.Append(payload)
+	// Encode into a buffer reused across appends (appendMu is held).
+	s.encBuf = appendWALRecord(s.encBuf[:0], t.UnixNano(), session, seq, samples)
+	lsn, err := s.wal.Append(s.encBuf)
 	if err != nil {
 		return fmt.Errorf("historian: %w", err)
 	}

@@ -1,0 +1,466 @@
+package historian
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"strconv"
+)
+
+// Gorilla-style time-series compression (Facebook's "Gorilla: A Fast,
+// Scalable, In-Memory Time Series Database", VLDB'15): timestamps as
+// delta-of-delta with bucketed variable-length codes, values as XOR against
+// the previous float with a reusable leading/trailing-zero window. Sealed
+// historian blocks and binary WAL records use this for numeric telemetry;
+// anything that is not the canonical text of a float64 stays on the raw
+// path (block.go).
+//
+// Stream layout of one encoded block:
+//
+//	uvarint  point count
+//	varint   first timestamp (unix nanos)
+//	bits     first value (64 raw bits), then per point:
+//	           dod:   '0' | '10'+16-bit zigzag | '110'+32 | '111'+64
+//	           value: '0' same | '10' reuse window | '11'+5-bit leading
+//	                  +6-bit (sigbits-1) + sigbits of XOR
+
+// ---------------------------------------------------------------------------
+// Bit stream
+
+// bitWriter appends MSB-first bits to a byte slice.
+type bitWriter struct {
+	buf  []byte
+	free uint // unwritten bits in the last byte
+}
+
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	if n < 64 {
+		v &= 1<<n - 1
+	}
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := w.free
+		if n < take {
+			take = n
+		}
+		n -= take
+		w.buf[len(w.buf)-1] |= byte(v>>n&(1<<take-1)) << (w.free - take)
+		w.free -= take
+	}
+}
+
+// bitReader consumes MSB-first bits from a byte slice.
+type bitReader struct {
+	buf []byte
+	off int  // current byte
+	bit uint // bits already consumed in buf[off]
+}
+
+func (r *bitReader) readBits(n uint) (uint64, bool) {
+	var v uint64
+	for n > 0 {
+		if r.off >= len(r.buf) {
+			return 0, false
+		}
+		avail := 8 - r.bit
+		take := avail
+		if n < take {
+			take = n
+		}
+		v = v<<take | uint64(r.buf[r.off]>>(avail-take)&(1<<take-1))
+		r.bit += take
+		if r.bit == 8 {
+			r.bit = 0
+			r.off++
+		}
+		n -= take
+	}
+	return v, true
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+// encodeGorilla compresses timestamps and numeric values of pts. Every
+// point must be numeric; payloads are not stored — decode regenerates the
+// canonical float text, which is why only canonical payloads may take this
+// path (see encodeBlock).
+func encodeGorilla(pts []headPoint) []byte {
+	buf := make([]byte, 0, 16+len(pts))
+	buf = binary.AppendUvarint(buf, uint64(len(pts)))
+	buf = binary.AppendVarint(buf, pts[0].tn)
+	w := bitWriter{buf: buf}
+	w.writeBits(math.Float64bits(pts[0].val), 64)
+
+	prevT := pts[0].tn
+	prevDelta := int64(0)
+	prevV := math.Float64bits(pts[0].val)
+	lead, trail, sig := 0, 0, 0 // current reuse window; sig==0 means unset
+
+	for i := 1; i < len(pts); i++ {
+		p := &pts[i]
+		delta := p.tn - prevT
+		dod := delta - prevDelta
+		prevT, prevDelta = p.tn, delta
+		switch zz := zigzag(dod); {
+		case dod == 0:
+			w.writeBits(0, 1)
+		case zz < 1<<16:
+			w.writeBits(0b10, 2)
+			w.writeBits(zz, 16)
+		case zz < 1<<32:
+			w.writeBits(0b110, 3)
+			w.writeBits(zz, 32)
+		default:
+			w.writeBits(0b111, 3)
+			w.writeBits(zz, 64)
+		}
+
+		cur := math.Float64bits(p.val)
+		xor := cur ^ prevV
+		prevV = cur
+		if xor == 0 {
+			w.writeBits(0, 1)
+			continue
+		}
+		l := bits.LeadingZeros64(xor)
+		if l > 31 {
+			l = 31 // 5-bit field
+		}
+		t := bits.TrailingZeros64(xor)
+		if sig > 0 && l >= lead && t >= trail {
+			w.writeBits(0b10, 2)
+			w.writeBits(xor>>uint(trail), uint(sig))
+		} else {
+			lead, trail = l, t
+			sig = 64 - l - t
+			w.writeBits(0b11, 2)
+			w.writeBits(uint64(l), 5)
+			w.writeBits(uint64(sig-1), 6)
+			w.writeBits(xor>>uint(t), uint(sig))
+		}
+	}
+	return w.buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+// gorillaIter streams (timestamp, value) pairs out of an encoded block.
+type gorillaIter struct {
+	r     bitReader
+	count int
+	i     int
+	t     int64
+	delta int64
+	v     uint64
+	lead  int
+	trail int
+	sig   int
+	bad   bool
+}
+
+func newGorillaIter(enc []byte) gorillaIter {
+	n, sz1 := binary.Uvarint(enc)
+	if sz1 <= 0 {
+		return gorillaIter{bad: true}
+	}
+	t0, sz2 := binary.Varint(enc[sz1:])
+	if sz2 <= 0 {
+		return gorillaIter{bad: true}
+	}
+	return gorillaIter{r: bitReader{buf: enc[sz1+sz2:]}, count: int(n), t: t0}
+}
+
+// next advances to the next point; it.t and it.value() hold the result.
+func (it *gorillaIter) next() bool {
+	if it.bad || it.i >= it.count {
+		return false
+	}
+	if it.i == 0 {
+		v, ok := it.r.readBits(64)
+		if !ok {
+			it.bad = true
+			return false
+		}
+		it.v = v
+		it.i++
+		return true
+	}
+	b, ok := it.r.readBits(1)
+	if !ok {
+		it.bad = true
+		return false
+	}
+	if b == 1 {
+		var width uint
+		if b, ok = it.r.readBits(1); !ok {
+			it.bad = true
+			return false
+		}
+		if b == 0 {
+			width = 16
+		} else if b, ok = it.r.readBits(1); !ok {
+			it.bad = true
+			return false
+		} else if b == 0 {
+			width = 32
+		} else {
+			width = 64
+		}
+		zz, ok := it.r.readBits(width)
+		if !ok {
+			it.bad = true
+			return false
+		}
+		it.delta += unzigzag(zz)
+	}
+	it.t += it.delta
+
+	b, ok = it.r.readBits(1)
+	if !ok {
+		it.bad = true
+		return false
+	}
+	if b == 1 {
+		if b, ok = it.r.readBits(1); !ok {
+			it.bad = true
+			return false
+		}
+		if b == 1 {
+			l, ok1 := it.r.readBits(5)
+			s, ok2 := it.r.readBits(6)
+			if !ok1 || !ok2 {
+				it.bad = true
+				return false
+			}
+			it.lead = int(l)
+			it.sig = int(s) + 1
+			it.trail = 64 - it.lead - it.sig
+		}
+		if it.sig <= 0 || it.trail < 0 {
+			it.bad = true
+			return false
+		}
+		x, ok := it.r.readBits(uint(it.sig))
+		if !ok {
+			it.bad = true
+			return false
+		}
+		it.v ^= x << uint(it.trail)
+	}
+	it.i++
+	return true
+}
+
+func (it *gorillaIter) value() float64 { return math.Float64frombits(it.v) }
+
+// ---------------------------------------------------------------------------
+// Canonical float text
+
+// canonFloat appends the canonical text of v: the shortest round-trip
+// decimal in the format encoding/json uses ('f' for ordinary magnitudes,
+// exponent form outside [1e-6, 1e21)). A payload equal to canonFloat of its
+// parsed value can be discarded at seal time and regenerated byte-exactly
+// on read.
+func canonFloat(dst []byte, v float64) []byte {
+	f := byte('f')
+	if abs := math.Abs(v); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		f = 'e'
+	}
+	dst = strconv.AppendFloat(dst, v, f, -1, 64)
+	if f == 'e' {
+		// encoding/json trims a leading zero off small negative exponents
+		// ("1e-07" -> "1e-7"); match it byte for byte.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// canonicalPayload reports whether payload is exactly canonFloat(v).
+func canonicalPayload(payload []byte, v float64) bool {
+	var buf [32]byte
+	return bytes.Equal(payload, canonFloat(buf[:0], v))
+}
+
+// ---------------------------------------------------------------------------
+// Fast numeric payload parse
+
+// pow10tab holds exact powers of ten for the fast decimal path.
+var pow10tab = [16]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15}
+
+var valueKey = []byte(`"value"`)
+
+// fastFloat is the ingest-path equivalent of Point.Float: it interprets the
+// payload as a raw JSON number or an object with a numeric (or
+// quoted-numeric) "value" field, without allocating on the common shapes.
+// NaN and Inf cannot be produced (JSON has no literal for them and
+// out-of-range exponents fail the parse), so rollups and compressed blocks
+// only ever see finite values. It is marginally more lenient than
+// encoding/json on malformed exponent forms; such payloads are never
+// canonical, so they cannot reach the compressed path.
+func fastFloat(p []byte) (float64, bool) {
+	i, end := 0, len(p)
+	for i < end && asciiSpace(p[i]) {
+		i++
+	}
+	for end > i && asciiSpace(p[end-1]) {
+		end--
+	}
+	if i >= end {
+		return 0, false
+	}
+	switch c := p[i]; {
+	case c == '-' || (c >= '0' && c <= '9'):
+		return parseJSONNumber(p[i:end])
+	case c == '{':
+		return objectValue(p[i:end])
+	}
+	return 0, false
+}
+
+func asciiSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// parseJSONNumber parses a JSON number. Mantissas of up to 15 digits with
+// no exponent take an exact integer/power-of-ten path (both the mantissa
+// and 10^k are exactly representable, so the single division rounds once —
+// the same result strconv.ParseFloat produces); everything else falls back
+// to strconv.
+func parseJSONNumber(b []byte) (float64, bool) {
+	i := 0
+	neg := false
+	if b[0] == '-' {
+		neg = true
+		i++
+		if i == len(b) {
+			return 0, false
+		}
+	}
+	if b[i] == '0' && i+1 < len(b) && b[i+1] >= '0' && b[i+1] <= '9' {
+		return 0, false // JSON forbids leading zeros
+	}
+	var mant uint64
+	nd := 0
+	frac := -1
+	for ; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= '0' && c <= '9':
+			mant = mant*10 + uint64(c-'0')
+			nd++
+			if frac >= 0 {
+				frac++
+			}
+		case c == '.' && frac < 0 && nd > 0:
+			frac = 0
+		case c == 'e' || c == 'E':
+			if nd == 0 || frac == 0 {
+				return 0, false
+			}
+			return parseFloatSlow(b)
+		default:
+			return 0, false
+		}
+	}
+	if nd == 0 || frac == 0 {
+		return 0, false // "", "-", "5."
+	}
+	if nd > 15 {
+		return parseFloatSlow(b)
+	}
+	f := float64(mant)
+	if frac > 0 {
+		f /= pow10tab[frac]
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}
+
+func parseFloatSlow(b []byte) (float64, bool) {
+	f, err := strconv.ParseFloat(string(b), 64)
+	if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0, false
+	}
+	return f, true
+}
+
+// objectValue extracts a numeric "value" field from a JSON object by
+// scanning for the key text — the shapes the stack's bridge and monitor
+// publish ({"machine":...,"variable":...,"value":12.25}) resolve without a
+// json.Unmarshal. Occurrences of `"value"` not followed by a colon (the
+// text embedded in another string) are skipped.
+func objectValue(p []byte) (float64, bool) {
+	off := 0
+	for {
+		idx := bytes.Index(p[off:], valueKey)
+		if idx < 0 {
+			return 0, false
+		}
+		i := off + idx + len(valueKey)
+		for i < len(p) && asciiSpace(p[i]) {
+			i++
+		}
+		if i >= len(p) || p[i] != ':' {
+			off = off + idx + 1
+			continue
+		}
+		i++
+		for i < len(p) && asciiSpace(p[i]) {
+			i++
+		}
+		if i >= len(p) {
+			return 0, false
+		}
+		switch c := p[i]; {
+		case c == '"':
+			j := i + 1
+			for j < len(p) && p[j] != '"' && p[j] != '\\' {
+				j++
+			}
+			if j >= len(p) || p[j] != '"' {
+				return 0, false // escapes or truncation: not a plain quoted number
+			}
+			f, err := strconv.ParseFloat(string(p[i+1:j]), 64)
+			if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+				return 0, false
+			}
+			return f, true
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			for j < len(p) && numChar(p[j]) {
+				j++
+			}
+			return parseJSONNumber(p[i:j])
+		}
+		return 0, false
+	}
+}
+
+func numChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E'
+}
+
+// floorDiv and ceilDiv are floored/ceiled integer division — bucket-index
+// math that must stay correct for pre-1970 (negative-nano) timestamps like
+// the zero time.Time callers pass as an open lower bound.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 { return -floorDiv(-a, b) }

@@ -1,0 +1,227 @@
+package historian
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func gorillaPoints(ts []int64, vs []float64) []headPoint {
+	pts := make([]headPoint, len(ts))
+	for i := range ts {
+		pts[i] = headPoint{tn: ts[i], val: vs[i], numeric: true}
+	}
+	return pts
+}
+
+func checkGorillaRoundTrip(t *testing.T, ts []int64, vs []float64) {
+	t.Helper()
+	enc := encodeGorilla(gorillaPoints(ts, vs))
+	it := newGorillaIter(enc)
+	for i := range ts {
+		if !it.next() {
+			t.Fatalf("decode stopped at point %d of %d", i, len(ts))
+		}
+		if it.t != ts[i] {
+			t.Fatalf("point %d: time %d, want %d", i, it.t, ts[i])
+		}
+		if got := it.value(); math.Float64bits(got) != math.Float64bits(vs[i]) {
+			t.Fatalf("point %d: value %v (bits %x), want %v (bits %x)", i, got, math.Float64bits(got), vs[i], math.Float64bits(vs[i]))
+		}
+	}
+	if it.next() {
+		t.Fatalf("decode yielded more than %d points", len(ts))
+	}
+}
+
+func TestGorillaRoundTripSteady(t *testing.T) {
+	// The telemetry shape the codec is built for: a fixed tick and a
+	// slowly changing value with repeats.
+	var ts []int64
+	var vs []float64
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC).UnixNano()
+	v := 12.25
+	for i := 0; i < 2000; i++ {
+		ts = append(ts, base+int64(i)*50_000_000)
+		if i%7 == 0 {
+			v += 0.25
+		}
+		vs = append(vs, v)
+	}
+	checkGorillaRoundTrip(t, ts, vs)
+}
+
+func TestGorillaRoundTripEdgeValues(t *testing.T) {
+	vs := []float64{
+		0, math.Copysign(0, -1), 1, -1, math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.NaN(), math.Inf(1), math.Inf(-1), 1e-300, 12.25, 12.25,
+	}
+	ts := make([]int64, len(vs))
+	for i := range ts {
+		ts[i] = int64(i)
+	}
+	checkGorillaRoundTrip(t, ts, vs)
+}
+
+func TestGorillaRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(700)
+		ts := make([]int64, n)
+		vs := make([]float64, n)
+		cur := rng.Int63n(1 << 60)
+		for i := 0; i < n; i++ {
+			// Jumps across every delta-of-delta bucket, including negative
+			// deltas (out-of-order points sealed after a sort still encode).
+			switch rng.Intn(4) {
+			case 0: // steady
+				cur += 1_000_000
+			case 1: // jittered
+				cur += 1_000_000 + rng.Int63n(20_000) - 10_000
+			case 2: // large jump
+				cur += rng.Int63n(1 << 40)
+			case 3: // repeat timestamp
+			}
+			ts[i] = cur
+			switch rng.Intn(3) {
+			case 0:
+				vs[i] = math.Float64frombits(rng.Uint64())
+			case 1:
+				vs[i] = float64(rng.Intn(1000)) / 4
+			case 2:
+				if i > 0 {
+					vs[i] = vs[i-1]
+				}
+			}
+		}
+		checkGorillaRoundTrip(t, ts, vs)
+	}
+}
+
+func TestGorillaTruncatedStream(t *testing.T) {
+	ts := []int64{100, 200, 300, 400}
+	vs := []float64{1, 2, 3, 4}
+	enc := encodeGorilla(gorillaPoints(ts, vs))
+	for cut := 0; cut < len(enc); cut++ {
+		it := newGorillaIter(enc[:cut])
+		n := 0
+		for it.next() {
+			n++
+		}
+		if n > len(ts) {
+			t.Fatalf("cut %d: decoded %d points from truncated stream", cut, n)
+		}
+	}
+}
+
+func TestCanonFloatMatchesJSON(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 12.25, -12.25, 0.5, 3.5, 7.25, 100000, 1e20, 1e21, 1e22,
+		1e-6, 1e-7, 2.5e-8, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		123456.789, -0.001,
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonFloat(nil, v); !bytes.Equal(got, want) {
+			t.Errorf("canonFloat(%v) = %s, want %s (encoding/json)", v, got, want)
+		}
+	}
+}
+
+// TestFastFloatMatchesPointFloat pins the ingest-path parser to the public
+// Point.Float semantics across the payload shapes the stack produces.
+func TestFastFloatMatchesPointFloat(t *testing.T) {
+	payloads := []string{
+		"0", "1", "-1", "12.25", "0.5", "-0.5", "3.14159", "1e3", "1.5e-3",
+		"2E+4", "100000000000000000000000", "0.00000000000000000001",
+		"9007199254740993", "123456789012345678901234567890",
+		"007", "--1", "1..2", "1.", ".5", "-", "", " 12.25 ", "\t3\n",
+		"1e", "1e+", "0x10", "NaN", "Inf", "-Infinity", "null", "true",
+		`"12.25"`, `"not numeric"`,
+		`{"value": 3.5}`, `{"value":12.25}`, `{"value": "7.25"}`,
+		`{"value": "abc"}`, `{"value": null}`, `{"value": true}`,
+		`{"machine":"emco","variable":"actualX","value":12.25}`,
+		`{"machine":"emco","variable":"actualX","value":12.25,"t":"x"}`,
+		`{"other": 1}`, `{"value_x": 1}`, `{"note":"the \"value\" is","value":3}`,
+		`{"value": -1e2}`, `{"value": 1.25e2}`, `not json at all`, `[1,2,3]`,
+		`{"value":"NaN"}`, `{"value":"Inf"}`,
+	}
+	for _, s := range payloads {
+		p := Point{Payload: []byte(s)}
+		wantF, wantOK := p.Float()
+		gotF, gotOK := fastFloat([]byte(s))
+		// fastFloat never yields NaN/Inf: those payloads intentionally read
+		// as non-numeric so rollups and compression stay finite.
+		if wantOK && (math.IsNaN(wantF) || math.IsInf(wantF, 0)) {
+			if gotOK {
+				t.Errorf("fastFloat(%q) = %v, ok — want non-numeric for NaN/Inf", s, gotF)
+			}
+			continue
+		}
+		if gotOK != wantOK || (gotOK && gotF != wantF) {
+			t.Errorf("fastFloat(%q) = (%v, %v), Point.Float = (%v, %v)", s, gotF, gotOK, wantF, wantOK)
+		}
+	}
+}
+
+func TestFastFloatRandomNumbers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		var s string
+		switch i % 4 {
+		case 0:
+			s = strconv.FormatFloat(rng.NormFloat64()*math.Pow(10, float64(rng.Intn(40)-20)), 'f', -1, 64)
+		case 1:
+			s = strconv.FormatFloat(math.Float64frombits(rng.Uint64()), 'g', -1, 64)
+		case 2:
+			s = fmt.Sprintf("%d.%02d", rng.Intn(100000), rng.Intn(100))
+		case 3:
+			s = fmt.Sprintf("%d", rng.Int63())
+		}
+		want, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(want) || math.IsInf(want, 0) {
+			continue
+		}
+		var jsonOK float64
+		if json.Unmarshal([]byte(s), &jsonOK) != nil {
+			continue // not a JSON number (e.g. "+1e5" from FormatFloat 'g')
+		}
+		got, ok := fastFloat([]byte(s))
+		if !ok || got != want {
+			t.Fatalf("fastFloat(%q) = (%v, %v), want (%v, true)", s, got, ok, want)
+		}
+	}
+}
+
+// TestGorillaCompressionRatio pins the tentpole claim: canonical numeric
+// telemetry compresses at least 5x against the raw block encoding
+// (timestamp + payload text per point).
+func TestGorillaCompressionRatio(t *testing.T) {
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC).UnixNano()
+	pts := make([]headPoint, blockSize)
+	rawBytes := 0
+	v := 12.25
+	for i := range pts {
+		if i%5 == 0 {
+			v += 0.25 // quantized sensor steps
+		}
+		payload := canonFloat(nil, v)
+		pts[i] = headPoint{tn: base + int64(i)*50_000_000, payload: payload, val: v, numeric: true}
+		rawBytes += 8 + len(payload)
+	}
+	enc := encodeGorilla(pts)
+	ratio := float64(rawBytes) / float64(len(enc))
+	t.Logf("raw %dB, gorilla %dB, ratio %.1fx (%.1f bits/point)", rawBytes, len(enc), ratio, float64(len(enc)*8)/float64(len(pts)))
+	if ratio < 5 {
+		t.Fatalf("compression ratio %.2fx < 5x", ratio)
+	}
+}

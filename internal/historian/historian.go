@@ -26,10 +26,11 @@ type Point struct {
 }
 
 // Float attempts to interpret the payload as a number (raw JSON number, or
-// an object with a "value" field).
+// an object with a "value" field). The common shapes resolve through the
+// allocation-free ingest parser (fastFloat, gorilla.go); a full JSON parse
+// backstops exotic object encodings.
 func (p Point) Float() (float64, bool) {
-	var f float64
-	if err := json.Unmarshal(p.Payload, &f); err == nil {
+	if f, ok := fastFloat(p.Payload); ok {
 		return f, true
 	}
 	var obj map[string]any
@@ -50,11 +51,20 @@ func (p Point) Float() (float64, bool) {
 // A store opened with Open is durable: appends go through a write-ahead log
 // and the exact state survives a crash (see durable.go). NewStore builds
 // the volatile variant.
+//
+// Per series, points live in sealed immutable blocks (Gorilla-compressed
+// when numeric, see block.go) plus a mutable head, with min/max/avg/count
+// rollups at 1s/10s/60s maintained on every append (rollup.go) so windowed
+// aggregates cost O(windows) instead of O(points).
 type Store struct {
 	mu           sync.RWMutex
-	series       map[string][]Point
+	series       map[string]*seriesData
 	maxPerSeries int
 	appended     uint64
+
+	// metas mirrors each series' cache-validity coordinates for lock-free
+	// reads by the query cache (CacheInfo).
+	metas sync.Map // series name -> *seriesMeta
 
 	// sessions maps consumer session names to the highest sequence number
 	// applied, the dedup state that makes redelivered batches idempotent.
@@ -68,6 +78,7 @@ type Store struct {
 	snapEvery int
 	sinceSnap int
 	lastLSN   uint64 // highest LSN applied to the in-memory state
+	encBuf    []byte // binary record scratch, guarded by appendMu
 }
 
 // NewStore creates a volatile store retaining up to maxPerSeries points per
@@ -76,7 +87,7 @@ func NewStore(maxPerSeries int) *Store {
 	if maxPerSeries <= 0 {
 		maxPerSeries = 10000
 	}
-	return &Store{series: map[string][]Point{}, maxPerSeries: maxPerSeries, sessions: map[string]uint64{}}
+	return &Store{series: map[string]*seriesData{}, maxPerSeries: maxPerSeries, sessions: map[string]uint64{}}
 }
 
 // Append stores a sample. Samples are expected in non-decreasing time
@@ -153,23 +164,53 @@ func (s *Store) SessionSeq(session string) uint64 {
 	return s.sessions[session]
 }
 
-// appendLocked inserts one sample; callers hold s.mu.
+// appendLocked inserts one sample; callers hold s.mu. The ordering contract
+// with the lock-free query cache: data mutations happen before the matching
+// seriesMeta updates, so a cache entry tagged with a generation read before
+// its computation can never describe newer state than its tag claims.
 func (s *Store) appendLocked(series string, t time.Time, payload []byte) {
-	p := Point{Time: t, Payload: append([]byte(nil), payload...)}
-	pts := s.series[series]
-	if n := len(pts); n > 0 && pts[n-1].Time.After(t) {
-		i := sort.Search(n, func(i int) bool { return pts[i].Time.After(t) })
-		pts = append(pts, Point{})
-		copy(pts[i+1:], pts[i:])
-		pts[i] = p
+	sd := s.series[series]
+	if sd == nil {
+		sd = newSeriesData()
+		s.series[series] = sd
+		s.metas.Store(series, sd.meta)
+	}
+	tn := t.UnixNano()
+	val, numeric := fastFloat(payload)
+	hp := headPoint{t: t, tn: tn, payload: append([]byte(nil), payload...), val: val, numeric: numeric}
+	if sd.total > 0 && tn < sd.last.tn {
+		// Out of order: insert sorted within the head (after any equal
+		// instants). A point that predates every sealed block lands at the
+		// head front; Range compensates by sorting merged output once the
+		// overlap flag is set. Settled history changed, so bump gen.
+		i := sort.Search(len(sd.head), func(i int) bool { return sd.head[i].tn > tn })
+		sd.head = append(sd.head, headPoint{})
+		copy(sd.head[i+1:], sd.head[i:])
+		sd.head[i] = hp
+		if i == 0 && len(sd.blocks) > 0 {
+			sd.overlap = true
+		}
+		if numeric {
+			sd.rollups.add(tn, val)
+		}
+		sd.total++
+		sd.meta.gen.Add(1)
 	} else {
-		pts = append(pts, p)
+		sd.head = append(sd.head, hp)
+		sd.last = hp
+		if numeric && sd.rollups.add(tn, val) {
+			sd.meta.gen.Add(1) // ring eviction: coverage shrank
+		}
+		sd.total++
 	}
-	if len(pts) > s.maxPerSeries {
-		pts = pts[len(pts)-s.maxPerSeries:]
-	}
-	s.series[series] = pts
 	s.appended++
+	if len(sd.head) >= blockSize {
+		sd.seal()
+	}
+	if sd.total > s.maxPerSeries {
+		sd.dropOldest()
+	}
+	sd.updateBoundary()
 }
 
 // Series lists stored series names, sorted.
@@ -188,7 +229,10 @@ func (s *Store) Series() []string {
 func (s *Store) Count(series string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.series[series])
+	if sd := s.series[series]; sd != nil {
+		return sd.total
+	}
+	return 0
 }
 
 // TotalAppended returns the lifetime number of appended points.
@@ -202,22 +246,31 @@ func (s *Store) TotalAppended() uint64 {
 func (s *Store) Latest(series string) (Point, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pts := s.series[series]
-	if len(pts) == 0 {
+	sd := s.series[series]
+	if sd == nil || sd.total == 0 {
 		return Point{}, fmt.Errorf("historian: series %q is empty", series)
 	}
-	return pts[len(pts)-1], nil
+	// sd.last is always live while the series is non-empty: retention
+	// drops from the front and can never reach the newest point.
+	return sd.last.point(), nil
 }
 
-// Range returns points with from <= t < to, in time order.
+// Range returns points with from <= t < to, in time order. The result is
+// a fresh copy — payload bytes never alias internal storage, so callers
+// may hold or mutate them while appends continue.
 func (s *Store) Range(series string, from, to time.Time) []Point {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	pts := s.series[series]
-	lo := sort.Search(len(pts), func(i int) bool { return !pts[i].Time.Before(from) })
-	hi := sort.Search(len(pts), func(i int) bool { return !pts[i].Time.Before(to) })
-	out := make([]Point, hi-lo)
-	copy(out, pts[lo:hi])
+	sd := s.series[series]
+	if sd == nil {
+		return nil
+	}
+	f, t := from.UnixNano(), to.UnixNano()
+	if t <= f {
+		return nil
+	}
+	var out []Point
+	sd.collectRange(f, t, &out)
 	return out
 }
 
@@ -232,34 +285,54 @@ type Aggregate struct {
 // ErrNoNumericData reports that a range held no numeric samples.
 var ErrNoNumericData = errors.New("historian: no numeric data in range")
 
-// AggregateRange computes Count/Min/Max/Mean over numeric samples.
+// AggregateRange computes Count/Min/Max/Mean over numeric samples in
+// [from, to). Spans the rollup rings cover are answered from ingest-time
+// buckets in O(windows); only unaligned edges and history older than the
+// rings scan points. Aggregates outlive raw retention: a bucket keeps
+// counting points whose payloads have aged out of Range.
 func (s *Store) AggregateRange(series string, from, to time.Time) (Aggregate, error) {
-	pts := s.Range(series, from, to)
-	agg := Aggregate{}
-	sum := 0.0
-	for _, p := range pts {
-		f, ok := p.Float()
-		if !ok {
-			continue
-		}
-		if agg.Count == 0 {
-			agg.Min, agg.Max = f, f
-		} else {
-			if f < agg.Min {
-				agg.Min = f
-			}
-			if f > agg.Max {
-				agg.Max = f
-			}
-		}
-		agg.Count++
-		sum += f
+	agg, _, err := s.AggregateWindow(series, from, to)
+	return agg, err
+}
+
+// AggregateWindow is AggregateRange plus a rollupOnly result: whether the
+// answer came entirely from rollup buckets (or provably empty spans) and so
+// cannot change when retention drops raw points — the property the query
+// cache keys on (query.go).
+func (s *Store) AggregateWindow(series string, from, to time.Time) (Aggregate, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sd := s.series[series]
+	if sd == nil {
+		return Aggregate{}, true, ErrNoNumericData
 	}
-	if agg.Count == 0 {
-		return agg, ErrNoNumericData
+	acc := sd.aggRange(from.UnixNano(), to.UnixNano(), 0)
+	if acc.count == 0 {
+		return Aggregate{}, acc.rollupOnly, ErrNoNumericData
 	}
-	agg.Mean = sum / float64(agg.Count)
-	return agg, nil
+	return Aggregate{
+		Count: acc.count,
+		Min:   acc.min,
+		Max:   acc.max,
+		Mean:  acc.sum / float64(acc.count),
+	}, acc.rollupOnly, nil
+}
+
+// CacheInfo returns the lock-free cache-validity coordinates of a series:
+// the settled-history generation (changes on block seal, out-of-order
+// append and rollup eviction), the cacheability boundary (windows ending at
+// or before it cannot be changed by in-order appends), and the retention
+// drop counter (invalidates scan-backed results only). ok is false until
+// the series has received its first point.
+func (s *Store) CacheInfo(series string) (gen uint64, boundary int64, drops uint64, ok bool) {
+	v, ok := s.metas.Load(series)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	m := v.(*seriesMeta)
+	// gen loads first: an entry tagged with this gen and computed afterwards
+	// can only be newer than the tag, never staler (see appendLocked).
+	return m.gen.Load(), m.boundary.Load(), m.drops.Load(), true
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,232 @@
+package historian
+
+import "time"
+
+// Ingest-time rollups: every numeric append updates one bucket per
+// resolution (1s, 10s, 60s), so AggregateRange answers window queries from
+// O(windows) bucket sums instead of O(points) scans. Buckets live in dense
+// circular rings keyed by consecutive bucket index (t / window); a query
+// window is served from a ring only when the ring provably covers it —
+// its start bucket is at or after the oldest bucket the ring has retained
+// (indices beyond the newest bucket are provably empty). Anything the
+// rings cannot prove falls through to the next-finer ring and finally to a
+// point scan over blocks + head.
+//
+// Rollups are maintained at ingest and are not rewound by retention drops:
+// a bucket keeps counting points whose raw payloads have aged out. That is
+// the usual TSDB downsampling contract — aggregates outlive raw data — and
+// it is what lets the query cache keep rollup-backed windows across
+// retention churn (see seriesMeta.drops).
+
+// rollupSpecs lists the maintained resolutions, coarsest first — the order
+// aggRange tries them — with the bucket count each ring retains.
+var rollupSpecs = [3]struct {
+	win   int64
+	limit int
+}{
+	{int64(time.Minute), 2048},      // ~34 hours
+	{int64(10 * time.Second), 2048}, // ~5.7 hours
+	{int64(time.Second), 4096},      // ~68 minutes
+}
+
+type rollupBucket struct {
+	count    int
+	min, max float64
+	sum      float64
+}
+
+// rollupRing is a circular buffer of consecutive buckets
+// [firstIdx, firstIdx+n). The backing slice grows geometrically up to
+// limit; beyond that the oldest buckets are evicted.
+type rollupRing struct {
+	win      int64
+	limit    int
+	buckets  []rollupBucket
+	firstIdx int64
+	start    int // offset of firstIdx within buckets
+	n        int
+}
+
+func (r *rollupRing) slot(i int) *rollupBucket {
+	return &r.buckets[(r.start+i)%len(r.buckets)]
+}
+
+// add records one value; the evicted result reports whether old buckets
+// were discarded (the caller bumps the cache generation: a range the ring
+// used to cover may now answer differently via the scan fallback).
+func (r *rollupRing) add(tn int64, v float64) (evicted bool) {
+	idx := floorDiv(tn, r.win)
+	if r.n == 0 {
+		if r.buckets == nil {
+			r.buckets = make([]rollupBucket, 16)
+		}
+		r.firstIdx, r.start, r.n = idx, 0, 1
+		r.buckets[0] = rollupBucket{count: 1, min: v, max: v, sum: v}
+		return false
+	}
+	off := idx - r.firstIdx
+	if off < 0 {
+		// Older than everything retained: unrecordable, and invisible —
+		// coverage starts at firstIdx so queries there scan points instead.
+		return false
+	}
+	if off >= int64(r.n) {
+		if off >= int64(r.limit) {
+			newFirst := idx - int64(r.limit) + 1
+			if newFirst >= r.firstIdx+int64(r.n) {
+				// Jump past everything retained: restart the ring.
+				for i := range r.buckets {
+					r.buckets[i] = rollupBucket{}
+				}
+				r.firstIdx, r.start, r.n = idx, 0, 1
+				r.buckets[0] = rollupBucket{count: 1, min: v, max: v, sum: v}
+				return true
+			}
+			drop := int(newFirst - r.firstIdx)
+			for i := 0; i < drop; i++ {
+				*r.slot(i) = rollupBucket{}
+			}
+			r.start = (r.start + drop) % len(r.buckets)
+			r.firstIdx = newFirst
+			r.n -= drop
+			off = idx - r.firstIdx
+			evicted = true
+		}
+		for int(off) >= len(r.buckets) {
+			r.grow()
+		}
+		// Slots between the old end and off are zero: fresh allocations and
+		// evictions both leave them cleared.
+		r.n = int(off) + 1
+	}
+	b := r.slot(int(off))
+	if b.count == 0 {
+		b.min, b.max = v, v
+	} else {
+		if v < b.min {
+			b.min = v
+		}
+		if v > b.max {
+			b.max = v
+		}
+	}
+	b.count++
+	b.sum += v
+	return evicted
+}
+
+// grow linearizes the ring into a larger zeroed backing slice.
+func (r *rollupRing) grow() {
+	newLen := len(r.buckets) * 2
+	if newLen > r.limit {
+		newLen = r.limit
+	}
+	next := make([]rollupBucket, newLen)
+	for i := 0; i < r.n; i++ {
+		next[i] = *r.slot(i)
+	}
+	r.buckets = next
+	r.start = 0
+}
+
+// covered reports whether the ring can serve buckets starting at i0: every
+// bucket from i0 on is either retained or provably empty (beyond the
+// newest bucket — the ring has seen every numeric point, so a bucket it
+// never touched past its end holds nothing).
+func (r *rollupRing) covered(i0 int64) bool {
+	return r.n > 0 && i0 >= r.firstIdx
+}
+
+// accumulate merges buckets [i0, i1) into acc. Callers check covered(i0).
+func (r *rollupRing) accumulate(i0, i1 int64, acc *aggAcc) {
+	hi := i1
+	if last := r.firstIdx + int64(r.n); hi > last {
+		hi = last
+	}
+	for i := i0; i < hi; i++ {
+		b := r.slot(int(i - r.firstIdx))
+		if b.count > 0 {
+			acc.addBucket(b)
+		}
+	}
+}
+
+// rollupSet is the per-series collection of rings.
+type rollupSet struct {
+	rings [3]rollupRing
+}
+
+func (rs *rollupSet) init() {
+	for i, spec := range rollupSpecs {
+		rs.rings[i].win = spec.win
+		rs.rings[i].limit = spec.limit
+	}
+}
+
+func (rs *rollupSet) add(tn int64, v float64) (evicted bool) {
+	for i := range rs.rings {
+		if rs.rings[i].add(tn, v) {
+			evicted = true
+		}
+	}
+	return evicted
+}
+
+// aggAcc accumulates an aggregate across rollup buckets and point scans.
+// rollupOnly tracks whether every contribution came from rollup buckets or
+// provably-empty ranges — such results cannot change when retention drops
+// raw points, which is what lets the query cache keep them (query.go).
+type aggAcc struct {
+	count      int
+	min, max   float64
+	sum        float64
+	rollupOnly bool
+}
+
+func (a *aggAcc) addBucket(b *rollupBucket) {
+	if a.count == 0 {
+		a.min, a.max = b.min, b.max
+	} else {
+		if b.min < a.min {
+			a.min = b.min
+		}
+		if b.max > a.max {
+			a.max = b.max
+		}
+	}
+	a.count += b.count
+	a.sum += b.sum
+}
+
+func (a *aggAcc) addPoint(v float64) {
+	if a.count == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.count++
+	a.sum += v
+}
+
+func (a *aggAcc) merge(b aggAcc) {
+	if b.count > 0 {
+		if a.count == 0 {
+			a.min, a.max = b.min, b.max
+		} else {
+			if b.min < a.min {
+				a.min = b.min
+			}
+			if b.max > a.max {
+				a.max = b.max
+			}
+		}
+		a.count += b.count
+		a.sum += b.sum
+	}
+	a.rollupOnly = a.rollupOnly && b.rollupOnly
+}

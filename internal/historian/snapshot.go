@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 )
@@ -41,10 +42,14 @@ func (s *Store) Snapshot() Snapshot {
 		Series:       make(map[string][]Point, len(s.series)),
 		LastLSN:      s.lastLSN,
 	}
-	for name, pts := range s.series {
-		cp := make([]Point, len(pts))
-		copy(cp, pts)
-		snap.Series[name] = cp
+	for name, sd := range s.series {
+		if sd.total == 0 {
+			snap.Series[name] = []Point{}
+			continue
+		}
+		pts := make([]Point, 0, sd.total)
+		sd.collectRange(math.MinInt64, math.MaxInt64, &pts)
+		snap.Series[name] = pts
 	}
 	if len(s.sessions) > 0 {
 		snap.Sessions = make(map[string]uint64, len(s.sessions))

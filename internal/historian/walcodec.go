@@ -1,0 +1,193 @@
+package historian
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// unixNano reconstructs an instant from stored nanoseconds. Decoded times
+// are canonically UTC — binary encodings (blocks, WAL records) store the
+// instant only, not the wall-clock location.
+func unixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
+
+// Binary WAL record format. The legacy format JSON-encoded every batch
+// (~1.1KB/record once base64 payloads and field names added up); this
+// codec packs the same walRecord into a version-tagged binary layout with
+// a per-record series dictionary and float payload packing:
+//
+//	0x01                          version tag (legacy JSON starts with '{')
+//	uvarint                       zigzag(batch time, unix nanos)
+//	uvarint + bytes               session name
+//	uvarint                       session seq
+//	uvarint                       dictionary size, then per entry:
+//	  uvarint + bytes               series name (first-seen order)
+//	uvarint                       sample count, then per sample:
+//	  uvarint                       dictionary index
+//	  0x00 uvarint + bytes          raw payload, or
+//	  0x01 8-byte LE float          canonical numeric payload
+//
+// A numeric payload is packed as its float64 only when the payload is the
+// canonical text of that value (canonFloat), so decode regenerates the
+// exact bytes. Records stay self-contained — no cross-record deltas —
+// because checkpoints truncate the log at arbitrary record boundaries.
+
+const walBinaryVersion = 0x01
+
+const (
+	walPayloadRaw   = 0x00
+	walPayloadFloat = 0x01
+)
+
+// appendWALRecord encodes rec into dst (reusing its capacity).
+func appendWALRecord(dst []byte, t int64, session string, seq uint64, samples []Sample) []byte {
+	dst = append(dst, walBinaryVersion)
+	dst = binary.AppendUvarint(dst, zigzag(t))
+	dst = binary.AppendUvarint(dst, uint64(len(session)))
+	dst = append(dst, session...)
+	dst = binary.AppendUvarint(dst, seq)
+
+	// Series dictionary in first-seen order. Batches carry few distinct
+	// series (often one), so a linear scan beats a map allocation.
+	var dictArr [16]string
+	dict := dictArr[:0]
+	for i := range samples {
+		name := samples[i].Series
+		found := false
+		for _, d := range dict {
+			if d == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dict = append(dict, name)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(dict)))
+	for _, d := range dict {
+		dst = binary.AppendUvarint(dst, uint64(len(d)))
+		dst = append(dst, d...)
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(len(samples)))
+	var fbuf [8]byte
+	for i := range samples {
+		sm := &samples[i]
+		di := 0
+		for j, d := range dict {
+			if d == sm.Series {
+				di = j
+				break
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(di))
+		if v, ok := fastFloat(sm.Payload); ok && canonicalPayload(sm.Payload, v) {
+			dst = append(dst, walPayloadFloat)
+			binary.LittleEndian.PutUint64(fbuf[:], math.Float64bits(v))
+			dst = append(dst, fbuf[:]...)
+		} else {
+			dst = append(dst, walPayloadRaw)
+			dst = binary.AppendUvarint(dst, uint64(len(sm.Payload)))
+			dst = append(dst, sm.Payload...)
+		}
+	}
+	return dst
+}
+
+// decodeWALRecord parses a binary record (first byte walBinaryVersion).
+func decodeWALRecord(p []byte) (walRecord, error) {
+	var rec walRecord
+	r := walReader{buf: p, off: 1}
+	tz := r.uvarint()
+	rec.T = unixNano(unzigzag(tz))
+	rec.Session = string(r.bytes(int(r.uvarint())))
+	rec.Seq = r.uvarint()
+
+	nd := r.uvarint()
+	if r.err == nil && nd > uint64(len(p)) {
+		return rec, fmt.Errorf("historian: wal record: dictionary size %d exceeds record", nd)
+	}
+	dict := make([]string, 0, nd)
+	for i := uint64(0); i < nd && r.err == nil; i++ {
+		dict = append(dict, string(r.bytes(int(r.uvarint()))))
+	}
+
+	ns := r.uvarint()
+	if r.err == nil && ns > uint64(len(p)) {
+		return rec, fmt.Errorf("historian: wal record: sample count %d exceeds record", ns)
+	}
+	rec.Samples = make([]walSample, 0, ns)
+	for i := uint64(0); i < ns && r.err == nil; i++ {
+		di := r.uvarint()
+		if r.err == nil && di >= uint64(len(dict)) {
+			return rec, fmt.Errorf("historian: wal record: dictionary index %d out of range", di)
+		}
+		tag := r.byte()
+		var payload []byte
+		switch tag {
+		case walPayloadRaw:
+			payload = append([]byte(nil), r.bytes(int(r.uvarint()))...)
+		case walPayloadFloat:
+			b := r.bytes(8)
+			if r.err == nil {
+				payload = canonFloat(nil, math.Float64frombits(binary.LittleEndian.Uint64(b)))
+			}
+		default:
+			if r.err == nil {
+				return rec, fmt.Errorf("historian: wal record: unknown payload tag 0x%02x", tag)
+			}
+		}
+		if r.err == nil {
+			rec.Samples = append(rec.Samples, walSample{Series: dict[di], Payload: payload})
+		}
+	}
+	if r.err != nil {
+		return rec, fmt.Errorf("historian: wal record: %w", r.err)
+	}
+	return rec, nil
+}
+
+// walReader is a cursor with sticky error handling over a record buffer.
+type walReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+var errWALTruncated = fmt.Errorf("truncated record")
+
+func (r *walReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = errWALTruncated
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *walReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = errWALTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *walReader) byte() byte {
+	b := r.bytes(1)
+	if r.err != nil {
+		return 0xFF
+	}
+	return b[0]
+}
