@@ -781,15 +781,15 @@ func (c *Cluster) StartQueryServer(addr string) (string, error) {
 	}
 	qs := historian.NewQueryServer()
 	c.queryServer = qs
-	stores := make(map[string]*historian.Store, len(c.historians))
+	// Register while still holding c.mu (Register only takes the query
+	// server's own lock): a historian stopped concurrently either sees
+	// c.queryServer already set and Unregisters after us, or is gone from
+	// c.historians before we snapshot it — never re-registered stale.
 	for name, h := range c.historians {
-		stores[name] = h.Store
+		qs.Register(name, h.Store)
 	}
 	c.mu.Unlock()
 
-	for name, st := range stores {
-		qs.Register(name, st)
-	}
 	bound, err := qs.Serve(addr)
 	if err != nil {
 		c.mu.Lock()

@@ -224,7 +224,8 @@ func TestDurableFsyncFailureSurfaces(t *testing.T) {
 // snapshot from a newer build fails with a clear error instead of being
 // silently misread, and the durable Open path propagates it.
 func TestSnapshotFutureVersionRejected(t *testing.T) {
-	_, err := RestoreStore(strings.NewReader(`{"version": 3, "series": {}}`))
+	future := fmt.Sprintf(`{"version": %d, "series": {}}`, snapshotVersion+1)
+	_, err := RestoreStore(strings.NewReader(future))
 	if err == nil {
 		t.Fatal("future snapshot version must be rejected")
 	}

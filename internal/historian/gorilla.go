@@ -397,55 +397,83 @@ func parseFloatSlow(b []byte) (float64, bool) {
 }
 
 // objectValue extracts a numeric "value" field from a JSON object by
-// scanning for the key text — the shapes the stack's bridge and monitor
+// scanning the byte structure — the shapes the stack's bridge and monitor
 // publish ({"machine":...,"variable":...,"value":12.25}) resolve without a
-// json.Unmarshal. Occurrences of `"value"` not followed by a colon (the
-// text embedded in another string) are skipped.
+// json.Unmarshal. The scan tracks brace/bracket depth and string spans, so
+// only a top-level "value" key matches: nested objects ({"a":{"value":5}})
+// and the key text embedded inside another string stay non-numeric, keeping
+// this a strict subset of the full-parse fallback in Point.Float.
 func objectValue(p []byte) (float64, bool) {
-	off := 0
-	for {
-		idx := bytes.Index(p[off:], valueKey)
-		if idx < 0 {
-			return 0, false
-		}
-		i := off + idx + len(valueKey)
-		for i < len(p) && asciiSpace(p[i]) {
+	depth := 0
+	for i := 0; i < len(p); {
+		switch c := p[i]; c {
+		case '{', '[':
+			depth++
 			i++
-		}
-		if i >= len(p) || p[i] != ':' {
-			off = off + idx + 1
-			continue
-		}
-		i++
-		for i < len(p) && asciiSpace(p[i]) {
+		case '}', ']':
+			depth--
 			i++
-		}
-		if i >= len(p) {
-			return 0, false
-		}
-		switch c := p[i]; {
-		case c == '"':
+		case '"':
 			j := i + 1
-			for j < len(p) && p[j] != '"' && p[j] != '\\' {
+			escaped := false
+			for j < len(p) && p[j] != '"' {
+				if p[j] == '\\' {
+					escaped = true
+					j++ // skip the escaped byte; \" stays inside the string
+				}
 				j++
 			}
-			if j >= len(p) || p[j] != '"' {
-				return 0, false // escapes or truncation: not a plain quoted number
+			if j >= len(p) {
+				return 0, false // unterminated string: malformed payload
 			}
-			f, err := strconv.ParseFloat(string(p[i+1:j]), 64)
-			if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
-				return 0, false
+			if depth == 1 && !escaped && bytes.Equal(p[i:j+1], valueKey) {
+				k := j + 1
+				for k < len(p) && asciiSpace(p[k]) {
+					k++
+				}
+				if k < len(p) && p[k] == ':' {
+					return keyedValue(p, k+1)
+				}
 			}
-			return f, true
-		case c == '-' || (c >= '0' && c <= '9'):
-			j := i
-			for j < len(p) && numChar(p[j]) {
-				j++
-			}
-			return parseJSONNumber(p[i:j])
+			i = j + 1
+		default:
+			i++
 		}
+	}
+	return 0, false
+}
+
+// keyedValue parses the value that follows a matched `"value":` key at
+// offset i — a JSON number, or a quoted numeric string.
+func keyedValue(p []byte, i int) (float64, bool) {
+	for i < len(p) && asciiSpace(p[i]) {
+		i++
+	}
+	if i >= len(p) {
 		return 0, false
 	}
+	switch c := p[i]; {
+	case c == '"':
+		j := i + 1
+		for j < len(p) && p[j] != '"' && p[j] != '\\' {
+			j++
+		}
+		if j >= len(p) || p[j] != '"' {
+			return 0, false // escapes or truncation: not a plain quoted number
+		}
+		f, err := strconv.ParseFloat(string(p[i+1:j]), 64)
+		if err != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+			return 0, false
+		}
+		return f, true
+	case c == '-' || (c >= '0' && c <= '9'):
+		j := i
+		for j < len(p) && numChar(p[j]) {
+			j++
+		}
+		return parseJSONNumber(p[i:j])
+	}
+	return 0, false
 }
 
 func numChar(c byte) bool {

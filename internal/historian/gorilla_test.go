@@ -154,6 +154,13 @@ func TestFastFloatMatchesPointFloat(t *testing.T) {
 		`{"other": 1}`, `{"value_x": 1}`, `{"note":"the \"value\" is","value":3}`,
 		`{"value": -1e2}`, `{"value": 1.25e2}`, `not json at all`, `[1,2,3]`,
 		`{"value":"NaN"}`, `{"value":"Inf"}`,
+		// Only a top-level "value" key counts: nested objects and arrays must
+		// classify exactly as Point.Float's full parse does.
+		`{"a":{"value":5}}`, `{"a":{"value":5},"value":7}`,
+		`{"value":{"x":1}}`, `{"nested":[{"value":1}],"value":2.5}`,
+		`[{"value":3}]`, `{"a":"value","value":4}`,
+		`{"a":["value"],"value":6}`, `{"a":{"b":{"value":9}}}`,
+		`{"value"`, `{"unterminated`, `{"esc\`,
 	}
 	for _, s := range payloads {
 		p := Point{Payload: []byte(s)}

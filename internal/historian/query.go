@@ -142,6 +142,11 @@ type WindowAggregate struct {
 
 // Aggregate answers a windowed aggregate query: [from, to) split on the
 // window grid (start times are multiples of window), empty windows elided.
+// Edge windows are full grid cells, not clipped to the bounds: a from or to
+// inside a window aggregates that window's whole cell, including points
+// outside [from, to) — the grid semantics that make results cacheable
+// per window regardless of the exact bounds a caller picked. An empty or
+// inverted range (to <= from) yields no windows.
 // This is the method the HTTP handler and the concurrent-reader benchmark
 // share; the cached path costs two sync.Map hits and no store lock.
 func (q *QueryServer) Aggregate(store, series string, from, to time.Time, window time.Duration) ([]WindowAggregate, error) {
@@ -156,6 +161,9 @@ func (q *QueryServer) Aggregate(store, series string, from, to time.Time, window
 	w := int64(window)
 	first := floorDiv(f, w)
 	last := ceilDiv(t, w)
+	if last <= first {
+		return nil, nil // empty or inverted range spans zero windows
+	}
 	if last-first > maxWindowsPerQuery {
 		return nil, fmt.Errorf("historian: query spans %d windows (max %d); widen the window or narrow the range", last-first, maxWindowsPerQuery)
 	}

@@ -92,6 +92,60 @@ func TestQueryCacheCorrectUnderMutation(t *testing.T) {
 	t.Logf("cache: %d hits, %d misses", hits, misses)
 }
 
+// TestQueryAggregateInvertedRange pins the reversed-bounds fix: to <= from
+// must yield an empty result (no panic from a negative slice capacity, no
+// wrap-around on the hit counter), both through the library API and the
+// HTTP handler.
+func TestQueryAggregateInvertedRange(t *testing.T) {
+	st := NewStore(0)
+	q := NewQueryServer()
+	q.Register("h", st)
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		st.Append("m", base.Add(time.Duration(i)*time.Second), []byte("2.5"))
+	}
+	cases := []struct{ from, to time.Time }{
+		{base.Add(30 * time.Second), base},                // inverted
+		{base, base},                                      // empty
+		{base.Add(time.Hour), base.Add(time.Hour)},        // empty, in the future
+		{base.Add(365 * 24 * time.Hour), time.Unix(0, 0)}, // far future from, epoch to
+	}
+	for _, c := range cases {
+		wins, err := q.Aggregate("h", "m", c.from, c.to, time.Second)
+		if err != nil {
+			t.Fatalf("Aggregate(%v, %v): %v", c.from, c.to, err)
+		}
+		if len(wins) != 0 {
+			t.Fatalf("Aggregate(%v, %v) = %v, want empty", c.from, c.to, wins)
+		}
+	}
+	if hits, _ := q.CacheStats(); hits != 0 {
+		t.Fatalf("empty-range queries recorded %d cache hits, want 0", hits)
+	}
+
+	srv := httptest.NewServer(q.Handler())
+	defer srv.Close()
+	from := base.Add(30 * time.Second).Format(time.RFC3339Nano)
+	to := base.Format(time.RFC3339Nano)
+	resp, err := http.Get(srv.URL + "/aggregate?series=m&from=" + from + "&to=" + to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("reversed bounds: status %d, want 200 with empty windows", resp.StatusCode)
+	}
+	var out struct {
+		Windows []WindowAggregate `json:"windows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Windows) != 0 {
+		t.Fatalf("reversed bounds returned windows: %v", out.Windows)
+	}
+}
+
 func TestQueryHTTPEndpoints(t *testing.T) {
 	st := NewStore(0)
 	q := NewQueryServer()

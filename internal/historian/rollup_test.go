@@ -72,16 +72,16 @@ func TestAggregateWindowBoundaries(t *testing.T) {
 		st.Append("m", ts, []byte(fmt.Sprintf("%d.25", i)))
 	}
 	cases := []struct{ from, to time.Time }{
-		{base, base.Add(time.Second)},                                 // aligned 1s
-		{base, base.Add(time.Minute)},                                 // aligned 60s
-		{base.Add(time.Second), base.Add(61 * time.Second)},           // aligned, offset start
-		{base.Add(time.Nanosecond), base.Add(time.Minute)},            // unaligned start
-		{base, base.Add(time.Minute - time.Nanosecond)},               // unaligned end
-		{base.Add(250 * time.Millisecond), base.Add(time.Minute)},     // start on a point
-		{base, base.Add(59*time.Second + 750*time.Millisecond)},       // end on a point: excluded
+		{base, base.Add(time.Second)},                             // aligned 1s
+		{base, base.Add(time.Minute)},                             // aligned 60s
+		{base.Add(time.Second), base.Add(61 * time.Second)},       // aligned, offset start
+		{base.Add(time.Nanosecond), base.Add(time.Minute)},        // unaligned start
+		{base, base.Add(time.Minute - time.Nanosecond)},           // unaligned end
+		{base.Add(250 * time.Millisecond), base.Add(time.Minute)}, // start on a point
+		{base, base.Add(59*time.Second + 750*time.Millisecond)},   // end on a point: excluded
 		{base.Add(17 * time.Millisecond), base.Add(293 * time.Second)},
-		{base.Add(-time.Hour), base.Add(time.Hour)},  // covers everything
-		{time.Time{}, base.Add(5 * time.Minute)},     // zero-time lower bound
+		{base.Add(-time.Hour), base.Add(time.Hour)},    // covers everything
+		{time.Time{}, base.Add(5 * time.Minute)},       // zero-time lower bound
 		{base.Add(time.Hour), base.Add(2 * time.Hour)}, // beyond the data
 		{base.Add(time.Minute), base.Add(time.Minute)}, // empty
 	}

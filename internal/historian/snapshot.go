@@ -19,17 +19,39 @@ import (
 //	2: adds Sessions (per-consumer-session high-water sequence numbers) and
 //	   LastLSN (the WAL position the snapshot covers), so a durable store
 //	   restores exactly-once ingest state and replays only the WAL suffix.
+//	3: adds Rollups (the per-series ingest-time aggregate rings), so the
+//	   aggregates-outlive-retention contract survives recovery — rollup
+//	   buckets counting points already dropped by retention restore intact
+//	   instead of being rebuilt from retained points only.
 type Snapshot struct {
-	Version      int                `json:"version"`
-	TakenAt      time.Time          `json:"takenAt"`
-	MaxPerSeries int                `json:"maxPerSeries"`
-	Series       map[string][]Point `json:"series"`
-	Sessions     map[string]uint64  `json:"sessions,omitempty"`
-	LastLSN      uint64             `json:"lastLsn,omitempty"`
+	Version      int                   `json:"version"`
+	TakenAt      time.Time             `json:"takenAt"`
+	MaxPerSeries int                   `json:"maxPerSeries"`
+	Series       map[string][]Point    `json:"series"`
+	Sessions     map[string]uint64     `json:"sessions,omitempty"`
+	LastLSN      uint64                `json:"lastLsn,omitempty"`
+	Rollups      map[string][]RingSnap `json:"rollups,omitempty"`
+}
+
+// RingSnap is one serialized rollup ring: the consecutive buckets
+// [FirstIdx, FirstIdx+len(Buckets)) of the Win-wide grid, linearized in
+// index order. Rings that retained nothing are omitted.
+type RingSnap struct {
+	Win      int64        `json:"win"`
+	FirstIdx int64        `json:"firstIdx"`
+	Buckets  []BucketSnap `json:"buckets"`
+}
+
+// BucketSnap is one serialized rollup bucket.
+type BucketSnap struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
 }
 
 // snapshotVersion is the current persistence format version.
-const snapshotVersion = 2
+const snapshotVersion = 3
 
 // Snapshot captures the store's full contents.
 func (s *Store) Snapshot() Snapshot {
@@ -43,6 +65,12 @@ func (s *Store) Snapshot() Snapshot {
 		LastLSN:      s.lastLSN,
 	}
 	for name, sd := range s.series {
+		if rings := snapRollups(&sd.rollups); len(rings) > 0 {
+			if snap.Rollups == nil {
+				snap.Rollups = map[string][]RingSnap{}
+			}
+			snap.Rollups[name] = rings
+		}
 		if sd.total == 0 {
 			snap.Series[name] = []Point{}
 			continue
@@ -67,6 +95,52 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		return fmt.Errorf("historian: write snapshot: %w", err)
 	}
 	return nil
+}
+
+// snapRollups serializes a series' non-empty rollup rings, linearized in
+// bucket-index order. Callers hold the store lock (any mode — rings only
+// mutate under the write lock).
+func snapRollups(rs *rollupSet) []RingSnap {
+	var out []RingSnap
+	for i := range rs.rings {
+		r := &rs.rings[i]
+		if r.n == 0 {
+			continue
+		}
+		buckets := make([]BucketSnap, r.n)
+		for j := 0; j < r.n; j++ {
+			b := r.slot(j)
+			buckets[j] = BucketSnap{Count: b.count, Min: b.min, Max: b.max, Sum: b.sum}
+		}
+		out = append(out, RingSnap{Win: r.win, FirstIdx: r.firstIdx, Buckets: buckets})
+	}
+	return out
+}
+
+// restoreRollups overwrites a series' rings with their serialized state.
+// The persisted rings already include every retained point's contribution
+// (rollups are maintained at ingest), so wholesale replacement — not a
+// merge with the rings rebuilt by re-appending — reproduces the pre-snapshot
+// state exactly, dropped-point contributions included. Snapshots from
+// versions without Rollups leave the rebuilt rings in place: those restore
+// with the old retained-points-only aggregates.
+func restoreRollups(rs *rollupSet, rings []RingSnap) {
+	for _, snap := range rings {
+		if len(snap.Buckets) == 0 {
+			continue
+		}
+		for i := range rs.rings {
+			r := &rs.rings[i]
+			if r.win != snap.Win || len(snap.Buckets) > r.limit {
+				continue
+			}
+			buckets := make([]rollupBucket, len(snap.Buckets))
+			for j, b := range snap.Buckets {
+				buckets[j] = rollupBucket{count: b.Count, min: b.Min, max: b.Max, sum: b.Sum}
+			}
+			r.buckets, r.firstIdx, r.start, r.n = buckets, snap.FirstIdx, 0, len(buckets)
+		}
+	}
 }
 
 // RestoreStore reconstructs a store from a snapshot stream. Points are
@@ -94,6 +168,17 @@ func RestoreStore(r io.Reader) (*Store, error) {
 		for _, p := range snap.Series[name] {
 			store.Append(name, p.Time, p.Payload)
 		}
+	}
+	for name, rings := range snap.Rollups {
+		sd := store.series[name]
+		if sd == nil {
+			// Every raw point aged out before the snapshot; the rollups are
+			// all that remains of the series.
+			sd = newSeriesData()
+			store.series[name] = sd
+			store.metas.Store(name, sd.meta)
+		}
+		restoreRollups(&sd.rollups, rings)
 	}
 	for k, v := range snap.Sessions {
 		store.sessions[k] = v

@@ -2,6 +2,7 @@ package historian
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"reflect"
@@ -72,6 +73,82 @@ func TestSnapshotPreservesRetention(t *testing.T) {
 	}
 	if restored.Count("a") != 3 {
 		t.Errorf("post-restore count = %d", restored.Count("a"))
+	}
+}
+
+// TestSnapshotPreservesRollupsPastRetention pins the aggregates-outlive-
+// retention contract across checkpoint/recovery: rollup buckets counting
+// points already dropped by retention must restore intact, so windowed
+// aggregates answer identically before and after a restart.
+func TestSnapshotPreservesRollupsPastRetention(t *testing.T) {
+	s := NewStore(5) // tight retention: most raw points age out
+	for i := 0; i < 50; i++ {
+		s.Append("a", t0.Add(time.Duration(i)*time.Second), []byte(fmt.Sprintf("%d", i)))
+	}
+	from, to := t0, t0.Add(time.Hour)
+	before, err := s.AggregateRange("a", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Count != 50 {
+		t.Fatalf("pre-snapshot aggregate count = %d, want 50 (rollups must outlive retention)", before.Count)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := restored.AggregateRange("a", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("aggregate changed across restore: %+v, want %+v", after, before)
+	}
+	if restored.Count("a") != 5 {
+		t.Fatalf("restored raw count = %d, want 5", restored.Count("a"))
+	}
+
+	// The restored rings keep accepting newer appends.
+	restored.Append("a", t0.Add(50*time.Second), []byte("50"))
+	grown, err := restored.AggregateRange("a", from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Count != 51 || grown.Max != 50 {
+		t.Fatalf("post-restore append: %+v, want count 51 max 50", grown)
+	}
+}
+
+// TestRestoreLegacySnapshotWithoutRollups checks that a version-2 snapshot
+// (no Rollups field) still restores, with aggregates rebuilt from the
+// retained points only.
+func TestRestoreLegacySnapshotWithoutRollups(t *testing.T) {
+	s := NewStore(5)
+	for i := 0; i < 50; i++ {
+		s.Append("a", t0.Add(time.Duration(i)*time.Second), []byte(fmt.Sprintf("%d", i)))
+	}
+	snap := s.Snapshot()
+	snap.Version = 2
+	snap.Rollups = nil
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := restored.AggregateRange("a", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != 5 || agg.Max != 49 || agg.Min != 45 {
+		t.Fatalf("legacy restore aggregate = %+v, want the 5 retained points [45,49]", agg)
 	}
 }
 
