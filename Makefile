@@ -13,6 +13,11 @@ BENCH_DATE ?= $(shell date +%Y-%m-%d)
 # benchdiff -best-of keeps the fastest run, so the regression gate compares
 # min-of-N instead of a single noisy sample.
 BENCH_COUNT ?= 1
+# Benchmarks whose ns/op measures a blocking round trip (scheduler wake-up
+# latency) rather than pipelined throughput: benchdiff annotates their
+# regressions as LATENCY-BOUND instead of failing the gate, since they swing
+# with runner load far beyond the 15% threshold.
+BENCH_LATENCY_BOUND ?= ^BenchmarkBrokerWireSync$$
 
 .PHONY: build test check soak soak-federated soak-query bench benchdiff bench-full bench-dataplane bench-smoke fuzz
 
@@ -79,7 +84,7 @@ soak-query:
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH_PATTERN)' -benchmem -benchtime=1s -count=$(BENCH_COUNT) . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	@cat bench.out
-	$(GO) run ./cmd/benchdiff -write BENCH_$(BENCH_DATE).json -compare-latest . -best-of $(BENCH_COUNT) < bench.out
+	$(GO) run ./cmd/benchdiff -write BENCH_$(BENCH_DATE).json -compare-latest . -best-of $(BENCH_COUNT) -latency-bound '$(BENCH_LATENCY_BOUND)' < bench.out
 	@rm -f bench.out
 
 # Compare the two most recent snapshots without re-running benchmarks.
@@ -96,9 +101,12 @@ bench-dataplane:
 # Smoke-run the hot-path benchmarks at a fixed tiny iteration count — PR CI
 # uses this to prove the wire and fan-out paths still execute end to end
 # (a hang or Fatal fails fast) without paying for a statistically
-# meaningful -benchtime on shared runners.
+# meaningful -benchtime on shared runners. The federated case runs in its
+# own invocation: -bench sub-patterns apply per slash level, and the
+# shards= filter would otherwise hide BenchmarkBrokerFanout's sub-benches.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkBrokerWire|BenchmarkBrokerFanout|BenchmarkHistorianQuery' -benchtime=100x -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkFederatedScale/shards=4/machines=1000$$' -benchtime=100x -benchmem .
 
 # Every benchmark in the repo, including the slow end-to-end deploy loops.
 bench-full:

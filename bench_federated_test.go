@@ -8,15 +8,18 @@
 //	          → acked bridge pull → consumer shard → subscriber
 //
 // The publisher deliberately dials a shard that does NOT own the topic,
-// so with shards>1 every operation pays one synchronous forward hop and
-// one asynchronous bridge hop; shards=1 is the single-broker baseline
-// the federated numbers are read against. Part of the tier-1 regression
-// set (`make bench`).
+// so with shards>1 every operation crosses the windowed forward uplink
+// and the cumulative-acked bridge pull; shards=1 is the single-broker
+// baseline the federated numbers are read against. The publisher is
+// pipelined (PublishAsync with a credit window against end-to-end
+// delivery), matching how BenchmarkBrokerWire measures the direct path —
+// the serial-publisher variant would measure round-trip latency, which
+// the federation tier no longer pays per message. Part of the tier-1
+// regression set (`make bench`).
 package sysml2conf
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -163,13 +166,19 @@ func benchFederatedScale(b *testing.B, shards, machines int) {
 	b.SetBytes(int64(len(fedPayload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := ingress[i%machines].Publish(topics[i%machines], fedPayload, false); err != nil {
+		if err := ingress[i%machines].PublishAsync(topics[i%machines], fedPayload, false); err != nil {
 			b.Fatal(err)
 		}
-		// Pace against the consumer so acked-session backlogs stay
-		// bounded; on the bridge path delivery trails the publish ack.
-		for uint64(i+1)-(delivered.Load()-baseline) > 8192 {
-			runtime.Gosched()
+		// Pace against the consumer so uplink windows and acked-session
+		// backlogs stay bounded; on the bridge path delivery trails the
+		// publish. The wait sleeps instead of spinning runtime.Gosched:
+		// on GOMAXPROCS=1 a Gosched busy-loop keeps the sole P running,
+		// so socket readiness is only ever delivered by sysmon's forced
+		// netpoll every ~10-20ms and the pipeline crawls one ack window
+		// per rescue (~78µs/op); a sleeping publisher lets the P park in
+		// netpoll and the same pipeline runs ~40x faster.
+		for uint64(i+1)-(delivered.Load()-baseline) > 512 {
+			time.Sleep(20 * time.Microsecond)
 		}
 	}
 	// The op is the whole pipeline: don't stop the clock until every
@@ -178,7 +187,7 @@ func benchFederatedScale(b *testing.B, shards, machines int) {
 		if time.Now().After(deadline.Add(60 * time.Second)) {
 			b.Fatalf("delivered %d of %d published samples", delivered.Load()-baseline, b.N)
 		}
-		runtime.Gosched()
+		time.Sleep(20 * time.Microsecond)
 	}
 	b.StopTimer()
 

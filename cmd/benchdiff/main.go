@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,8 +41,18 @@ func main() {
 		latestDir = flag.String("compare-latest", "", "compare against the most recent BENCH_*.json in this directory")
 		threshold = flag.Float64("threshold", 15, "max allowed ns/op regression in percent")
 		bestOf    = flag.Int("best-of", 1, "treat stdin as `go test -count=N` output: keep each benchmark's fastest run")
+		latBound  = flag.String("latency-bound", "", "regexp of benchmarks whose ns/op measures round-trip latency, not throughput: regressions are annotated but never fail the gate")
 	)
 	flag.Parse()
+
+	var latencyBound *regexp.Regexp
+	if *latBound != "" {
+		re, err := regexp.Compile(*latBound)
+		if err != nil {
+			fatal(fmt.Errorf("bad -latency-bound regexp: %w", err))
+		}
+		latencyBound = re
+	}
 
 	var curSnap *Snapshot
 	if *write != "" {
@@ -84,7 +95,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if regressed := compare(os.Stdout, prevSnap, curSnap, *threshold); regressed {
+	if regressed := compare(os.Stdout, prevSnap, curSnap, *threshold, latencyBound); regressed {
 		os.Exit(1)
 	}
 }
@@ -180,8 +191,11 @@ func readSnapshot(path string) (*Snapshot, error) {
 // absent from the baseline are reported as "(new)" and benchmarks that
 // disappeared as "(removed)" — both informational, never a failure, so a
 // growing benchmark suite can land new cells against an older committed
-// snapshot without breaking `make bench`.
-func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed bool) {
+// snapshot without breaking `make bench`. Benchmarks matching latencyBound
+// measure a round trip (the clock is dominated by scheduler wake-ups, not
+// work), so their regressions are printed as LATENCY-BOUND annotations
+// rather than gating the build.
+func compare(w io.Writer, prev, cur *Snapshot, threshold float64, latencyBound *regexp.Regexp) (regressed bool) {
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
 		names = append(names, name)
@@ -208,8 +222,12 @@ func compare(w io.Writer, prev, cur *Snapshot, threshold float64) (regressed boo
 		delta := (curNs - prevNs) / prevNs * 100
 		mark := ""
 		if delta > threshold {
-			mark = "  REGRESSION"
-			regressed = true
+			if latencyBound != nil && latencyBound.MatchString(name) {
+				mark = "  LATENCY-BOUND (not gating)"
+			} else {
+				mark = "  REGRESSION"
+				regressed = true
+			}
 		}
 		fmt.Fprintf(w, "  %-50s %12.0f ns/op  %+7.1f%%%s\n", name, curNs, delta, mark)
 	}

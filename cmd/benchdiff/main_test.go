@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -84,16 +85,52 @@ func snapWith(ns float64) *Snapshot {
 
 func TestCompareFlagsRegression(t *testing.T) {
 	var buf bytes.Buffer
-	if regressed := compare(&buf, snapWith(100), snapWith(120), 15); !regressed {
+	if regressed := compare(&buf, snapWith(100), snapWith(120), 15, nil); !regressed {
 		t.Errorf("+20%% not flagged as regression:\n%s", buf.String())
 	}
 	buf.Reset()
-	if regressed := compare(&buf, snapWith(100), snapWith(110), 15); regressed {
+	if regressed := compare(&buf, snapWith(100), snapWith(110), 15, nil); regressed {
 		t.Errorf("+10%% flagged as regression:\n%s", buf.String())
 	}
 	buf.Reset()
-	if regressed := compare(&buf, snapWith(100), snapWith(50), 15); regressed {
+	if regressed := compare(&buf, snapWith(100), snapWith(50), 15, nil); regressed {
 		t.Errorf("improvement flagged as regression:\n%s", buf.String())
+	}
+}
+
+// TestCompareLatencyBound: a benchmark matching the -latency-bound pattern
+// gets its regression annotated instead of gating the build, while a
+// prefix-sharing throughput benchmark is still gated by the same run.
+func TestCompareLatencyBound(t *testing.T) {
+	prev := &Snapshot{Date: "2026-01-01", Benchmarks: map[string]map[string]float64{
+		"BenchmarkBrokerWireSync": {"ns/op": 100},
+		"BenchmarkBrokerWire":     {"ns/op": 100},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]map[string]float64{
+		"BenchmarkBrokerWireSync": {"ns/op": 300},
+		"BenchmarkBrokerWire":     {"ns/op": 100},
+	}}
+	re := regexp.MustCompile(`^BenchmarkBrokerWireSync$`)
+	var buf bytes.Buffer
+	if regressed := compare(&buf, prev, cur, 15, re); regressed {
+		t.Errorf("latency-bound regression gated the build:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "LATENCY-BOUND (not gating)") {
+		t.Errorf("latency-bound regression not annotated:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "benchdiff: ok") {
+		t.Errorf("run with only latency-bound regressions should report ok:\n%s", buf.String())
+	}
+
+	// The anchored pattern must not shield the throughput variant sharing
+	// the name prefix.
+	cur.Benchmarks["BenchmarkBrokerWire"]["ns/op"] = 300
+	buf.Reset()
+	if regressed := compare(&buf, prev, cur, 15, re); !regressed {
+		t.Errorf("prefix-sharing throughput regression escaped the gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("throughput regression not marked:\n%s", buf.String())
 	}
 }
 
@@ -103,7 +140,7 @@ func TestCompareIgnoresNewAndRemoved(t *testing.T) {
 		"BenchmarkY": {"ns/op": 999999},
 	}}
 	var buf bytes.Buffer
-	if regressed := compare(&buf, prev, cur, 15); regressed {
+	if regressed := compare(&buf, prev, cur, 15, nil); regressed {
 		t.Errorf("disjoint benchmark sets flagged as regression:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "(new)") {
@@ -127,7 +164,7 @@ func TestCompareMixedNewAndShared(t *testing.T) {
 		"BenchmarkY": {"ns/op": 50},
 	}}
 	var buf bytes.Buffer
-	if regressed := compare(&buf, prev, cur, 15); !regressed {
+	if regressed := compare(&buf, prev, cur, 15, nil); !regressed {
 		t.Errorf("shared regression masked by new benchmark:\n%s", buf.String())
 	}
 	out := buf.String()

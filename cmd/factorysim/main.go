@@ -182,9 +182,10 @@ func main() {
 	binConns, jsonConns := cluster.BrokerWireStats()
 	fmt.Printf("broker: wire protocol %d binary / %d json connections\n", binConns, jsonConns)
 	for _, ss := range cluster.BrokerShardStats() {
-		fmt.Printf("  shard %d: %d published, %d delivered, %d subscriptions; forwarded=%d bridgedIn=%d bridgeDups=%d reconnects=%d refused=%d wire=%db/%dj\n",
+		fmt.Printf("  shard %d: %d published, %d delivered, %d subscriptions; forwarded=%d fwdWindow=%d/%d/%d bridgedIn=%d bridgeDups=%d bridgeInFlight=%d reconnects=%d refused=%d wire=%db/%dj\n",
 			ss.Shard, ss.Published, ss.Delivered, ss.Subscriptions,
-			ss.Forwarded, ss.BridgedIn, ss.BridgeDups, ss.Reconnects, ss.Refused,
+			ss.Forwarded, ss.ForwardInFlight, ss.ForwardStalls, ss.ForwardReplayed,
+			ss.BridgedIn, ss.BridgeDups, ss.BridgeInFlight, ss.Reconnects, ss.Refused,
 			ss.BinaryConns, ss.JSONConns)
 	}
 

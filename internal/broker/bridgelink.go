@@ -3,6 +3,7 @@ package broker
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,16 +41,17 @@ type bridgeLink struct {
 }
 
 // pullState is one workcell's acked pull. filter and session are
-// immutable; refs, active, subID and fromSeq are guarded by the link's
-// mutex.
+// immutable; refs, active and subID are guarded by the link's mutex.
+// fromSeq is atomic so the consume hot loop never touches the link mutex
+// — bumping it per message used to contend with addPulls/removePulls.
 type pullState struct {
 	wc      string
 	filter  string
 	session string
 
 	refs    int
-	fromSeq uint64 // highest seq republished locally; the reattach point
-	active  bool   // subscribed on the current connection
+	fromSeq atomic.Uint64 // highest seq republished locally; the reattach point
+	active  bool          // subscribed on the current connection
 	subID   int
 }
 
@@ -127,8 +129,15 @@ func (l *bridgeLink) removePulls(wcs []string) {
 		}
 	}
 	l.mu.Unlock()
-	for _, u := range unsubs {
-		go u()
+	if len(unsubs) > 0 {
+		// One teardown goroutine for the whole batch: a reconfigure that
+		// drops hundreds of filters at once must not burst a goroutine per
+		// pull, and the unsubscribe round trips have no ordering needs.
+		go func() {
+			for _, u := range unsubs {
+				u()
+			}
+		}()
 	}
 }
 
@@ -244,10 +253,7 @@ func (l *bridgeLink) pump(client *Client) {
 		}
 
 		for _, p := range todo {
-			l.mu.Lock()
-			fromSeq := p.fromSeq
-			l.mu.Unlock()
-			subID, ch, err := client.SubscribeSession(p.filter, p.session, fromSeq)
+			subID, ch, err := client.SubscribeSession(p.filter, p.session, p.fromSeq.Load())
 			if err != nil {
 				return
 			}
@@ -283,22 +289,66 @@ func (l *bridgeLink) pump(client *Client) {
 // publisher-dedup high-water mark, so a redelivered sequence (lost ack,
 // replay overlap after reattach) is counted and dropped, never delivered
 // twice.
+//
+// Acks are cumulative and batched: the loop opportunistically drains
+// whatever the owner has in flight, republishes each message, and acks
+// once with the batch's highest sequence — on a binary connection the
+// writer coalesces even those into at most one piggybacked header entry
+// per flush. A burst therefore costs one ack, not one ack round per
+// message, which is what lets the owner's delivery window stream instead
+// of lock-stepping on the bridge.
 func (l *bridgeLink) consume(client *Client, p *pullState, subID int, ch <-chan Message) {
 	for m := range ch {
-		dup, err := l.n.Broker.publishLocalSeq(m.Topic, m.Payload, m.Retained, p.session, m.Seq)
-		if err != nil {
-			return // local broker closing; the node is going down
+		batch := 0
+		closed := false
+		for {
+			l.n.bridgeInFlight.Add(1)
+			batch++
+			dup, err := l.n.Broker.publishLocalSeq(m.Topic, m.Payload, m.Retained, p.session, m.Seq)
+			if err != nil {
+				l.n.bridgeInFlight.Add(-int64(batch))
+				return // local broker closing; the node is going down
+			}
+			if dup {
+				l.n.bridgeDups.Add(1)
+			} else {
+				l.n.bridgedIn.Add(1)
+			}
+			// fromSeq is the reattach point; the client dedups per-sub, so
+			// sequences on ch are strictly increasing within a connection,
+			// but a fresh connection's replay can run behind it.
+			for {
+				cur := p.fromSeq.Load()
+				if m.Seq <= cur || p.fromSeq.CompareAndSwap(cur, m.Seq) {
+					break
+				}
+			}
+			// Keep draining whatever is already buffered before acking.
+			more, ok, drained := recvNonBlocking(ch)
+			if drained {
+				break
+			}
+			if !ok {
+				closed = true
+				break
+			}
+			m = more
 		}
-		if dup {
-			l.n.bridgeDups.Add(1)
-		} else {
-			l.n.bridgedIn.Add(1)
+		_ = client.Ack(subID, p.fromSeq.Load())
+		l.n.bridgeInFlight.Add(-int64(batch))
+		if closed {
+			return
 		}
-		l.mu.Lock()
-		if m.Seq > p.fromSeq {
-			p.fromSeq = m.Seq
-		}
-		l.mu.Unlock()
-		_ = client.Ack(subID, m.Seq)
+	}
+}
+
+// recvNonBlocking receives a message if one is immediately available.
+// drained means the channel was empty (but open) at the attempt.
+func recvNonBlocking(ch <-chan Message) (m Message, ok, drained bool) {
+	select {
+	case m, ok = <-ch:
+		return m, ok, false
+	default:
+		return Message{}, false, true
 	}
 }

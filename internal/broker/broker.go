@@ -117,12 +117,18 @@ type Broker struct {
 	// Federation hooks, installed by NewNode before Serve (nil on a
 	// standalone broker). owns reports whether a topic is placed on this
 	// broker; forward routes a publish for a topic this broker does not
-	// own to the owner shard. onSubscribe/onUnsubscribe observe filter
-	// lifecycle (one call per plain subscription or acked session) so the
-	// node can bridge remote shards the local filter needs. All four are
-	// set before the broker serves traffic and never change.
+	// own to the owner shard and blocks for the result (in-process
+	// callers); forwardAsync stages the same forward into the owner
+	// uplink's in-flight window and delivers the result through done —
+	// the wire ingress path uses it so a connection's read loop never
+	// blocks on a cross-shard round trip. onSubscribe/onUnsubscribe
+	// observe filter lifecycle (one call per plain subscription or acked
+	// session) so the node can bridge remote shards the local filter
+	// needs. All hooks are set before the broker serves traffic and never
+	// change.
 	owns          func(topic string) bool
 	forward       func(topic string, payload []byte, retain bool, session string, seq uint64) (bool, error)
+	forwardAsync  func(topic string, payload []byte, retain bool, session string, seq uint64, done func(dup bool, err error))
 	onSubscribe   func(filter string)
 	onUnsubscribe func(filter string)
 
@@ -477,6 +483,16 @@ type frame struct {
 	// with the frame's ID (0), which pre-binary clients already discard —
 	// the field is safe in both directions.
 	NoAck bool `json:"noAck,omitempty"`
+	// Fwd on opPub marks a windowed federation forward: the publishing
+	// peer keeps many of these in flight and asks for cumulative
+	// acknowledgement — the broker answers the common (accepted, non-dup)
+	// case through the subID-0 piggyback ack channel, keyed by the
+	// frame's ID, and reserves per-frame ack/err responses for the
+	// exceptional results (dup, error). A broker that ignores the field
+	// answers every frame individually, which the forwarding client also
+	// accepts — the cumulative protocol degrades to per-frame, never
+	// breaks.
+	Fwd bool `json:"fwd,omitempty"`
 	// Binary on opHello advertises (broker → client) or acknowledges
 	// (client → broker) the compact binary framing. The advert is a normal
 	// JSON frame with ID 0 that pre-binary clients provably ignore, which
@@ -599,11 +615,48 @@ func (b *Broker) handleConn(conn net.Conn) {
 		}
 		switch f.Op {
 		case opPub:
+			if fa := b.forwardAsync; fa != nil && (b.owns == nil || !b.owns(f.Topic)) {
+				// Cross-shard publish on a federated ingress node: stage it
+				// into the owner uplink's in-flight window instead of holding
+				// this read loop for a synchronous round trip. The response
+				// (or error) goes back when the owner's ack arrives; the
+				// coalescing writer makes the late send safe from any
+				// goroutine. f is reused next iteration — capture copies
+				// (Topic/Payload are fresh per decode, the struct is not).
+				id, noAck := f.ID, f.NoAck
+				fa(f.Topic, f.Payload, f.Retain, f.Session, f.Seq, func(dup bool, err error) {
+					switch {
+					case err != nil:
+						_ = send(&frame{ID: id, Op: opErr, Error: err.Error()})
+					case !noAck:
+						_ = send(&frame{ID: id, Op: opAck, Acked: dup})
+					}
+				})
+				continue
+			}
 			// The decoded payload is a fresh buffer; ownership transfers.
 			dup, err := b.publishSeqOwned(f.Topic, f.Payload, f.Retain, f.Session, f.Seq)
 			switch {
 			case err != nil:
 				_ = send(&frame{ID: f.ID, Op: opErr, Error: err.Error()})
+			case f.Fwd:
+				// Windowed forward from a peer shard. The common (accepted,
+				// non-dup) result rides the subID-0 cumulative ack channel —
+				// coalesced to one max-ID entry per flush and piggybacked on
+				// the next outgoing frame's header — so a pipelined uplink
+				// pays a handful of bytes per window, not a response frame
+				// per forward. A dup keeps its explicit per-frame ack: the
+				// cumulative channel can only say "accepted", and the peer
+				// resolves every ID below an explicit response as plain
+				// success. Ack ordering is safe: an ack queued here can only
+				// ride (or follow) frames staged after it, never overtake an
+				// earlier explicit response.
+				if dup {
+					_ = send(&frame{ID: f.ID, Op: opAck, Acked: true})
+				} else if ok, _ := w.QueueAck(0, f.ID); !ok {
+					// JSON peer: no header acks — degrade to per-frame.
+					_ = send(&frame{ID: f.ID, Op: opAck})
+				}
 			case !f.NoAck:
 				_ = send(&frame{ID: f.ID, Op: opAck, Acked: dup})
 			}

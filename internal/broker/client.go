@@ -28,8 +28,14 @@ type Client struct {
 	// discarded (then cumulatively acked over: permanent loss).
 	pendingSubs map[uint64]*clientSub
 	subs        map[int]*clientSub
-	closed      bool
-	readErr     error
+	// fwds is the in-flight windowed-forward FIFO (ascending IDs). The
+	// broker processes a connection's forwards in arrival order, so any
+	// response carrying ID k — cumulative subID-0 ack, per-frame ack or
+	// error — resolves every forward with ID ≤ k (the ones below k as
+	// plain non-dup success). See PublishSeqAsync.
+	fwds   []fwdWaiter
+	closed bool
+	readErr error
 
 	timeout time.Duration
 	done    chan struct{}
@@ -44,6 +50,19 @@ type clientSub struct {
 	acked   bool
 	lastSeq uint64 // highest seq handed to the consumer
 }
+
+// fwdWaiter is one in-flight windowed forward awaiting the broker's
+// cumulative or per-frame response.
+type fwdWaiter struct {
+	id   uint64
+	done func(dup bool, err error)
+}
+
+// errFwdConnLost marks forward completions failed by connection loss rather
+// than by a broker response — the only class a federation uplink replays
+// (the broker either never saw the frame or its ack was lost; either way
+// the owner's publisher-dedup high-water mark makes a resend idempotent).
+var errFwdConnLost = errors.New("connection lost before the forward was acknowledged")
 
 // DialClient connects to a broker at addr.
 func DialClient(addr string) (*Client, error) {
@@ -154,6 +173,18 @@ func (c *Client) Close() error {
 func (c *Client) readLoop() {
 	defer close(c.done)
 	r := wire.NewReader(c.conn)
+	// Cumulative forward acknowledgements ride frame headers on subID 0
+	// (real subscriptions start at 1): ack seq k means every windowed
+	// forward with ID ≤ k was accepted without incident. Completions are
+	// invoked outside c.mu — uplink callbacks take their own locks.
+	r.OnAck = func(subID int, seq uint64) {
+		if subID != 0 {
+			return
+		}
+		for _, wt := range c.takeFwds(seq) {
+			wt.done(false, nil)
+		}
+	}
 	// The hot path (opMsg pushes) decodes into one reused frame struct —
 	// Message below copies the string/slice headers out, so the struct
 	// itself never escapes. Response frames are copied fresh because
@@ -176,7 +207,13 @@ func (c *Client) readLoop() {
 			for id := range c.pendingSubs {
 				delete(c.pendingSubs, id)
 			}
+			fwds := c.fwds
+			c.fwds = nil
 			c.mu.Unlock()
+			// Fail in-flight forwards in FIFO order, after the lock drops.
+			for _, wt := range fwds {
+				wt.done(false, fmt.Errorf("broker client: %w: %v", errFwdConnLost, err))
+			}
 			return
 		}
 		if f.Op == opMsg {
@@ -226,13 +263,64 @@ func (c *Client) readLoop() {
 		}
 		ch := c.pending[f.ID]
 		delete(c.pending, f.ID)
+		// A per-frame response for an in-flight forward: the exceptional
+		// path of the cumulative protocol (dup or error). It also resolves
+		// every forward below it as plain success — the broker answered
+		// them cumulatively or not at all, and it processes one
+		// connection's forwards strictly in order.
+		var fwdPrefix []fwdWaiter
+		var fwdSelf *fwdWaiter
+		if ch == nil && len(c.fwds) > 0 && c.fwds[0].id <= f.ID &&
+			(f.Op == opAck || f.Op == opErr) {
+			fwdPrefix = c.popFwdsLocked(f.ID - 1)
+			if len(c.fwds) > 0 && c.fwds[0].id == f.ID {
+				wt := c.fwds[0]
+				c.fwds = c.fwds[1:]
+				fwdSelf = &wt
+			}
+		}
 		c.mu.Unlock()
+		for _, wt := range fwdPrefix {
+			wt.done(false, nil)
+		}
+		if fwdSelf != nil {
+			if f.Op == opErr {
+				fwdSelf.done(false, fmt.Errorf("broker: %s", f.Error))
+			} else {
+				fwdSelf.done(f.Acked, nil)
+			}
+			continue
+		}
 		if ch != nil {
 			resp := fr // waiters hold the response past this iteration
 			ch <- &resp
 			close(ch)
 		}
 	}
+}
+
+// takeFwds pops and returns the in-flight forwards with ID ≤ upTo.
+func (c *Client) takeFwds(upTo uint64) []fwdWaiter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.popFwdsLocked(upTo)
+}
+
+func (c *Client) popFwdsLocked(upTo uint64) []fwdWaiter {
+	n := 0
+	for n < len(c.fwds) && c.fwds[n].id <= upTo {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]fwdWaiter, n)
+	copy(out, c.fwds)
+	c.fwds = c.fwds[n:]
+	if len(c.fwds) == 0 {
+		c.fwds = nil
+	}
+	return out
 }
 
 // roundTrip sends a request frame and waits for its response. A non-nil sub
@@ -372,6 +460,44 @@ func (c *Client) PublishSeq(topic string, payload []byte, retain bool, session s
 		return false, err
 	}
 	return resp.Acked, nil
+}
+
+// PublishSeqAsync stages a windowed forward publish: the frame carries the
+// origin (session, seq) for owner-side dedup plus the Fwd mark asking the
+// broker to acknowledge through the cumulative subID-0 ack channel instead
+// of one response frame per publish. done is invoked exactly once — with
+// the broker's result, or with an error wrapping errFwdConnLost if the
+// connection dies first — on the client's read-loop goroutine, so it must
+// not block on this connection's traffic. Callers keep many of these in
+// flight over one connection; the federation uplink is the intended user
+// and bounds the window itself. Calls must not race each other: the
+// cumulative protocol needs wire order to match ID order, which the
+// registration-and-send under one lock below guarantees per call, and the
+// uplink's single sender goroutine guarantees across calls.
+func (c *Client) PublishSeqAsync(topic string, payload []byte, retain bool, session string, seq uint64, done func(dup bool, err error)) error {
+	if topic == "" || strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("broker client: invalid publish topic %q", topic)
+	}
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("broker client: %w: send after close", errFwdConnLost)
+	}
+	c.nextID++
+	id := c.nextID
+	c.fwds = append(c.fwds, fwdWaiter{id: id, done: done})
+	// The send happens under the same lock that allocated the ID so the
+	// frame hits the writer in ID order. The coalescing writer stages
+	// without waiting on the peer, so the hold is bounded by the encode
+	// (plus writer backpressure if megabytes are already queued).
+	err := c.w.WriteFrame(&frame{ID: id, Op: opPub, Topic: topic, Payload: payload, Retain: retain, Session: session, Seq: seq, Fwd: true})
+	if err != nil {
+		c.fwds = c.fwds[:len(c.fwds)-1] // the frame never left; unregister
+		c.mu.Unlock()
+		return fmt.Errorf("broker client: forward: %w: %v", errFwdConnLost, err)
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // Subscribe registers a topic filter; messages arrive on the returned

@@ -4,12 +4,14 @@
 // shard and the federation needs no consensus:
 //
 //   - Ingress forwarding: a publish arriving at a node that does not own
-//     the topic is forwarded synchronously to the owner, carrying the
-//     origin publisher's (session, seq) verbatim. The owner's
-//     publisher-dedup high-water mark is the single dedup point, so a
-//     retry is idempotent no matter which ingress node it lands on — an
-//     ingress node can be killed mid-retry without losing or duplicating
-//     anything the owner accepted.
+//     the topic is staged into a windowed uplink to the owner (up to
+//     fwdWindow in flight, results returned over the binary wire's
+//     cumulative-ack channel), carrying the origin publisher's
+//     (session, seq) verbatim. The owner's publisher-dedup high-water
+//     mark is the single dedup point, so a retry — or a whole window
+//     replayed after an uplink reconnect — is idempotent no matter which
+//     ingress node it lands on; an ingress node can be killed mid-retry
+//     without losing or duplicating anything the owner accepted.
 //
 //   - Egress bridging: a local subscription whose filter reaches topics
 //     owned by a remote shard activates a bridge link — the local node
@@ -91,18 +93,63 @@ type Node struct {
 	links   map[int]*bridgeLink
 	closed  bool
 
-	forwarded     atomic.Uint64
-	forwardErrors atomic.Uint64
-	bridgedIn     atomic.Uint64
-	bridgeDups    atomic.Uint64
-	reconnects    atomic.Uint64
+	forwarded       atomic.Uint64
+	forwardErrors   atomic.Uint64
+	forwardStalls   atomic.Uint64
+	forwardReplayed atomic.Uint64
+	forwardInFlight atomic.Int64
+	bridgedIn       atomic.Uint64
+	bridgeDups      atomic.Uint64
+	bridgeInFlight  atomic.Int64
+	reconnects      atomic.Uint64
 }
 
-// uplink is a cached forward connection to one owner shard with its own
-// lock, so a dead shard's redial never blocks forwards to healthy ones.
+// fwdWindow bounds in-flight forwards per uplink. It matches the acked
+// sessions' delivery window: deep enough to hide the link round trip at
+// federated publish rates, small enough that a dead owner parks at most
+// one window of payloads per uplink.
+const fwdWindow = 256
+
+// fwdEntry is one forward in an uplink's window: the publish, its
+// completion, and where it stands against the current connection. staged,
+// sent and finished are guarded by the uplink's mutex.
+type fwdEntry struct {
+	topic   string
+	payload []byte
+	retain  bool
+	session string
+	seq     uint64
+	done    func(dup bool, err error)
+
+	staged   bool // written to the current connection, awaiting its ack
+	sent     bool // ever written to any connection (a restage is a replay)
+	finished bool // completion delivered; the entry is dead
+}
+
+// uplink is the windowed pipelined forward path to one owner shard: a
+// bounded-window send queue drained by a single sender goroutine that owns
+// dialing, staging and replay. Publishers never wait for the owner's round
+// trip — they park in the window (or, via forwardAsync, not at all) and
+// completions stream back over the cumulative-ack channel. On connection
+// loss, sessioned forwards restage on the next connection: the owner's
+// publisher-dedup high-water mark makes the resend idempotent (the
+// TestFederationForwardDedup argument), while sessionless forwards fail to
+// the caller to preserve their at-most-once contract.
 type uplink struct {
-	mu sync.Mutex
-	c  *Client
+	n     *Node
+	shard int
+	name  string // "uplink:s<local>-s<owner>", the fault-injection target
+
+	slots    chan struct{} // counting semaphore: window admission
+	wake     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu     sync.Mutex
+	c      *Client
+	sendq  []*fwdEntry
+	closed bool
 }
 
 // NewNode wraps a fresh Broker as shard shard of a shards-wide
@@ -130,6 +177,7 @@ func NewNode(shard, shards int, opts NodeOptions) *Node {
 	n.Broker.ForceJSON = opts.ForceJSON
 	n.Broker.owns = n.owns
 	n.Broker.forward = n.forwardPublish
+	n.Broker.forwardAsync = n.forwardAsync
 	n.Broker.onSubscribe = n.onSubscribe
 	n.Broker.onUnsubscribe = n.onUnsubscribe
 	return n
@@ -158,56 +206,277 @@ func (n *Node) OwnerOf(topic string) int {
 
 func (n *Node) owns(topic string) bool { return n.OwnerOf(topic) == n.shard }
 
-// forwardPublish routes a publish for a remote-owned topic to its owner,
-// origin (session, seq) intact. Errors propagate to the publisher, whose
-// idempotent retry (same session and seq) is deduped by the owner.
+// forwardPublish routes a publish for a remote-owned topic to its owner
+// and blocks for the result — the in-process publisher path (Broker.
+// Publish/PublishSeq called directly). It rides the same windowed uplink
+// as the wire ingress; the payload is copied because the window retains
+// entries past this call for replay, while in-process callers own their
+// buffers. Errors propagate to the publisher, whose idempotent retry
+// (same session and seq) is deduped by the owner.
 func (n *Node) forwardPublish(topic string, payload []byte, retain bool, session string, seq uint64) (bool, error) {
-	owner := n.OwnerOf(topic)
-	cl, err := n.uplinkClient(owner)
-	if err != nil {
-		n.forwardErrors.Add(1)
-		return false, fmt.Errorf("broker: forward to shard %d: %w", owner, err)
+	type result struct {
+		dup bool
+		err error
 	}
-	dup, err := cl.PublishSeq(topic, payload, retain, session, seq)
-	if err != nil {
+	ch := make(chan result, 1)
+	n.forwardAsync(topic, append([]byte(nil), payload...), retain, session, seq, func(dup bool, err error) {
+		ch <- result{dup, err}
+	})
+	select {
+	case r := <-ch:
+		return r.dup, r.err
+	case <-time.After(n.opts.DialTimeout):
+		// The forward stays queued (sessioned entries replay and may still
+		// land); the caller sees the same retryable uncertainty a dropped
+		// connection gives, and its seq-carrying retry is deduped.
 		n.forwardErrors.Add(1)
-		return false, fmt.Errorf("broker: forward to shard %d: %w", owner, err)
+		return false, fmt.Errorf("broker: forward to shard %d timed out after %v", n.OwnerOf(topic), n.opts.DialTimeout)
 	}
-	n.forwarded.Add(1)
-	return dup, nil
 }
 
-// uplinkClient returns a live forward connection to a shard, redialing
-// if the cached one died (the remote may have restarted at a new
-// address, so the shard is re-resolved on every dial).
-func (n *Node) uplinkClient(shard int) (*Client, error) {
+// forwardAsync stages a publish for a remote-owned topic into the owner
+// uplink's window and returns; done fires with the owner's result. The
+// payload must be owned by the forward (wire ingress hands over its decode
+// buffer; forwardPublish copies).
+func (n *Node) forwardAsync(topic string, payload []byte, retain bool, session string, seq uint64, done func(dup bool, err error)) {
+	owner := n.OwnerOf(topic)
+	u, err := n.uplinkFor(owner)
+	if err != nil {
+		n.forwardErrors.Add(1)
+		done(false, fmt.Errorf("broker: forward to shard %d: %w", owner, err))
+		return
+	}
+	u.submit(&fwdEntry{topic: topic, payload: payload, retain: retain, session: session, seq: seq, done: done})
+}
+
+// uplinkFor returns (starting if needed) the windowed uplink to a shard.
+func (n *Node) uplinkFor(shard int) (*uplink, error) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.closed {
-		n.mu.Unlock()
 		return nil, errors.New("node closed")
 	}
 	u := n.uplinks[shard]
 	if u == nil {
-		u = &uplink{}
+		u = &uplink{
+			n:     n,
+			shard: shard,
+			name:  fmt.Sprintf("uplink:s%d-s%d", n.shard, shard),
+			slots: make(chan struct{}, fwdWindow),
+			wake:  make(chan struct{}, 1),
+			stop:  make(chan struct{}),
+			done:  make(chan struct{}),
+		}
 		n.uplinks[shard] = u
+		go u.run()
 	}
-	n.mu.Unlock()
+	return u, nil
+}
 
+// submit admits a forward into the window and queues it for the sender.
+// A full window blocks the submitter — on the wire path that is the
+// publishing connection's read loop, so window pressure backpressures the
+// publisher exactly like a slow synchronous owner used to, except it takes
+// fwdWindow outstanding forwards (not one) to get there.
+func (u *uplink) submit(e *fwdEntry) {
+	select {
+	case u.slots <- struct{}{}:
+	default:
+		u.n.forwardStalls.Add(1)
+		select {
+		case u.slots <- struct{}{}:
+		case <-u.stop:
+			u.n.forwardErrors.Add(1)
+			e.done(false, errors.New("broker: node closed"))
+			return
+		}
+	}
 	u.mu.Lock()
-	defer u.mu.Unlock()
-	if u.c != nil && u.c.Err() == nil {
-		return u.c, nil
+	if u.closed {
+		u.mu.Unlock()
+		<-u.slots
+		u.n.forwardErrors.Add(1)
+		e.done(false, errors.New("broker: node closed"))
+		return
 	}
-	if u.c != nil {
-		u.c.Close()
-		u.c = nil
+	u.sendq = append(u.sendq, e)
+	u.mu.Unlock()
+	u.n.forwardInFlight.Add(1)
+	select {
+	case u.wake <- struct{}{}:
+	default:
 	}
-	conn, err := n.dialLink(fmt.Sprintf("uplink:s%d-s%d", n.shard, shard), shard)
+}
+
+// run is the uplink's sender: it owns the connection (dial, redial with
+// backoff, teardown) and is the only goroutine that stages queue entries,
+// which is what keeps wire order equal to queue order — the invariant the
+// cumulative-ack protocol needs.
+func (u *uplink) run() {
+	defer close(u.done)
+	defer u.drain()
+	for {
+		select {
+		case <-u.stop:
+			return
+		case <-u.wake:
+		}
+		for attempt := 0; ; {
+			u.mu.Lock()
+			var todo []*fwdEntry
+			for _, e := range u.sendq {
+				if !e.staged && !e.finished {
+					todo = append(todo, e)
+				}
+			}
+			c := u.c
+			u.mu.Unlock()
+			if len(todo) == 0 {
+				break
+			}
+			if c == nil || c.Err() != nil {
+				if c != nil {
+					c.Close()
+					u.mu.Lock()
+					u.c = nil
+					u.mu.Unlock()
+				}
+				nc, err := u.connect()
+				if err != nil {
+					// The owner is unreachable right now. Sessioned forwards
+					// wait for the next attempt; sessionless ones fail out —
+					// holding a fire-and-forget publish across an outage
+					// would widen its at-most-once contract.
+					u.failUnstagedSessionless(err)
+					attempt++
+					select {
+					case <-u.stop:
+						return
+					case <-time.After(u.n.opts.ReconnectBackoff.Delay(attempt)):
+					}
+					continue
+				}
+				u.mu.Lock()
+				u.c = nc
+				u.mu.Unlock()
+				c = nc
+				attempt = 0
+			}
+			u.stage(c, todo)
+		}
+	}
+}
+
+func (u *uplink) connect() (*Client, error) {
+	conn, err := u.n.dialLink(u.name, u.shard)
 	if err != nil {
 		return nil, err
 	}
-	u.c = NewClientConnOpts(conn, ClientOptions{Timeout: n.opts.DialTimeout, ForceJSON: n.opts.ForceJSON})
-	return u.c, nil
+	return NewClientConnOpts(conn, ClientOptions{Timeout: u.n.opts.DialTimeout, ForceJSON: u.n.opts.ForceJSON}), nil
+}
+
+// stage writes unstaged entries to the connection in queue order. Each
+// completion routes back through complete; a send error means the
+// connection died mid-stage, and the entry takes the same park-or-fail
+// path a conn-loss completion does.
+func (u *uplink) stage(c *Client, todo []*fwdEntry) {
+	for _, e := range todo {
+		u.mu.Lock()
+		if u.closed || u.c != c || e.finished || e.staged {
+			u.mu.Unlock()
+			return
+		}
+		e.staged = true
+		if e.sent {
+			u.n.forwardReplayed.Add(1)
+		}
+		e.sent = true
+		u.mu.Unlock()
+		e := e
+		if err := c.PublishSeqAsync(e.topic, e.payload, e.retain, e.session, e.seq, func(dup bool, err error) {
+			u.complete(e, dup, err)
+		}); err != nil {
+			u.complete(e, false, err)
+			return
+		}
+	}
+}
+
+// complete resolves one window entry. Conn-loss errors on sessioned
+// forwards park the entry for replay instead — the owner's (session, seq)
+// high-water mark dedups the restage, so replay is idempotent; every other
+// outcome releases the window slot and fires the caller's completion.
+func (u *uplink) complete(e *fwdEntry, dup bool, err error) {
+	u.mu.Lock()
+	if e.finished {
+		u.mu.Unlock()
+		return
+	}
+	if err != nil && e.session != "" && !u.closed && errors.Is(err, errFwdConnLost) {
+		e.staged = false
+		u.mu.Unlock()
+		select {
+		case u.wake <- struct{}{}:
+		default:
+		}
+		return
+	}
+	e.finished = true
+	for i, q := range u.sendq {
+		if q == e {
+			u.sendq = append(u.sendq[:i], u.sendq[i+1:]...)
+			break
+		}
+	}
+	u.mu.Unlock()
+	<-u.slots
+	u.n.forwardInFlight.Add(-1)
+	if err != nil {
+		u.n.forwardErrors.Add(1)
+		e.done(false, fmt.Errorf("broker: forward to shard %d: %w", u.shard, err))
+		return
+	}
+	u.n.forwarded.Add(1)
+	e.done(dup, nil)
+}
+
+// failUnstagedSessionless resolves queued sessionless entries with err
+// after a failed dial; sessioned entries stay parked for the next attempt.
+func (u *uplink) failUnstagedSessionless(err error) {
+	u.mu.Lock()
+	var doomed []*fwdEntry
+	for _, e := range u.sendq {
+		if !e.staged && !e.finished && e.session == "" {
+			doomed = append(doomed, e)
+		}
+	}
+	u.mu.Unlock()
+	for _, e := range doomed {
+		u.complete(e, false, err)
+	}
+}
+
+// drain fails every remaining entry on shutdown. Closing the client first
+// flushes staged entries through their conn-loss completions; the closed
+// flag makes those terminal instead of parking for replay.
+func (u *uplink) drain() {
+	u.mu.Lock()
+	u.closed = true
+	c := u.c
+	u.c = nil
+	q := append([]*fwdEntry(nil), u.sendq...)
+	u.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	for _, e := range q {
+		u.complete(e, false, errors.New("broker: node closed"))
+	}
+}
+
+func (u *uplink) stopAndWait() {
+	u.stopOnce.Do(func() { close(u.stop) })
+	<-u.done
 }
 
 // dialLink resolves a shard's current address and dials it through the
@@ -301,25 +570,43 @@ func (n *Node) link(remote int) *bridgeLink {
 	return l
 }
 
-// NodeStats counts the node's federation traffic.
+// NodeStats counts the node's federation traffic. The window gauges and
+// counters expose the pipelined paths' health: sustained ForwardInFlight
+// near the window with climbing ForwardStalls means publishers are gated
+// on a slow owner; ForwardReplayed counts the idempotent restages paid for
+// uplink connection loss.
 type NodeStats struct {
-	Shard         int
-	Forwarded     uint64 // publishes forwarded to owner shards
-	ForwardErrors uint64 // forwards that failed (publisher retries)
-	BridgedIn     uint64 // messages pulled over bridges and republished
-	BridgeDups    uint64 // pulled redeliveries deduped before republish
-	Reconnects    uint64 // bridge-link reconnections
+	Shard           int
+	Forwarded       uint64 // publishes forwarded to owner shards
+	ForwardErrors   uint64 // forwards that failed (publisher retries)
+	ForwardInFlight uint64 // forwards currently in uplink windows
+	ForwardStalls   uint64 // submissions that found their uplink window full
+	ForwardReplayed uint64 // forwards restaged after uplink connection loss
+	BridgedIn       uint64 // messages pulled over bridges and republished
+	BridgeDups      uint64 // pulled redeliveries deduped before republish
+	BridgeInFlight  uint64 // pulled messages republished but not yet acked
+	Reconnects      uint64 // bridge-link reconnections
 }
 
 // NodeStats returns the node's lifetime federation counters.
 func (n *Node) NodeStats() NodeStats {
+	clamp := func(v int64) uint64 {
+		if v < 0 {
+			return 0
+		}
+		return uint64(v)
+	}
 	return NodeStats{
-		Shard:         n.shard,
-		Forwarded:     n.forwarded.Load(),
-		ForwardErrors: n.forwardErrors.Load(),
-		BridgedIn:     n.bridgedIn.Load(),
-		BridgeDups:    n.bridgeDups.Load(),
-		Reconnects:    n.reconnects.Load(),
+		Shard:           n.shard,
+		Forwarded:       n.forwarded.Load(),
+		ForwardErrors:   n.forwardErrors.Load(),
+		ForwardInFlight: clamp(n.forwardInFlight.Load()),
+		ForwardStalls:   n.forwardStalls.Load(),
+		ForwardReplayed: n.forwardReplayed.Load(),
+		BridgedIn:       n.bridgedIn.Load(),
+		BridgeDups:      n.bridgeDups.Load(),
+		BridgeInFlight:  clamp(n.bridgeInFlight.Load()),
+		Reconnects:      n.reconnects.Load(),
 	}
 }
 
@@ -345,12 +632,7 @@ func (n *Node) Close() error {
 		l.stopAndWait()
 	}
 	for _, u := range ups {
-		u.mu.Lock()
-		if u.c != nil {
-			u.c.Close()
-			u.c = nil
-		}
-		u.mu.Unlock()
+		u.stopAndWait()
 	}
 	return n.Broker.Close()
 }

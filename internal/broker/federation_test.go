@@ -376,3 +376,334 @@ func TestNodeRoutingMatchesPlacement(t *testing.T) {
 		}
 	}
 }
+
+// pollStat polls fn until it reports true or the timeout passes — for
+// federation counters that settle asynchronously (completions trail the
+// consumer's receipt by an ack round trip).
+func pollStat(t *testing.T, timeout time.Duration, what string, fn func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !fn() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFederationForwardWindowPartitionHeal drives the windowed uplink
+// through its three edges in one run: a truncated write leaves a
+// sent-but-unacked forward that must replay (ForwardReplayed), a
+// partition with a full queue fills the window until submission stalls
+// (ForwardStalls, ForwardInFlight == fwdWindow), and the heal drains
+// everything exactly once, in order — the owner's publisher-dedup
+// high-water mark absorbing any forward the truncated connection already
+// delivered.
+func TestFederationForwardWindowPartitionHeal(t *testing.T) {
+	const shards = 2
+	inj := faultinject.New(47)
+	f := fastFederation(t, shards, func(s int, o *NodeOptions) {
+		o.Dial = func(link, addr string) (net.Conn, error) {
+			return inj.Dial(link, addr, time.Second)
+		}
+	})
+	wc := wcOnShard(t, shards, 0)
+	topic := "factory/line1/" + wc + "/machA/values/axes/x"
+	link := "uplink:s1-s0"
+
+	// Consume on the owner shard: no bridge in play, the forward path
+	// alone is under test.
+	consumer := newAckedConsumer(t, f, 0, "factory/+/"+wc+"/#", "window-consumer")
+	pub := dialShard(t, f, 1)
+
+	// Prime the uplink with one synchronous forward so the link is up.
+	if dup, err := pub.PublishSeq(topic, []byte("s-1"), false, "win-pub", 1); err != nil || dup {
+		t.Fatalf("prime: dup=%v err=%v", dup, err)
+	}
+	if m := consumer.next(5 * time.Second); m == nil || string(m.Payload) != "s-1" {
+		t.Fatal("primer never arrived")
+	}
+
+	// Every uplink write is now cut mid-frame and drops the connection:
+	// staged forwards park as sent-but-unacked and restage on the redial,
+	// which the next write truncates again — a replay loop that holds
+	// until the partition below freezes the link.
+	inj.Set(link, faultinject.Rule{TruncateRate: 1})
+
+	const total = 300 // > fwdWindow, so admission must stall
+	results := make(chan error, total)
+	go func() {
+		for i := 2; i <= total+1; i++ {
+			payload := []byte(fmt.Sprintf("s-%d", i))
+			if err := pub.PublishSeqAsync(topic, payload, false, "win-pub", uint64(i), func(dup bool, err error) {
+				results <- err
+			}); err != nil {
+				results <- err
+				return
+			}
+		}
+	}()
+
+	stats := func() NodeStats { return f.Nodes[1].NodeStats() }
+	pollStat(t, 10*time.Second, "a forward to replay", func() bool {
+		return stats().ForwardReplayed >= 1
+	})
+	// Hard-partition the link (kills the conn, refuses redials) and lift
+	// the truncation so the heal gets a clean connection.
+	inj.Partition(link, true)
+	inj.Clear(link)
+	pollStat(t, 10*time.Second, "the window to fill and stall", func() bool {
+		st := stats()
+		return st.ForwardStalls >= 1 && st.ForwardInFlight == fwdWindow
+	})
+
+	inj.Partition(link, false)
+	for i := 0; i < total; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatalf("forward %d failed after heal: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("only %d of %d forwards completed after heal", i, total)
+		}
+	}
+
+	// The owner delivered every sequence exactly once, in order — the
+	// replayed window and whatever the truncated writes half-delivered
+	// were deduped at the single dedup point.
+	for next := 2; next <= total+1; next++ {
+		m := consumer.next(10 * time.Second)
+		if m == nil {
+			t.Fatalf("stream stalled at s-%d", next)
+		}
+		if want := fmt.Sprintf("s-%d", next); string(m.Payload) != want {
+			t.Fatalf("got %q, want %q (loss or duplication)", m.Payload, want)
+		}
+	}
+	if m := consumer.next(200 * time.Millisecond); m != nil {
+		t.Fatalf("duplicate delivery %q", m.Payload)
+	}
+
+	pollStat(t, 10*time.Second, "the window to drain", func() bool {
+		return stats().ForwardInFlight == 0
+	})
+	if st := stats(); st.ForwardErrors != 0 || st.Forwarded < total {
+		t.Errorf("forwarded=%d errors=%d, want >=%d forwarded and 0 errors",
+			st.Forwarded, st.ForwardErrors, total)
+	}
+}
+
+// TestFederationBridgeAckLostReplayDedup pins the bridge's crash window:
+// a pulled message is republished locally but its cumulative ack is lost
+// (the write is truncated mid-frame and the connection drops), and the
+// reattach point is wound back to before the message — as a bridge that
+// died between republish and fromSeq bump would reattach. The owner
+// replays the unacked message; the pull session's publisher-dedup
+// high-water mark must drop it (BridgeDups), never deliver it twice.
+func TestFederationBridgeAckLostReplayDedup(t *testing.T) {
+	const shards = 2
+	inj := faultinject.New(53)
+	f := fastFederation(t, shards, func(s int, o *NodeOptions) {
+		o.Dial = func(link, addr string) (net.Conn, error) {
+			return inj.Dial(link, addr, time.Second)
+		}
+	})
+	wc := wcOnShard(t, shards, 0)
+	topic := "factory/line1/" + wc + "/machA/values/axes/x"
+	link := "bridge:s1-s0"
+
+	consumer := newAckedConsumer(t, f, 1, "factory/+/"+wc+"/#", "acklost-consumer")
+	pub := dialShard(t, f, 0)
+	consumer.waitBridge(pub, topic)
+
+	// An acked prefix, fully drained, so the only replay overlap later is
+	// the one message whose ack we destroy.
+	const prefix = 50
+	for i := 1; i <= prefix; i++ {
+		if _, err := pub.PublishSeq(topic, []byte(fmt.Sprintf("s-%d", i)), false, "acklost-pub", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for next := 1; next <= prefix; next++ {
+		m := consumer.next(5 * time.Second)
+		if m == nil {
+			t.Fatalf("prefix stalled at s-%d", next)
+		}
+		if want := fmt.Sprintf("s-%d", next); string(m.Payload) != want {
+			t.Fatalf("got %q, want %q", m.Payload, want)
+		}
+	}
+	n1 := f.Nodes[1]
+	pollStat(t, 5*time.Second, "bridge in-flight to drain", func() bool {
+		return n1.NodeStats().BridgeInFlight == 0
+	})
+	time.Sleep(100 * time.Millisecond) // let the prefix's cumulative ack land
+
+	n1.mu.Lock()
+	l := n1.links[0]
+	n1.mu.Unlock()
+	if l == nil {
+		t.Fatal("no bridge link to the owner")
+	}
+	l.mu.Lock()
+	p := l.pulls[wc]
+	l.mu.Unlock()
+	if p == nil {
+		t.Fatalf("no pull state for %s", wc)
+	}
+	ackedTo := p.fromSeq.Load()
+
+	// The next bridge write — the ack for the message below — is cut
+	// mid-frame and the connection drops. Reads are unaffected, so the
+	// message itself is pulled and republished first: the consumer sees
+	// it, the owner keeps it queued as unacked.
+	inj.Set(link, faultinject.Rule{TruncateRate: 1})
+	if _, err := pub.PublishSeq(topic, []byte("s-51"), false, "acklost-pub", prefix+1); err != nil {
+		t.Fatal(err)
+	}
+	if m := consumer.next(5 * time.Second); m == nil || string(m.Payload) != "s-51" {
+		t.Fatal("s-51 never republished")
+	}
+	pollStat(t, 5*time.Second, "the ack write to truncate", func() bool {
+		return inj.Stats()[link].Truncations >= 1
+	})
+
+	// Hold the link down (redials with the truncate rule still on cannot
+	// reattach — the subscribe write dies too — but the partition makes
+	// that airtight), wait for the dead connection's consumers to drain,
+	// then wind the reattach point back to before s-51.
+	inj.Partition(link, true)
+	inj.Clear(link)
+	pollStat(t, 5*time.Second, "the dead connection to drain", func() bool {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.client == nil
+	})
+	if got := p.fromSeq.Load(); got <= ackedTo {
+		t.Fatalf("fromSeq %d never advanced past %d; s-51 was not republished?", got, ackedTo)
+	}
+	p.fromSeq.Store(ackedTo)
+	dupsBefore := n1.NodeStats().BridgeDups
+
+	inj.Partition(link, false)
+	if _, err := pub.PublishSeq(topic, []byte("s-52"), false, "acklost-pub", prefix+2); err != nil {
+		t.Fatal(err)
+	}
+	m := consumer.next(10 * time.Second)
+	if m == nil {
+		t.Fatal("stream never resumed after heal")
+	}
+	if string(m.Payload) != "s-52" {
+		t.Fatalf("got %q, want s-52 (replayed s-51 leaked through dedup?)", m.Payload)
+	}
+	pollStat(t, 10*time.Second, "the replayed message to be deduped", func() bool {
+		return n1.NodeStats().BridgeDups > dupsBefore
+	})
+	pollStat(t, 10*time.Second, "bridge in-flight to drain", func() bool {
+		return n1.NodeStats().BridgeInFlight == 0
+	})
+	if st := n1.NodeStats(); st.Reconnects == 0 {
+		t.Error("bridge never reconnected; the truncated ack did not sever the link")
+	}
+}
+
+// TestPublishSeqAsyncCumulative exercises the client side of the forward
+// protocol against a plain broker (no owns hook: every topic is owned, so
+// Fwd publishes take the owner's answer path): completions are FIFO over
+// the cumulative-ack channel, a (session, seq) resend resolves dup=true
+// through the explicit-ack escape, and a JSON-pinned client degrades to
+// per-frame acks with identical semantics.
+func TestPublishSeqAsyncCumulative(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		json bool
+	}{{"binary", false}, {"json", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := New()
+			if err := b.Serve("127.0.0.1:0"); err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			sub, err := DialClient(b.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Close()
+			_, ch, err := sub.Subscribe("fwd/#")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pub, err := DialClientWith(b.Addr(), ClientOptions{ForceJSON: tc.json})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pub.Close()
+
+			if err := pub.PublishSeqAsync("fwd/+/bad", nil, false, "s", 1, func(bool, error) {}); err == nil {
+				t.Fatal("wildcard publish topic accepted")
+			}
+
+			const n = 10
+			type res struct {
+				i   int
+				dup bool
+				err error
+			}
+			results := make(chan res, n+1)
+			for i := 1; i <= n; i++ {
+				i := i
+				payload := []byte(fmt.Sprintf("a-%d", i))
+				if err := pub.PublishSeqAsync("fwd/async/x", payload, false, "async-pub", uint64(i), func(dup bool, err error) {
+					results <- res{i, dup, err}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for want := 1; want <= n; want++ {
+				select {
+				case r := <-results:
+					if r.err != nil {
+						t.Fatalf("forward %d: %v", r.i, r.err)
+					}
+					if r.dup {
+						t.Fatalf("forward %d reported dup on first delivery", r.i)
+					}
+					if r.i != want {
+						t.Fatalf("completion %d arrived before %d; cumulative completion must be FIFO", r.i, want)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatalf("completion %d never arrived", want)
+				}
+			}
+
+			// A retry of an accepted (session, seq) resolves dup — the
+			// explicit per-frame ack overriding the cumulative channel.
+			if err := pub.PublishSeqAsync("fwd/async/x", []byte("retry"), false, "async-pub", n, func(dup bool, err error) {
+				results <- res{0, dup, err}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case r := <-results:
+				if r.err != nil || !r.dup {
+					t.Fatalf("retry: dup=%v err=%v, want dup=true", r.dup, r.err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("retry completion never arrived")
+			}
+
+			for i := 1; i <= n; i++ {
+				m := recvMsg(t, ch, "delivery")
+				if want := fmt.Sprintf("a-%d", i); string(m.Payload) != want {
+					t.Fatalf("got %q, want %q", m.Payload, want)
+				}
+			}
+			select {
+			case m := <-ch:
+				t.Fatalf("duplicate delivery %q", m.Payload)
+			case <-time.After(200 * time.Millisecond):
+			}
+		})
+	}
+}

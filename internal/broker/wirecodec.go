@@ -49,6 +49,7 @@ const (
 	bfAcked
 	bfNoAck
 	bfBinary
+	bfFwd
 )
 
 // WireOp implements wire.BinaryFrame: the frame's binary op byte, or 0 for
@@ -77,6 +78,9 @@ func (f *frame) AppendBinaryBody(dst []byte) []byte {
 	}
 	if f.Binary {
 		flags |= bfBinary
+	}
+	if f.Fwd {
+		flags |= bfFwd
 	}
 	return appendFrameTail(dst, f.FromSeq, flags, f.Topic, f.Session, f.Error, f.Payload)
 }
@@ -115,6 +119,7 @@ func (f *frame) DecodeBinaryBody(op byte, body []byte) error {
 	f.Acked = flags&bfAcked != 0
 	f.NoAck = flags&bfNoAck != 0
 	f.Binary = flags&bfBinary != 0
+	f.Fwd = flags&bfFwd != 0
 	return nil
 }
 

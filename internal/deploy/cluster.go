@@ -718,7 +718,10 @@ func (c *Cluster) BrokerAckStats() (redelivered, refused uint64) {
 // ShardBrokerStats is one federated broker node's breakdown: the core
 // pub/sub and acked-delivery counters plus the federation traffic
 // counters (forwards out, bridged messages in, deduped redeliveries,
-// link reconnects).
+// link reconnects) and the pipelined-window gauges (forward in-flight
+// depth, window stalls, replayed forwards, bridge in-flight depth) the
+// embedded NodeStats carries — factorysim prints them per shard as
+// fwdWindow=inflight/stalls/replayed and bridgeInFlight.
 type ShardBrokerStats struct {
 	broker.NodeStats
 	Published     uint64

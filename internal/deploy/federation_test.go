@@ -327,6 +327,18 @@ func TestFederatedChaosAuditZeroLoss(t *testing.T) {
 	if byShard[consumer].Reconnects == 0 {
 		t.Error("consumer shard's bridge never reconnected; the partition did not bite")
 	}
+	// The pipelined windows must drain once the audit's traffic stops: a
+	// residual in-flight forward or unacked bridge republish would mean a
+	// completion was lost somewhere in the chaos schedule. Completions
+	// trail the consumer's last receipt by an ack round trip, so poll.
+	waitFor(t, 10*time.Second, "federation windows drained", func() bool {
+		for _, s := range cluster.BrokerShardStats() {
+			if s.ForwardInFlight != 0 || s.BridgeInFlight != 0 {
+				return false
+			}
+		}
+		return true
+	})
 	p, _ := cluster.PodStatus(ingressPod)
 	if p.Restarts < 1 {
 		t.Errorf("ingress broker restarted %d times, want >= 1", p.Restarts)
