@@ -4,9 +4,10 @@ GO ?= go
 # (full model analysis + generation, the 1x-8x scale sweep, the language
 # front end), the data plane (broker fan-out, framed wire, historian
 # ingest), the durability tier (WAL append, crash recovery), the historian
-# serving tier (concurrent cached aggregate queries) and the federated
-# plant at 1000+ machines (cross-shard forward + bridge path).
-BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput|BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkHistorianQuery|BenchmarkWALAppend|BenchmarkHistorianRecovery|BenchmarkFederatedScale
+# serving tier (concurrent cached aggregate queries), the federated
+# plant at 1000+ machines (cross-shard forward + bridge path) and the
+# operations tier (campaign planner/executor steps/s over the fleet).
+BENCH_PATTERN ?= BenchmarkTable1|BenchmarkAblationScale|BenchmarkParserThroughput|BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkHistorianQuery|BenchmarkWALAppend|BenchmarkHistorianRecovery|BenchmarkFederatedScale|BenchmarkCampaignThroughput
 DATAPLANE_PATTERN = BenchmarkBrokerFanout|BenchmarkBrokerWire|BenchmarkHistorianIngest|BenchmarkHistorianQuery|BenchmarkWALAppend|BenchmarkHistorianRecovery
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 # Benchmark repetitions: BENCH_COUNT > 1 runs each benchmark N times and
@@ -19,7 +20,7 @@ BENCH_COUNT ?= 1
 # with runner load far beyond the 15% threshold.
 BENCH_LATENCY_BOUND ?= ^BenchmarkBrokerWireSync$$
 
-.PHONY: build test check soak soak-federated soak-query bench benchdiff bench-full bench-dataplane bench-smoke fuzz
+.PHONY: build test check soak soak-federated soak-query soak-campaign bench benchdiff bench-full bench-dataplane bench-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -79,6 +80,18 @@ soak-query:
 		./internal/deploy/
 	$(GO) test -race -count=1 -run 'TestQuery' ./internal/historian/
 
+# Campaign soak: the operations tier under the race detector — the
+# exact-completion chaos audit (machine kill mid-campaign + broker
+# partition + reconfigure under load, exactly N parts reconciled against
+# the historian), plus the executor suite (replanning, shortfall,
+# restart-without-double-dispatch). Run before touching the planner, the
+# executor or the ledger publisher.
+soak-campaign:
+	$(GO) test -race -count=1 -v \
+		-run 'TestCampaignChaosAuditExactCompletion' \
+		./internal/deploy/
+	$(GO) test -race -count=1 ./internal/ops/
+
 # Tier-3: run the tier-1 benchmarks, snapshot them to BENCH_<date>.json,
 # and fail on a >15% ns/op regression against the latest committed snapshot.
 bench:
@@ -107,6 +120,7 @@ bench-dataplane:
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkBrokerWire|BenchmarkBrokerFanout|BenchmarkHistorianQuery' -benchtime=100x -benchmem .
 	$(GO) test -run='^$$' -bench='BenchmarkFederatedScale/shards=4/machines=1000$$' -benchtime=100x -benchmem .
+	$(GO) test -run='^$$' -bench='BenchmarkCampaignThroughput/shards=1$$' -benchtime=100x -benchmem .
 
 # Every benchmark in the repo, including the slow end-to-end deploy loops.
 bench-full:

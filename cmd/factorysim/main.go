@@ -28,6 +28,8 @@ import (
 	"github.com/smartfactory/sysml2conf/internal/deploy"
 	"github.com/smartfactory/sysml2conf/internal/faultinject"
 	"github.com/smartfactory/sysml2conf/internal/icelab"
+	"github.com/smartfactory/sysml2conf/internal/isa95"
+	"github.com/smartfactory/sysml2conf/internal/ops"
 	"github.com/smartfactory/sysml2conf/internal/som"
 )
 
@@ -45,11 +47,13 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durable historian state directory (WAL + snapshots); historians recover from it across restarts")
 		shards     = flag.Int("shards", 1, "federate the message broker across n nodes (workcells placed by consistent hash; with -audit the samples enter through a non-owner shard and cross a bridge)")
 		queryAddr  = flag.String("query-addr", "", "serve the historian HTTP query API (/series, /range, /aggregate) on this address, e.g. 127.0.0.1:9090 or :0 for an ephemeral port")
+		campaign   = flag.Int("campaign", 0, "run a production campaign of n parts through the operations planner/executor (with -chaos it rides out the injected faults via replanning)")
+		campPart   = flag.String("campaign-part", "flange", "part name produced by -campaign; the recipe is synthesized from the modeled machine capabilities")
 	)
 	flag.Parse()
 
 	start := time.Now()
-	factory, _, err := icelab.Build(icelab.Scaled(*scale))
+	factory, model, err := icelab.Build(icelab.Scaled(*scale))
 	if err != nil {
 		fatal(err)
 	}
@@ -117,6 +121,52 @@ func main() {
 		fmt.Printf("query API: http://%s  (try /series, /aggregate?series=<name>&window=10s, /stats)\n", bound)
 	}
 
+	// Launch the production campaign concurrently with the data flow (and
+	// any chaos), so replanning is exercised against whatever the run
+	// throws at it. The plan-vs-actual audit needs the query API; start an
+	// ephemeral one when the user did not ask for an address.
+	type campaignResult struct {
+		rep *ops.Report
+		err error
+	}
+	var campaignEx *ops.Executor
+	var campaignDone chan campaignResult
+	if *campaign > 0 {
+		if cluster.QueryAddr() == "" {
+			bound, err := cluster.StartQueryServer("127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("query API: http://%s (auto-started for the campaign audit)\n", bound)
+		}
+		hier, err := isa95.Extract(model)
+		if err != nil {
+			fatal(err)
+		}
+		inv := ops.InventoryFromIntermediate(bundle.Intermediate)
+		recipe, err := ops.BuildRecipe(inv, *campPart, 4)
+		if err != nil {
+			fatal(err)
+		}
+		ex, plan, err := cluster.NewCampaign(bundle.Intermediate, hier,
+			ops.Goal{Part: *campPart, Count: *campaign}, recipe, ops.ExecOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		var opNames []string
+		for _, op := range recipe.Operations {
+			opNames = append(opNames, op.Capability)
+		}
+		fmt.Printf("campaign %s: %d parts via %s (%d steps)\n",
+			plan.Campaign, plan.Parts, strings.Join(opNames, " -> "), len(plan.Steps))
+		campaignEx = ex
+		campaignDone = make(chan campaignResult, 1)
+		go func() {
+			rep, err := ex.Run()
+			campaignDone <- campaignResult{rep, err}
+		}()
+	}
+
 	// A SIGINT drains the cluster in dependency order instead of dying
 	// mid-flight.
 	sigCh := make(chan os.Signal, 1)
@@ -161,10 +211,30 @@ func main() {
 	}
 
 	if interrupted {
+		if campaignEx != nil {
+			campaignEx.Halt()
+			<-campaignDone
+		}
 		cluster.Shutdown()
 		fleet.Close()
 		fmt.Println("drained cleanly")
 		return
+	}
+
+	if campaignEx != nil {
+		var cr campaignResult
+		select {
+		case cr = <-campaignDone:
+		case <-time.After(5 * time.Minute):
+			campaignEx.Halt()
+			cr = <-campaignDone
+		}
+		if cr.err != nil {
+			fmt.Printf("campaign: WARNING: %v\n", cr.err)
+		}
+		if !reportCampaign(cluster, bundle, campaignEx, cr.rep) {
+			os.Exit(1)
+		}
 	}
 
 	if *audit {
@@ -285,6 +355,52 @@ func runProcess(cluster *deploy.Cluster, bundle *codegen.Bundle) {
 	for _, sr := range result.Steps {
 		fmt.Printf("  %-28s ok=%v results=%v\n", sr.Step.Machine+"."+sr.Step.Service, sr.Reply.OK, sr.Reply.Results)
 	}
+}
+
+// reportCampaign prints the campaign outcome and reconciles the ledger
+// against the historian through the query API: every completed step must
+// appear exactly once. A shortfall (parts abandoned because a capability
+// ran out of machines) is a graceful outcome and is reported as such; books
+// that do not balance fail the run.
+func reportCampaign(cluster *deploy.Cluster, bundle *codegen.Bundle, ex *ops.Executor, rep *ops.Report) bool {
+	if rep == nil {
+		fmt.Println("campaign: FAIL: no report")
+		return false
+	}
+	fmt.Printf("campaign %s: %d/%d parts completed in %v (%d failed, halted=%v)\n",
+		rep.Campaign, rep.Completed, rep.Parts, rep.Elapsed.Round(time.Millisecond), rep.Failed, rep.Halted)
+	fmt.Printf("  steps: %d completed (%d restored), %d dispatched, %d rebound, %d failed, %d cancelled\n",
+		rep.StepsCompleted, rep.StepsRestored, rep.StepsDispatched, rep.StepsRebound, rep.StepsFailed, rep.StepsCancelled)
+	var machines []string
+	for name := range rep.PerMachine {
+		machines = append(machines, name)
+	}
+	sort.Strings(machines)
+	for _, name := range machines {
+		fmt.Printf("  %-20s %d steps\n", name, rep.PerMachine[name])
+	}
+	if len(rep.MachinesLost) > 0 {
+		fmt.Printf("  machines lost during the run: %s\n", strings.Join(rep.MachinesLost, ", "))
+	}
+	for _, sf := range rep.Shortfall {
+		fmt.Printf("  shortfall: part %d at %s: no machine offers %q (%s)\n",
+			sf.Part, sf.Step, sf.Capability, sf.Reason)
+	}
+
+	audit, err := ops.AuditCampaign(cluster.QueryAddr(), ex.Ledger(), ops.StoreMap(bundle.Intermediate), 30*time.Second)
+	if err != nil {
+		fmt.Printf("campaign audit: FAIL: %v\n", err)
+		return false
+	}
+	if !audit.OK {
+		fmt.Printf("campaign audit: FAIL: plan-vs-actual books do not balance:\n")
+		for _, m := range audit.Mismatches {
+			fmt.Printf("  %s\n", m)
+		}
+		return false
+	}
+	fmt.Printf("campaign audit: PASS: %d ledger completions reconciled against the historian exactly once\n", audit.Ledger)
+	return true
 }
 
 // startAudit publishes count numbered samples through the acked pipeline to

@@ -1,0 +1,48 @@
+package deploy
+
+import (
+	"fmt"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/isa95"
+	"github.com/smartfactory/sysml2conf/internal/ops"
+)
+
+// NewCampaign compiles a production campaign against the deployed plant
+// and returns an executor wired into the cluster: machine endpoints
+// resolve through the cluster's resolver, the ledger publishes to the
+// (possibly restarting, possibly federated) broker tier, and the optional
+// ISA-95 hierarchy cross-checks the capability inventory against the
+// modeled plant before anything is bound.
+func (c *Cluster) NewCampaign(in *codegen.Intermediate, hier *isa95.Node, goal ops.Goal, recipe ops.Recipe, opts ops.ExecOptions) (*ops.Executor, *ops.Plan, error) {
+	inv := ops.InventoryFromIntermediate(in)
+	if err := ops.ValidateInventory(hier, inv); err != nil {
+		return nil, nil, err
+	}
+	plan, err := ops.Compile(goal, recipe, inv)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	drivers := make(map[string]codegen.DriverConfig, len(in.Machines))
+	for _, mc := range in.Machines {
+		drivers[mc.Machine] = mc.Driver
+	}
+	if opts.Resolver == nil {
+		resolver := c.MachineEndpoints
+		if resolver == nil {
+			return nil, nil, fmt.Errorf("deploy: cluster has no MachineEndpoints resolver for campaign dispatch")
+		}
+		opts.Resolver = func(machine string) (string, error) {
+			dc, ok := drivers[machine]
+			if !ok {
+				return "", fmt.Errorf("deploy: no driver config for machine %q", machine)
+			}
+			return resolver(machine, dc)
+		}
+	}
+	if opts.BrokerAddr == nil {
+		opts.BrokerAddr = c.BrokerAddr
+	}
+	return ops.NewExecutor(plan, opts), plan, nil
+}

@@ -127,6 +127,30 @@ func levelOf(e *sema.Element) (Level, bool) {
 	return 0, false
 }
 
+// MachineWorkcells returns machine name → enclosing workcell name for
+// every Machine node in the hierarchy. Operations planners use it to
+// cross-check a capability inventory against the modeled equipment
+// hierarchy (a machine offered for binding must actually exist in the
+// plant, in the workcell the inventory claims).
+func MachineWorkcells(root *Node) map[string]string {
+	out := map[string]string{}
+	var walk func(n *Node, workcell string)
+	walk = func(n *Node, workcell string) {
+		if n.Level == LevelWorkcell {
+			workcell = n.Name
+		}
+		if n.Level == LevelMachine {
+			out[n.Name] = workcell
+			return
+		}
+		for _, c := range n.Children {
+			walk(c, workcell)
+		}
+	}
+	walk(root, "")
+	return out
+}
+
 // Problem is one methodology-compliance finding.
 type Problem struct {
 	Path string // qualified name of the offending element

@@ -41,6 +41,31 @@ type Spec struct {
 	Methods []MethodSpec `json:"methods"`
 }
 
+// ServiceError is a machine-reported failure: the machine answered the
+// request ("ERR ..." on the wire) but the service itself failed. Callers
+// use it to separate application failures from transport failures — a
+// ServiceError means the machine is alive (retrying elsewhere won't help),
+// while any other error from Conn means the machine is unreachable and the
+// caller should rebind or reconnect.
+type ServiceError struct {
+	Machine string // empty on the driver side (the wire doesn't carry it)
+	Msg     string
+}
+
+func (e *ServiceError) Error() string {
+	if e.Machine != "" {
+		return fmt.Sprintf("machinesim %s: %s", e.Machine, e.Msg)
+	}
+	return e.Msg
+}
+
+// IsServiceError reports whether err is a machine-level (application)
+// failure rather than a transport failure.
+func IsServiceError(err error) bool {
+	var se *ServiceError
+	return errors.As(err, &se)
+}
+
 // Machine is a running emulator.
 type Machine struct {
 	// ListenWrapper, when set before Serve, decorates the TCP listener —
@@ -52,7 +77,9 @@ type Machine struct {
 
 	mu        sync.RWMutex
 	values    map[string]any
-	calls     map[string]int // per-method call counts
+	calls     map[string]int        // per-method call counts
+	faults    map[string]*callFault // per-method injected failures
+	callDelay time.Duration         // simulated per-call work time
 	tick      int
 	busyUntil time.Time
 
@@ -69,6 +96,7 @@ func New(spec Spec) *Machine {
 		spec:    spec,
 		values:  map[string]any{},
 		calls:   map[string]int{},
+		faults:  map[string]*callFault{},
 		conns:   map[net.Conn]struct{}{},
 		stopGen: make(chan struct{}),
 	}
@@ -157,11 +185,47 @@ func (m *Machine) Set(name string, value any) error {
 	return nil
 }
 
+// callFault is an injected per-method failure budget (see FailNextCalls).
+type callFault struct {
+	msg string
+	n   int
+}
+
+// FailNextCalls makes the next n invocations of method fail with a
+// ServiceError carrying msg. The machine still answers the request — on
+// the wire the reply is "ERR msg" — so drivers observe an application
+// failure, not a transport failure. Fault-injection hook for tests.
+func (m *Machine) FailNextCalls(method, msg string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		delete(m.faults, method)
+		return
+	}
+	m.faults[method] = &callFault{msg: msg, n: n}
+}
+
+// SetCallDelay makes every service call take at least d — simulated work
+// time, so campaigns span wall-clock time proportional to their step
+// count instead of completing at wire speed.
+func (m *Machine) SetCallDelay(d time.Duration) {
+	m.mu.Lock()
+	m.callDelay = d
+	m.mu.Unlock()
+}
+
 // Call invokes a machine service. Built-in semantics: every machine
 // answers is_ready (busy after any other call for 50 ms), start_program /
 // stop / reset mark state transitions, and anything else declared in the
-// spec echoes success with its call count.
+// spec echoes success with its call count. Failures injected with
+// FailNextCalls surface as *ServiceError.
 func (m *Machine) Call(name string, args []any) ([]any, error) {
+	m.mu.RLock()
+	delay := m.callDelay
+	m.mu.RUnlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	var spec *MethodSpec
 	for i := range m.spec.Methods {
 		if m.spec.Methods[i].Name == name {
@@ -175,6 +239,13 @@ func (m *Machine) Call(name string, args []any) ([]any, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.calls[name]++
+	if f := m.faults[name]; f != nil {
+		f.n--
+		if f.n <= 0 {
+			delete(m.faults, name)
+		}
+		return nil, &ServiceError{Machine: m.spec.Name, Msg: f.msg}
+	}
 	now := time.Now()
 	switch {
 	case name == "is_ready" || name == "isReady":
@@ -364,20 +435,38 @@ func (m *Machine) dispatch(line string) string {
 // ---------------------------------------------------------------------------
 // Protocol client (the "driver" side)
 
-// Conn is a driver-side connection to a simulated machine.
+// DefaultCallTimeout bounds each driver-side round trip when the caller
+// does not configure one: a hung or partitioned machine server fails the
+// call instead of blocking the driver forever.
+const DefaultCallTimeout = 3 * time.Second
+
+// Conn is a driver-side connection to a simulated machine. Calls are
+// serialized (one request in flight per connection, like the real vendor
+// protocols) and each round trip is bounded by the call timeout.
 type Conn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	mu   sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	mu      sync.Mutex
+	timeout time.Duration
 }
 
-// DialMachine connects to a machine endpoint.
+// DialMachine connects to a machine endpoint. timeout bounds the dial;
+// per-call round trips default to DefaultCallTimeout (SetCallTimeout
+// adjusts it).
 func DialMachine(addr string, timeout time.Duration) (*Conn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("machinesim driver: dial %s: %w", addr, err)
 	}
-	return &Conn{conn: c, r: bufio.NewReader(c)}, nil
+	return &Conn{conn: c, r: bufio.NewReader(c), timeout: DefaultCallTimeout}, nil
+}
+
+// SetCallTimeout bounds every subsequent round trip on this connection.
+// d <= 0 disables the deadline (the pre-deadline blocking behavior).
+func (c *Conn) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
 }
 
 // Close drops the connection.
@@ -386,6 +475,10 @@ func (c *Conn) Close() error { return c.conn.Close() }
 func (c *Conn) roundTrip(line string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if _, err := c.conn.Write([]byte(line + "\n")); err != nil {
 		return "", err
 	}
@@ -398,7 +491,8 @@ func (c *Conn) roundTrip(line string) (string, error) {
 		return body, nil
 	}
 	if msg, ok := strings.CutPrefix(resp, "ERR "); ok {
-		return "", errors.New(msg)
+		// The machine answered: an application failure, not a transport one.
+		return "", &ServiceError{Msg: msg}
 	}
 	return "", fmt.Errorf("machinesim driver: malformed response %q", resp)
 }

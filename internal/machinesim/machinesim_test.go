@@ -1,6 +1,8 @@
 package machinesim
 
 import (
+	"errors"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -225,5 +227,99 @@ func TestMalformedProtocolLines(t *testing.T) {
 		if !strings.HasPrefix(resp, wantPrefix) {
 			t.Errorf("dispatch(%q) = %q, want prefix %q", line, resp, wantPrefix)
 		}
+	}
+}
+
+// TestCallDeadlineOnHungServer is the regression test for the driver-side
+// call deadline: a server that accepts connections but never answers must
+// fail the call within the configured timeout instead of blocking forever.
+func TestCallDeadlineOnHungServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Read and discard forever; never reply.
+			go func() {
+				buf := make([]byte, 256)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	c, err := DialMachine(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetCallTimeout(150 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Call("is_ready")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against a hung server must fail")
+	}
+	if IsServiceError(err) {
+		t.Fatalf("deadline expiry must look like a transport failure, got ServiceError %v", err)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net timeout error, got %T %v", err, err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("call blocked %v despite a 150ms deadline", elapsed)
+	}
+}
+
+// TestServiceErrorTyped verifies the driver can tell an application
+// failure (the machine answered "ERR") from a transport failure: the
+// former surfaces as *ServiceError, the latter does not.
+func TestServiceErrorTyped(t *testing.T) {
+	m, c := startMachine(t)
+
+	// Unknown method: the machine answers ERR — an application failure.
+	_, err := c.Call("no_such_method")
+	if !IsServiceError(err) {
+		t.Fatalf("ERR reply should be a ServiceError, got %T %v", err, err)
+	}
+
+	// Injected call fault: still a ServiceError, with the injected message.
+	m.FailNextCalls("get_tool", "gripper jammed", 1)
+	_, err = c.Call("get_tool")
+	var se *ServiceError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "gripper jammed") {
+		t.Fatalf("injected fault should be a ServiceError carrying the message, got %v", err)
+	}
+	// The budget is consumed: the next call succeeds.
+	if _, err := c.Call("get_tool"); err != nil {
+		t.Fatalf("fault budget exhausted, call should succeed: %v", err)
+	}
+
+	// Server-side, Call returns the typed error directly too.
+	m.FailNextCalls("get_tool", "jam", 2)
+	if _, err := m.Call("get_tool", nil); !IsServiceError(err) {
+		t.Fatalf("server-side injected fault should be ServiceError, got %v", err)
+	}
+	m.FailNextCalls("get_tool", "", 0) // clear the remaining budget
+	if _, err := m.Call("get_tool", nil); err != nil {
+		t.Fatalf("cleared fault should not fire: %v", err)
+	}
+
+	// Transport failure (machine gone) is NOT a ServiceError.
+	m.Close()
+	_, err = c.Call("get_tool")
+	if err == nil || IsServiceError(err) {
+		t.Fatalf("closed machine should yield a transport error, got %v", err)
 	}
 }

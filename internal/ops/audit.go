@@ -1,0 +1,193 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SeriesAudit reconciles one campaign series (one machine's ledger topic)
+// against the historian.
+type SeriesAudit struct {
+	Machine    string
+	Store      string
+	Series     string
+	Ledger     int // completed steps the ledger attributes to the machine
+	Aggregated int // step events the historian's /aggregate windows count
+	Raw        int // raw points the historian's /range returns
+	Duplicates int // step IDs appearing more than once in the historian
+	Missing    int // ledger step IDs absent from the historian
+}
+
+// AuditResult is the plan-vs-actual reconciliation for a campaign.
+type AuditResult struct {
+	OK         bool
+	PerSeries  []SeriesAudit
+	Ledger     int // total ledger completions
+	Historian  int // total historian step events (raw)
+	Mismatches []string
+}
+
+// AuditCampaign reconciles a campaign ledger against the historian query
+// API at baseAddr (host:port): per machine series, the /aggregate window
+// counts and the /range step IDs must match the ledger exactly — no lost
+// and no duplicated steps. storeOf maps machine name → historian store
+// (see StoreMap). Ingestion is asynchronous, so the audit polls until the
+// books balance or wait expires; the last result is returned either way.
+func AuditCampaign(baseAddr string, led *Ledger, storeOf map[string]string, wait time.Duration) (*AuditResult, error) {
+	deadline := time.Now().Add(wait)
+	var res *AuditResult
+	var err error
+	for {
+		res, err = auditOnce(baseAddr, led, storeOf)
+		if err == nil && res.OK {
+			return res, nil
+		}
+		if time.Now().After(deadline) {
+			return res, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func auditOnce(baseAddr string, led *Ledger, storeOf map[string]string) (*AuditResult, error) {
+	first, _ := led.Span()
+	if first.IsZero() {
+		return &AuditResult{OK: true}, nil
+	}
+	from := first.Add(-5 * time.Second)
+	to := time.Now().Add(5 * time.Second)
+
+	perTopic := led.PerTopic()
+	topics := make([]string, 0, len(perTopic))
+	for t := range perTopic {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+
+	res := &AuditResult{OK: true}
+	for _, topic := range topics {
+		stepIDs := perTopic[topic]
+		machine := machineFromTopic(topic)
+		store, ok := storeOf[machine]
+		if !ok {
+			return nil, fmt.Errorf("ops audit: no historian store maps machine %q", machine)
+		}
+		sa := SeriesAudit{Machine: machine, Store: store, Series: topic, Ledger: len(stepIDs)}
+
+		agg, err := queryAggregate(baseAddr, store, topic, from, to)
+		if err != nil {
+			return nil, err
+		}
+		sa.Aggregated = agg
+
+		seen, err := queryRangeSteps(baseAddr, store, topic, from, to)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range seen {
+			sa.Raw += n
+			if n > 1 {
+				sa.Duplicates += n - 1
+			}
+		}
+		for _, id := range stepIDs {
+			if seen[id] == 0 {
+				sa.Missing++
+			}
+		}
+
+		res.Ledger += sa.Ledger
+		res.Historian += sa.Raw
+		if sa.Aggregated != sa.Ledger || sa.Raw != sa.Ledger || sa.Duplicates > 0 || sa.Missing > 0 {
+			res.OK = false
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+				"%s: ledger=%d aggregate=%d raw=%d dup=%d missing=%d",
+				topic, sa.Ledger, sa.Aggregated, sa.Raw, sa.Duplicates, sa.Missing))
+		}
+		res.PerSeries = append(res.PerSeries, sa)
+	}
+	return res, nil
+}
+
+// machineFromTopic extracts the machine segment of a campaign topic
+// (factory/<line>/<workcell>/<machine>/values/_campaign/<id>).
+func machineFromTopic(topic string) string {
+	seg := 0
+	start := 0
+	for i := 0; i < len(topic); i++ {
+		if topic[i] == '/' {
+			seg++
+			if seg == 3 {
+				start = i + 1
+			}
+			if seg == 4 {
+				return topic[start:i]
+			}
+		}
+	}
+	return ""
+}
+
+func queryAggregate(baseAddr, store, series string, from, to time.Time) (int, error) {
+	u := fmt.Sprintf("http://%s/aggregate?store=%s&series=%s&from=%s&to=%s&window=1s",
+		baseAddr, url.QueryEscape(store), url.QueryEscape(series),
+		strconv.FormatInt(from.UnixNano(), 10), strconv.FormatInt(to.UnixNano(), 10))
+	var body struct {
+		Windows []struct {
+			Count int `json:"count"`
+		} `json:"windows"`
+	}
+	if err := getJSON(u, &body); err != nil {
+		return 0, fmt.Errorf("ops audit: aggregate %s/%s: %w", store, series, err)
+	}
+	total := 0
+	for _, w := range body.Windows {
+		total += w.Count
+	}
+	return total, nil
+}
+
+func queryRangeSteps(baseAddr, store, series string, from, to time.Time) (map[string]int, error) {
+	u := fmt.Sprintf("http://%s/range?store=%s&series=%s&from=%s&to=%s",
+		baseAddr, url.QueryEscape(store), url.QueryEscape(series),
+		strconv.FormatInt(from.UnixNano(), 10), strconv.FormatInt(to.UnixNano(), 10))
+	var body struct {
+		Points []struct {
+			Payload json.RawMessage `json:"payload"`
+		} `json:"points"`
+	}
+	if err := getJSON(u, &body); err != nil {
+		return nil, fmt.Errorf("ops audit: range %s/%s: %w", store, series, err)
+	}
+	seen := map[string]int{}
+	for _, p := range body.Points {
+		var ev struct {
+			Step string `json:"step"`
+		}
+		if err := json.Unmarshal(p.Payload, &ev); err != nil || ev.Step == "" {
+			seen["<malformed>"]++
+			continue
+		}
+		seen[ev.Step]++
+	}
+	return seen, nil
+}
+
+func getJSON(u string, out any) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

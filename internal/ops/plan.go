@@ -1,0 +1,292 @@
+// Package ops turns a modeled plant plus a production goal into an
+// executable operations plan and runs it against the simulated machine
+// fleet — the ISA-95 "operations management" layer the configuration
+// papers stop short of. The planner compiles a goal ("produce N parts of
+// type X") and a recipe (an ordered list of capability-typed operations)
+// into a DAG of steps bound to concrete machines by capability; the
+// executor schedules ready steps concurrently over machinesim service
+// calls with per-step deadlines, retry/backoff, failure-aware replanning
+// (machine loss rebinds steps to surviving machines with the same
+// capability) and an idempotent ledger published through the broker so
+// the historian records every completion exactly once.
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/smartfactory/sysml2conf/internal/codegen"
+	"github.com/smartfactory/sysml2conf/internal/isa95"
+)
+
+// Operation is one capability-typed unit of work in a recipe. Capability
+// names a machine service; the planner binds the operation to any machine
+// offering it.
+type Operation struct {
+	Name       string // human label, e.g. "pick"
+	Capability string // required machine service, e.g. "pick"
+	Args       []any  // service arguments (may be nil)
+}
+
+// Recipe is the ordered operation list that produces one part. Operations
+// run strictly in order per part; parts flow through the plant
+// concurrently.
+type Recipe struct {
+	Part       string
+	Operations []Operation
+}
+
+// Goal is a production campaign request.
+type Goal struct {
+	Campaign string // unique campaign ID; derived from Part when empty
+	Part     string
+	Count    int
+}
+
+// MachineInfo is one machine in the capability inventory.
+type MachineInfo struct {
+	Name         string
+	Workcell     string
+	Line         string
+	Capabilities []string
+}
+
+// Has reports whether the machine offers the capability.
+func (m MachineInfo) Has(cap string) bool {
+	for _, c := range m.Capabilities {
+		if c == cap {
+			return true
+		}
+	}
+	return false
+}
+
+// InventoryFromIntermediate derives the capability inventory from the
+// generated intermediate configuration: one entry per machine, its
+// capabilities the services the model declares for it.
+func InventoryFromIntermediate(in *codegen.Intermediate) []MachineInfo {
+	out := make([]MachineInfo, 0, len(in.Machines))
+	for _, mc := range in.Machines {
+		mi := MachineInfo{Name: mc.Machine, Workcell: mc.Workcell, Line: mc.Line}
+		for _, m := range mc.Methods {
+			mi.Capabilities = append(mi.Capabilities, m.Name)
+		}
+		out = append(out, mi)
+	}
+	return out
+}
+
+// ValidateInventory cross-checks the inventory against the modeled ISA-95
+// hierarchy: every machine offered for binding must exist as a Machine
+// node, in the workcell the inventory claims. A nil hierarchy skips the
+// check.
+func ValidateInventory(root *isa95.Node, inv []MachineInfo) error {
+	if root == nil {
+		return nil
+	}
+	wcOf := isa95.MachineWorkcells(root)
+	var bad []string
+	for _, m := range inv {
+		wc, ok := wcOf[m.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: not in the modeled hierarchy", m.Name))
+			continue
+		}
+		if m.Workcell != "" && wc != m.Workcell {
+			bad = append(bad, fmt.Sprintf("%s: hierarchy places it in %s, inventory claims %s", m.Name, wc, m.Workcell))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("ops: inventory disagrees with ISA-95 hierarchy: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// StoreMap derives machine → historian store name from the intermediate
+// configuration (client group i feeds storage module i). The plan-vs-actual
+// auditor uses it to query the store that ingests each machine's campaign
+// series.
+func StoreMap(in *codegen.Intermediate) map[string]string {
+	out := map[string]string{}
+	for i, cc := range in.Clients {
+		if i >= len(in.Storage) {
+			break
+		}
+		for _, cm := range cc.Machines {
+			out[cm.Machine] = in.Storage[i].Name
+		}
+	}
+	return out
+}
+
+// Step is one schedulable unit: operation Op of part Part, bound to a
+// machine offering the operation's capability. The binding is a
+// preference, not a commitment — the executor rebinds to any surviving
+// machine with the capability when the bound one is lost.
+type Step struct {
+	Index     int    // position in Plan.Steps
+	ID        string // idempotent step ID: "<campaign>/p<part>/o<op>"
+	Part      int    // 1-based part number
+	Op        int    // 0-based operation index within the recipe
+	Operation Operation
+	Machine   string // planned binding
+	DependsOn []int  // indices into Plan.Steps that must complete first
+}
+
+// Plan is a compiled campaign: the step DAG plus the capability index the
+// executor replans against.
+type Plan struct {
+	Campaign string
+	Part     string
+	Parts    int
+	Recipe   Recipe
+	Steps    []*Step
+	// Capability maps each required capability to the machines offering
+	// it, in deterministic (name-sorted) order.
+	Capability map[string][]MachineInfo
+	// Machines indexes the inventory by name for topic construction.
+	Machines map[string]MachineInfo
+}
+
+// StepID builds the idempotent step identifier.
+func StepID(campaign string, part, op int) string {
+	return fmt.Sprintf("%s/p%d/o%d", campaign, part, op)
+}
+
+// CampaignTopic is the broker topic a machine's campaign step events ride.
+// It lives under the machine's values subtree so the historian's existing
+// per-machine topic filters (factory/<line>/<wc>/<machine>/values/#)
+// ingest campaign ledgers without configuration changes.
+func CampaignTopic(campaign string, m MachineInfo) string {
+	line := m.Line
+	if line == "" {
+		line = "line"
+	}
+	wc := m.Workcell
+	if wc == "" {
+		wc = "wc"
+	}
+	return fmt.Sprintf("factory/%s/%s/%s/values/_campaign/%s", line, wc, m.Name, campaign)
+}
+
+// Compile binds the goal and recipe to the inventory and produces the
+// operation-plan DAG: per part, operation j depends on operation j-1; the
+// planned machine for each step round-robins over the machines offering
+// the capability so load spreads across workcells. Compilation fails when
+// a required capability has no machine at all.
+func Compile(goal Goal, recipe Recipe, inv []MachineInfo) (*Plan, error) {
+	if goal.Count <= 0 {
+		return nil, fmt.Errorf("ops: goal count must be positive, got %d", goal.Count)
+	}
+	if len(recipe.Operations) == 0 {
+		return nil, fmt.Errorf("ops: recipe %q has no operations", recipe.Part)
+	}
+	campaign := goal.Campaign
+	if campaign == "" {
+		campaign = fmt.Sprintf("%s-x%d", goal.Part, goal.Count)
+	}
+
+	p := &Plan{
+		Campaign:   campaign,
+		Part:       goal.Part,
+		Parts:      goal.Count,
+		Recipe:     recipe,
+		Capability: map[string][]MachineInfo{},
+		Machines:   map[string]MachineInfo{},
+	}
+	for _, m := range inv {
+		p.Machines[m.Name] = m
+	}
+	for _, op := range recipe.Operations {
+		if _, done := p.Capability[op.Capability]; done {
+			continue
+		}
+		var offers []MachineInfo
+		for _, m := range inv {
+			if m.Has(op.Capability) {
+				offers = append(offers, m)
+			}
+		}
+		if len(offers) == 0 {
+			return nil, fmt.Errorf("ops: no machine offers capability %q required by operation %q", op.Capability, op.Name)
+		}
+		sort.Slice(offers, func(i, j int) bool { return offers[i].Name < offers[j].Name })
+		p.Capability[op.Capability] = offers
+	}
+
+	p.Steps = make([]*Step, 0, goal.Count*len(recipe.Operations))
+	for part := 1; part <= goal.Count; part++ {
+		for op, operation := range recipe.Operations {
+			offers := p.Capability[operation.Capability]
+			st := &Step{
+				Index:     len(p.Steps),
+				ID:        StepID(campaign, part, op),
+				Part:      part,
+				Op:        op,
+				Operation: operation,
+				Machine:   offers[(part-1)%len(offers)].Name,
+			}
+			if op > 0 {
+				st.DependsOn = []int{st.Index - 1}
+			}
+			p.Steps = append(p.Steps, st)
+		}
+	}
+	return p, nil
+}
+
+// BuildRecipe synthesizes a default recipe for a part from whatever
+// capabilities the inventory offers: up to maxOps distinct "work-like"
+// services (start/run/execute/pick/place/move/call/store/load/route
+// prefixes score highest), deterministically ordered. It lets factorysim
+// run a campaign against any modeled plant without a hand-written recipe.
+func BuildRecipe(inv []MachineInfo, part string, maxOps int) (Recipe, error) {
+	if maxOps <= 0 {
+		maxOps = 4
+	}
+	score := func(cap string) int {
+		switch {
+		case strings.HasPrefix(cap, "call_"), strings.HasPrefix(cap, "load_"):
+			return 3 // staging operations lead
+		case strings.HasPrefix(cap, "pick"), strings.HasPrefix(cap, "place"),
+			strings.HasPrefix(cap, "move"), strings.HasPrefix(cap, "route"):
+			return 2
+		case strings.HasPrefix(cap, "start"), strings.HasPrefix(cap, "run"),
+			strings.HasPrefix(cap, "execute"):
+			return 1
+		case strings.HasPrefix(cap, "store"), strings.HasPrefix(cap, "release"):
+			return 0 // put-away operations close the part
+		default:
+			return -1
+		}
+	}
+	seen := map[string]bool{}
+	var caps []string
+	for _, m := range inv {
+		for _, c := range m.Capabilities {
+			if !seen[c] && score(c) >= 0 {
+				seen[c] = true
+				caps = append(caps, c)
+			}
+		}
+	}
+	if len(caps) == 0 {
+		return Recipe{}, fmt.Errorf("ops: inventory offers no work-like capabilities to build a recipe from")
+	}
+	sort.SliceStable(caps, func(i, j int) bool {
+		si, sj := score(caps[i]), score(caps[j])
+		if si != sj {
+			return si > sj
+		}
+		return caps[i] < caps[j]
+	})
+	if len(caps) > maxOps {
+		caps = caps[:maxOps]
+	}
+	r := Recipe{Part: part}
+	for _, c := range caps {
+		r.Operations = append(r.Operations, Operation{Name: c, Capability: c})
+	}
+	return r, nil
+}
